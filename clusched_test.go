@@ -1,0 +1,107 @@
+package clusched_test
+
+import (
+	"strings"
+	"testing"
+
+	"clusched"
+)
+
+// buildSaxpy builds the doc-comment example loop through the public API.
+func buildSaxpy(t *testing.T) *clusched.Graph {
+	t.Helper()
+	b := clusched.NewLoop("saxpy")
+	idx := b.Node("idx", clusched.OpIAdd)
+	b.Edge(idx, idx, 1)
+	x := b.Node("x", clusched.OpLoad)
+	y := b.Node("y", clusched.OpLoad)
+	b.Edge(idx, x, 0)
+	b.Edge(idx, y, 0)
+	m := b.Node("m", clusched.OpFMul)
+	a := b.Node("a", clusched.OpFAdd)
+	s := b.Node("s", clusched.OpStore)
+	b.Edge(x, m, 0)
+	b.Edge(y, a, 0)
+	b.Edge(m, a, 0)
+	b.Edge(a, s, 0)
+	b.Edge(idx, s, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPublicAPICompile(t *testing.T) {
+	g := buildSaxpy(t)
+	for _, cfg := range []string{"unified", "2c1b2l64r", "4c2b2l64r"} {
+		m, err := clusched.ParseMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := clusched.CompileBaseline(g, m)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", cfg, err)
+		}
+		repl, err := clusched.CompileReplicated(g, m)
+		if err != nil {
+			t.Fatalf("%s replication: %v", cfg, err)
+		}
+		if repl.II > base.II {
+			t.Errorf("%s: replication worsened II", cfg)
+		}
+		if k := repl.Schedule.FormatKernel(); !strings.Contains(k, "slot") {
+			t.Errorf("%s: kernel missing header:\n%s", cfg, k)
+		}
+	}
+}
+
+func TestPublicAPIParseLoops(t *testing.T) {
+	text := "loop t\nnode a iadd\nnode b fmul\nedge a b\nend\n"
+	gs, err := clusched.ParseLoops(strings.NewReader(text))
+	if err != nil || len(gs) != 1 {
+		t.Fatalf("ParseLoops: %v (%d loops)", err, len(gs))
+	}
+	if _, err := clusched.CompileReplicated(gs[0], clusched.MustParseMachine("2c1b2l64r")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIWorkload(t *testing.T) {
+	if got := len(clusched.SPECfp95()); got != 678 {
+		t.Errorf("suite has %d loops, want 678", got)
+	}
+	if got := len(clusched.Benchmarks()); got != 10 {
+		t.Errorf("%d benchmarks, want 10", got)
+	}
+	if loops := clusched.BenchmarkLoops("mgrid"); len(loops) == 0 {
+		t.Error("no mgrid loops")
+	}
+	if got := len(clusched.PaperMachines()); got != 6 {
+		t.Errorf("%d paper machines, want 6", got)
+	}
+}
+
+func TestPublicAPIOptionsVariants(t *testing.T) {
+	g := buildSaxpy(t)
+	m := clusched.MustParseMachine("4c1b2l64r")
+	for _, opts := range []clusched.Options{
+		{},
+		{Replicate: true},
+		{Replicate: true, LengthReplicate: true},
+		{Replicate: true, ZeroBusLatency: true},
+		{Replicate: true, UseMacroReplication: true},
+	} {
+		if _, err := clusched.Compile(g, m, opts); err != nil {
+			t.Errorf("options %+v: %v", opts, err)
+		}
+	}
+}
+
+func TestCauseNames(t *testing.T) {
+	if clusched.CauseBus.String() != "Bus" ||
+		clusched.CauseRecurrence.String() != "Recurrences" ||
+		clusched.CauseRegisters.String() != "Registers" {
+		t.Error("cause names drifted from the paper's Fig. 1 legend")
+	}
+}

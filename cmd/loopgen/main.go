@@ -1,0 +1,69 @@
+// Command loopgen dumps loops of the synthetic SPECfp95 workload in the
+// text DDG format, for inspection or for feeding into replisched.
+//
+// Usage:
+//
+//	loopgen                      # summary of the whole suite
+//	loopgen -bench tomcatv       # every tomcatv loop as text DDGs
+//	loopgen -bench swim -n 3     # only the first 3 loops
+//	loopgen -stats               # per-benchmark structural statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clusched/internal/ddg"
+	"clusched/internal/metrics"
+	"clusched/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark to dump (default: summary of all)")
+	n := flag.Int("n", 0, "dump at most n loops (0 = all)")
+	stats := flag.Bool("stats", false, "print structural statistics instead of DDGs")
+	flag.Parse()
+
+	if *stats || *bench == "" {
+		t := metrics.NewTable("benchmark", "loops", "avg ops", "avg edges", "int %", "fp %", "mem %", "avg iters", "avg visits")
+		for _, name := range workload.Benchmarks() {
+			loops := workload.LoopsFor(name)
+			var ops, edges, iters, visits float64
+			var classes [ddg.NumClasses]float64
+			for _, l := range loops {
+				ops += float64(l.Graph.NumNodes())
+				edges += float64(l.Graph.NumEdges())
+				c := l.Graph.CountClass()
+				for k, v := range c {
+					classes[k] += float64(v)
+				}
+				iters += l.AvgIters
+				visits += float64(l.Visits)
+			}
+			nl := float64(len(loops))
+			t.AddRow(name, len(loops), ops/nl, edges/nl,
+				100*classes[ddg.ClassInt]/ops, 100*classes[ddg.ClassFP]/ops, 100*classes[ddg.ClassMem]/ops,
+				iters/nl, visits/nl)
+		}
+		fmt.Print(t.String())
+		fmt.Printf("total loops: %d\n", len(workload.SPECfp95()))
+		return
+	}
+
+	loops := workload.LoopsFor(*bench)
+	if loops == nil {
+		fmt.Fprintf(os.Stderr, "loopgen: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	for i, l := range loops {
+		if *n > 0 && i >= *n {
+			break
+		}
+		fmt.Printf("# %s: visits=%d avg_iters=%.1f\n", l.Graph.Name, l.Visits, l.AvgIters)
+		if err := ddg.WriteText(os.Stdout, l.Graph); err != nil {
+			fmt.Fprintf(os.Stderr, "loopgen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Command paperbench regenerates the paper's evaluation: every table and
+// figure of "Instruction Replication for Clustered Microarchitectures"
+// (MICRO-36, 2003) on the synthetic SPECfp95 suite.
+//
+// Usage:
+//
+//	paperbench              # run everything, print the full report
+//	paperbench -fig 7       # run one experiment (1, 7, 8, 9, 10, 12)
+//	paperbench -fig table1  # print the configuration table
+//	paperbench -fig stats   # §4 communication statistics
+//	paperbench -fig macro   # §5.2 macro-node ablation
+//	paperbench -fig unroll  # §6 unrolling-vs-replication ablation
+//	paperbench -o report.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clusched/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "", "experiment to run: 1, 7, 8, 9, 10, 12, table1, stats, macro, unroll, regs, design (default: all)")
+	out := flag.String("o", "", "write the report to a file instead of stdout")
+	flag.Parse()
+
+	var report string
+	switch *fig {
+	case "":
+		report = experiments.FullReport()
+	case "1":
+		report = experiments.Fig1Report()
+	case "7":
+		report = experiments.Fig7Report()
+	case "8":
+		report = experiments.Fig8Report()
+	case "9":
+		report = experiments.Fig9Report()
+	case "10":
+		report = experiments.Fig10Report()
+	case "12":
+		report = experiments.Fig12Report()
+	case "table1":
+		report = experiments.Table1()
+	case "stats":
+		report = experiments.CommStatsReport()
+	case "macro":
+		report = experiments.MacroAblationReport()
+	case "unroll":
+		report = experiments.UnrollAblationReport()
+	case "regs":
+		report = experiments.RegSweepReport()
+	case "design":
+		report = experiments.DesignAblationReport()
+	default:
+		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q\n", *fig)
+		os.Exit(2)
+	}
+
+	if *out == "" {
+		fmt.Print(report)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -1,0 +1,108 @@
+// Command replisched compiles loops given in the text DDG format for a
+// clustered VLIW machine and reports the modulo schedule, with and without
+// instruction replication.
+//
+// Usage:
+//
+//	replisched -config 4c2b2l64r loop.ddg
+//	loopgen -bench tomcatv -n 1 | replisched -config 4c1b2l64r -kernel -
+//
+// Flags select the machine (wcxbylzr or "unified"), the pipeline variant,
+// and whether to print the kernel and the cluster assignment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"clusched/internal/codegen"
+	"clusched/internal/core"
+	"clusched/internal/ddg"
+	"clusched/internal/machine"
+	"clusched/internal/vliwsim"
+)
+
+func main() {
+	cfg := flag.String("config", "4c2b2l64r", "machine configuration (wcxbylzr or \"unified\")")
+	noRepl := flag.Bool("no-replication", false, "disable the replication pass")
+	length := flag.Bool("length", false, "also run the §5.1 schedule-length replication extension")
+	kernel := flag.Bool("kernel", false, "print the kernel of the modulo schedule")
+	asm := flag.Bool("asm", false, "expand and print the full software pipeline (prolog/kernel/epilog with registers)")
+	simIters := flag.Int("verify", 0, "execute the schedule for N iterations and verify against direct evaluation")
+	dot := flag.Bool("dot", false, "print the partitioned DDG in Graphviz format")
+	flag.Parse()
+
+	m, err := machine.Parse(*cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	var r io.Reader
+	switch {
+	case flag.NArg() == 0, flag.Arg(0) == "-":
+		r = os.Stdin
+	default:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	loops, err := ddg.ParseText(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(loops) == 0 {
+		fatal(fmt.Errorf("no loops in input"))
+	}
+
+	opts := core.Options{Replicate: !*noRepl, LengthReplicate: *length, VerifySchedules: true}
+	for _, g := range loops {
+		res, err := core.Compile(g, m, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loop %s on %s: MII=%d II=%d length=%d stages=%d\n",
+			g.Name, m, res.MII, res.II, res.Length, res.SC)
+		fmt.Printf("  communications: %d implied by the partition, %d after replication\n",
+			res.CommsBeforeReplication, res.Comms)
+		if res.ReplicationSteps > 0 {
+			total := 0
+			for _, n := range res.Replicated {
+				total += n
+			}
+			fmt.Printf("  replication: %d subgraphs, %d instances added (%d int, %d fp, %d mem), %d originals removed\n",
+				res.ReplicationSteps, total,
+				res.Replicated[ddg.ClassInt], res.Replicated[ddg.ClassFP], res.Replicated[ddg.ClassMem],
+				res.Removed)
+		}
+		fmt.Printf("  register pressure per cluster: %v (limit %d)\n", res.Schedule.MaxLive, m.Regs)
+		if *kernel {
+			fmt.Println(res.Schedule.FormatKernel())
+		}
+		if *asm {
+			p, err := codegen.Expand(res.Schedule)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(p.Format())
+		}
+		if *simIters > 0 {
+			if err := vliwsim.Check(res.Schedule, *simIters); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  verified: %d iterations match direct evaluation\n", *simIters)
+		}
+		if *dot {
+			fmt.Println(ddg.DOT(g, res.Placement.Home))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "replisched: %v\n", err)
+	os.Exit(1)
+}

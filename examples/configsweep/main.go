@@ -1,0 +1,82 @@
+// Configsweep explores the machine design space for a single loop: how do
+// cluster count, bus count and bus latency trade off, and where does
+// instruction replication change the answer? This mirrors the paper's
+// motivation study (Fig. 1): on bus-starved machines the achieved II is
+// dominated by communications, and replication recovers most of the gap to
+// the unified machine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clusched"
+)
+
+// buildLoop synthesizes a moderately comm-bound stencil loop (three shared
+// address values feeding six short FP chains).
+func buildLoop() *clusched.Graph {
+	b := clusched.NewLoop("sweep")
+	var addr [3]int
+	for i := range addr {
+		addr[i] = b.Node(fmt.Sprintf("i%d", i), clusched.OpIAdd)
+		if i > 0 {
+			b.Edge(addr[i-1], addr[i], 0)
+		}
+	}
+	b.Edge(addr[0], addr[0], 1)
+	for c := 0; c < 6; c++ {
+		ld := b.Node(fmt.Sprintf("ld%d", c), clusched.OpLoad)
+		b.Edge(addr[c%3], ld, 0)
+		f1 := b.Node(fmt.Sprintf("f%d_1", c), clusched.OpFMul)
+		b.Edge(ld, f1, 0)
+		b.Edge(addr[(c+1)%3], f1, 0)
+		f2 := b.Node(fmt.Sprintf("f%d_2", c), clusched.OpFAdd)
+		b.Edge(f1, f2, 0)
+		st := b.Node(fmt.Sprintf("st%d", c), clusched.OpStore)
+		b.Edge(f2, st, 0)
+		b.Edge(addr[c%3], st, 0)
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return g
+}
+
+func main() {
+	g := buildLoop()
+	fmt.Printf("sweeping %v\n\n", g)
+
+	configs := []string{
+		"2c1b1l64r", "2c1b2l64r", "2c2b2l64r", "2c2b4l64r",
+		"4c1b1l64r", "4c1b2l64r", "4c2b2l64r", "4c2b4l64r", "4c4b4l64r",
+	}
+	const iters = 512
+
+	u, err := clusched.CompileBaseline(g, clusched.UnifiedMachine(64))
+	if err != nil {
+		log.Fatal(err)
+	}
+	uCycles := u.Schedule.CyclesFor(iters)
+	fmt.Printf("unified upper bound: II=%d, %.0f cycles for %d iterations\n\n", u.II, uCycles, iters)
+
+	fmt.Printf("%-10s  %9s  %9s  %9s  %16s\n", "config", "base II", "repl II", "repl gain", "% of unified perf")
+	for _, name := range configs {
+		m, err := clusched.ParseMachine(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := clusched.CompileBaseline(g, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		repl, err := clusched.CompileReplicated(g, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gain := repl.Speedup(base, iters)
+		ofUnified := 100 * uCycles / repl.Schedule.CyclesFor(iters)
+		fmt.Printf("%-10s  %9d  %9d  %8.2fx  %15.1f%%\n", name, base.II, repl.II, gain, ofUnified)
+	}
+}

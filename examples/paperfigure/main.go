@@ -1,0 +1,54 @@
+// Paperfigure regenerates a single figure of the paper programmatically —
+// here Fig. 9, the applu II-reduction study — against the synthetic
+// SPECfp95 workload via the public API, without going through the
+// paperbench command. It demonstrates how to drive the pipeline over many
+// loops and aggregate results.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clusched"
+)
+
+func main() {
+	loops := clusched.BenchmarkLoops("applu")
+	fmt.Printf("applu: %d modulo-schedulable loops, trip counts around %.1f\n\n",
+		len(loops), avgIters(loops))
+
+	fmt.Printf("%-10s  %14s  %10s\n", "config", "II reduction %", "IPC gain %")
+	for _, name := range []string{"2c1b2l64r", "4c1b2l64r", "4c2b2l64r"} {
+		m := clusched.MustParseMachine(name)
+		var redSum float64
+		var instr, cbase, crepl float64
+		for _, l := range loops {
+			base, err := clusched.CompileBaseline(l.Graph, m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			repl, err := clusched.CompileReplicated(l.Graph, m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			redSum += 1 - float64(repl.II)/float64(base.II)
+			instr += l.DynamicInstrs()
+			cbase += base.Schedule.CyclesFor(l.AvgIters) * float64(l.Visits)
+			crepl += repl.Schedule.CyclesFor(l.AvgIters) * float64(l.Visits)
+		}
+		iiRed := 100 * redSum / float64(len(loops))
+		ipcGain := 100 * ((instr/crepl)/(instr/cbase) - 1)
+		fmt.Printf("%-10s  %14.1f  %10.1f\n", name, iiRed, ipcGain)
+	}
+	fmt.Println("\nPaper: replication reduces applu's II by 10-20% depending on the")
+	fmt.Println("configuration, yet the IPC barely moves because each loop visit runs")
+	fmt.Println("only ~4 iterations, so the prolog/epilog dominates (§4, Fig. 9).")
+}
+
+func avgIters(loops []*clusched.Loop) float64 {
+	s := 0.0
+	for _, l := range loops {
+		s += l.AvgIters
+	}
+	return s / float64(len(loops))
+}

@@ -1,0 +1,317 @@
+package codegen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"clusched/internal/sched"
+	"clusched/internal/vliwsim"
+)
+
+// Simulate executes the expanded software pipeline — prolog, repeated
+// kernel blocks, epilog — against a physical register-file model and
+// returns the store trace, which must equal vliwsim.Reference of the source
+// loop. The trip count must satisfy the preconditioning constraint the
+// expansion was emitted for: iters = SC-1 + R·MVE with R ≥ 1 (classic
+// modulo-scheduling loop preconditioning; real compilers peel the remainder
+// iterations into a scalar loop).
+//
+// This is an independent implementation of the pipeline semantics: it does
+// not consult the schedule's instance graph for timing, only the emitted
+// bundles and register numbers, so it catches MVE and register-allocation
+// bugs that the schedule-level simulator cannot see.
+func Simulate(p *Program, iters int) (*vliwsim.Trace, error) {
+	if rem := iters - (p.SC - 1); rem < p.MVE || rem%p.MVE != 0 {
+		return nil, fmt.Errorf("codegen: trip count %d violates preconditioning N = %d + R·%d",
+			iters, p.SC-1, p.MVE)
+	}
+	ig := p.sched.IG
+	g := ig.G
+
+	regs := make([][]uint64, ig.P.K)
+	for c := range regs {
+		n := p.RegsUsed[c]
+		if n == 0 {
+			n = 1
+		}
+		regs[c] = make([]uint64, n)
+	}
+	// Pending register writes: committed when the producing latency has
+	// elapsed, so late consumers of the previous rotation still read the
+	// old value exactly as the hardware would.
+	type write struct {
+		at  int
+		reg Reg
+		val uint64
+		seq int
+	}
+	var pending []write
+	seq := 0
+	commit := func(now int) {
+		sort.SliceStable(pending, func(i, j int) bool {
+			if pending[i].at != pending[j].at {
+				return pending[i].at < pending[j].at
+			}
+			return pending[i].seq < pending[j].seq
+		})
+		k := 0
+		for ; k < len(pending) && pending[k].at <= now; k++ {
+			w := pending[k]
+			regs[w.reg.Cluster][w.reg.Index] = w.val
+		}
+		pending = pending[k:]
+	}
+
+	tr := &vliwsim.Trace{}
+	var operands []uint64
+	execBundle := func(b Bundle, cycle int, iterOf func(op Op) (int, bool)) error {
+		commit(cycle)
+		for _, op := range b.Ops {
+			iter, ok := iterOf(op)
+			if !ok {
+				continue
+			}
+			operands = operands[:0]
+			for _, r := range op.Srcs {
+				operands = append(operands, regs[r.Cluster][r.Index])
+			}
+			switch {
+			case op.Kind.IsStore():
+				orig := origOf(ig, op.Name)
+				tr.Stores = append(tr.Stores, vliwsim.StoreRecord{
+					Node: orig, Iter: iter, Value: vliwsim.StoreValue(operands)})
+			case op.Kind == 0:
+				return fmt.Errorf("codegen: op %s has invalid kind", op.Name)
+			default:
+				var val uint64
+				if strings.HasPrefix(op.Name, "copy(") {
+					if len(operands) != 1 {
+						return fmt.Errorf("codegen: copy %s has %d operands", op.Name, len(operands))
+					}
+					val = operands[0]
+				} else {
+					val = vliwsim.NodeValue(g, origOf(ig, op.Name), iter, operands)
+				}
+				lat := p.latencyOf(op)
+				for _, d := range op.Dest {
+					pending = append(pending, write{at: cycle + lat, reg: d, val: val, seq: seq})
+					seq++
+				}
+			}
+		}
+		return nil
+	}
+
+	// Seed the pending-write queue with the pre-loop values that loop-
+	// carried dependences read before their first in-loop definition. A
+	// real compiler's preheader plus prolog-inserted initialization copies
+	// produce exactly these timed writes; with MVE rotation a single
+	// register can carry several distinct pre-loop versions at different
+	// prolog cycles, so the writes must be timed, not just preloaded.
+	for _, w := range p.initialWrites() {
+		pending = append(pending, write{at: w.at, reg: w.reg, val: w.val, seq: seq - 1000000 + w.seq})
+	}
+
+	cycle := 0
+	for _, b := range p.Prolog {
+		if err := execBundle(b, b.Cycle, func(op Op) (int, bool) {
+			k, err := strconv.Atoi(op.IterTag)
+			if err != nil {
+				return 0, false
+			}
+			return k, true
+		}); err != nil {
+			return nil, err
+		}
+		cycle = b.Cycle
+	}
+	steady := (p.SC - 1) * p.II
+	reps := (iters - (p.SC - 1)) / p.MVE
+	for r := 0; r < reps; r++ {
+		base := p.SC - 1 + r*p.MVE
+		for _, b := range p.Kernel {
+			t := steady + r*p.MVE*p.II + (b.Cycle - steady)
+			if err := execBundle(b, t, func(op Op) (int, bool) {
+				// Tag "n+d" means iteration base + u - stage where the
+				// offset is encoded in the tag.
+				d, err := strconv.Atoi(strings.TrimPrefix(op.IterTag, "n"))
+				if err != nil {
+					return 0, false
+				}
+				return base + d, true
+			}); err != nil {
+				return nil, err
+			}
+			cycle = t
+		}
+	}
+	epilogStart := steady + reps*p.MVE*p.II
+	for _, b := range p.Epilog {
+		if err := execBundle(b, epilogStart+b.Cycle, func(op Op) (int, bool) {
+			tag := strings.TrimPrefix(op.IterTag, "N-1")
+			j := 0
+			if tag != "" {
+				v, err := strconv.Atoi(strings.TrimPrefix(tag, "-"))
+				if err != nil {
+					return 0, false
+				}
+				j = v
+			}
+			return iters - 1 - j, true
+		}); err != nil {
+			return nil, err
+		}
+	}
+	_ = cycle
+
+	sort.Slice(tr.Stores, func(i, j int) bool {
+		a, b := tr.Stores[i], tr.Stores[j]
+		if a.Iter != b.Iter {
+			return a.Iter < b.Iter
+		}
+		return a.Node < b.Node
+	})
+	return tr, nil
+}
+
+// VerifyAgainstReference executes the emitted pipeline for the given trip
+// count and compares its store trace against the direct evaluation of the
+// source loop.
+func (p *Program) VerifyAgainstReference(iters int) error {
+	got, err := Simulate(p, iters)
+	if err != nil {
+		return err
+	}
+	want := vliwsim.Reference(p.sched.IG.G, iters)
+	if d := got.Diff(want); d != "" {
+		return fmt.Errorf("codegen: pipeline trace mismatch: %s", d)
+	}
+	return nil
+}
+
+// latencyOf returns the producing latency of an emitted op.
+func (p *Program) latencyOf(op Op) int {
+	if strings.HasPrefix(op.Name, "copy(") {
+		return p.sched.IG.M.BusLatency
+	}
+	return op.Kind.Latency()
+}
+
+// origOf resolves an emitted op name back to its original node ID.
+func origOf(ig *sched.IGraph, name string) int {
+	if rest, ok := strings.CutPrefix(name, "copy("); ok {
+		name = strings.TrimSuffix(rest, ")")
+	} else if i := strings.LastIndex(name, "@c"); i >= 0 {
+		name = name[:i]
+	}
+	g := ig.G
+	if id := g.NodeByLabel(name); id >= 0 {
+		return id
+	}
+	// Synthetic "n<ID>" names.
+	if id, err := strconv.Atoi(strings.TrimPrefix(name, "n")); err == nil {
+		return id
+	}
+	return -1
+}
+
+// timedWrite is one preheader/prolog initialization: register reg must
+// hold val when cycle at begins.
+type timedWrite struct {
+	at  int
+	reg Reg
+	val uint64
+	seq int
+}
+
+// initialWrites computes the pre-loop values loop-carried dependences read
+// (a reader of iteration k at distance d reads iteration k-d; negative
+// source iterations are pre-loop values) and the cycle each must be present
+// by. One rotating register can carry several distinct pre-loop versions at
+// different cycles, so each (register, version) pair gets its own write,
+// timed at the earliest read of that version.
+func (p *Program) initialWrites() []timedWrite {
+	ig := p.sched.IG
+	type key struct {
+		reg     Reg
+		srcIter int
+		orig    int
+	}
+	earliest := map[key]int{}
+
+	scan := func(bs []Bundle, cycleOf func(b Bundle) int, iterOf func(op Op) (int, bool)) {
+		for _, b := range bs {
+			for _, op := range b.Ops {
+				iter, ok := iterOf(op)
+				if !ok {
+					continue
+				}
+				inst := instByName(ig, op.Name)
+				if inst < 0 {
+					continue
+				}
+				srcIdx := 0
+				for _, eid := range ig.In(inst) {
+					e := &ig.Edges[eid]
+					if !e.Data {
+						continue
+					}
+					if srcIdx >= len(op.Srcs) {
+						break
+					}
+					r := op.Srcs[srcIdx]
+					srcIdx++
+					srcIter := iter - int(e.Dist)
+					if srcIter >= 0 {
+						continue
+					}
+					k := key{reg: r, srcIter: srcIter, orig: ig.Inst[e.Src].Orig}
+					c := cycleOf(b)
+					if old, ok := earliest[k]; !ok || c < old {
+						earliest[k] = c
+					}
+				}
+			}
+		}
+	}
+	scan(p.Prolog, func(b Bundle) int { return b.Cycle }, func(op Op) (int, bool) {
+		k, err := strconv.Atoi(op.IterTag)
+		return k, err == nil
+	})
+	// Only the first kernel block can read pre-loop values (later blocks'
+	// iterations are all ≥ MVE); its cycles are the emitted ones.
+	scan(p.Kernel, func(b Bundle) int { return b.Cycle }, func(op Op) (int, bool) {
+		d, err := strconv.Atoi(strings.TrimPrefix(op.IterTag, "n"))
+		return p.SC - 1 + d, err == nil
+	})
+
+	out := make([]timedWrite, 0, len(earliest))
+	for k, at := range earliest {
+		out = append(out, timedWrite{at: at, reg: k.reg, val: vliwsim.InitialValue(k.orig, k.srcIter)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].at != out[j].at {
+			return out[i].at < out[j].at
+		}
+		if out[i].reg != out[j].reg {
+			return out[i].reg.Cluster*1000+out[i].reg.Index < out[j].reg.Cluster*1000+out[j].reg.Index
+		}
+		return false
+	})
+	for i := range out {
+		out[i].seq = i
+	}
+	return out
+}
+
+// instByName resolves an emitted op name back to its instance index.
+func instByName(ig *sched.IGraph, name string) int32 {
+	for i := int32(0); i < int32(ig.NumInstances()); i++ {
+		if ig.Name(i) == name {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,92 @@
+package ddg
+
+import "fmt"
+
+// Builder constructs a Graph incrementally. Builders are not safe for
+// concurrent use. The zero Builder is not usable; call NewBuilder.
+type Builder struct {
+	g    *Graph
+	errs []error
+}
+
+// NewBuilder returns a Builder for a loop with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{g: &Graph{Name: name, labelIndex: make(map[string]int)}}
+}
+
+// Node adds an operation with a label and returns its ID. The label may be
+// empty; non-empty labels must be unique.
+func (b *Builder) Node(label string, op OpKind) int {
+	id := len(b.g.Nodes)
+	if label != "" {
+		if _, dup := b.g.labelIndex[label]; dup {
+			b.errs = append(b.errs, fmt.Errorf("duplicate node label %q", label))
+		} else {
+			b.g.labelIndex[label] = id
+		}
+	}
+	b.g.Nodes = append(b.g.Nodes, Node{ID: id, Op: op, Label: label})
+	b.g.out = append(b.g.out, nil)
+	b.g.in = append(b.g.in, nil)
+	return id
+}
+
+// Edge adds a register data dependence src→dst with loop-carried distance
+// dist. The latency is the producer's operation latency.
+func (b *Builder) Edge(src, dst, dist int) {
+	b.addEdge(src, dst, dist, EdgeData, -1)
+}
+
+// MemEdge adds a memory ordering dependence src→dst with distance dist and
+// latency 1 (the consumer must issue strictly after the producer issues).
+func (b *Builder) MemEdge(src, dst, dist int) {
+	b.addEdge(src, dst, dist, EdgeMem, 1)
+}
+
+// EdgeLat adds a data dependence with an explicit latency, for tests that
+// need non-standard latencies.
+func (b *Builder) EdgeLat(src, dst, dist, lat int) {
+	b.addEdge(src, dst, dist, EdgeData, lat)
+}
+
+func (b *Builder) addEdge(src, dst, dist int, kind EdgeKind, lat int) {
+	if src < 0 || src >= len(b.g.Nodes) || dst < 0 || dst >= len(b.g.Nodes) {
+		b.errs = append(b.errs, fmt.Errorf("edge (%d,%d) references unknown node", src, dst))
+		return
+	}
+	if lat < 0 {
+		lat = b.g.Nodes[src].Op.Latency()
+	}
+	id := len(b.g.Edges)
+	b.g.Edges = append(b.g.Edges, Edge{ID: id, Src: src, Dst: dst, Dist: dist, Kind: kind, Lat: lat})
+	b.g.out[src] = append(b.g.out[src], int32(id))
+	b.g.in[dst] = append(b.g.in[dst], int32(id))
+}
+
+// Graph exposes the graph under construction for read-only inspection
+// (node counts, adjacency); it has not been validated yet.
+func (b *Builder) Graph() *Graph { return b.g }
+
+// Build validates and returns the graph. The Builder must not be used
+// afterwards.
+func (b *Builder) Build() (*Graph, error) {
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("ddg: builder for %s: %w", b.g.Name, b.errs[0])
+	}
+	if err := b.g.Validate(); err != nil {
+		return nil, err
+	}
+	g := b.g
+	b.g = nil
+	return g, nil
+}
+
+// MustBuild is Build but panics on error; for tests and generators whose
+// inputs are known valid by construction.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,127 @@
+package ddg
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func randomValidGraph(rng *rand.Rand, n int) *Graph {
+	b := NewBuilder("q")
+	ops := AllOpKinds()
+	ids := make([]int, n)
+	for i := range ids {
+		op := ops[rng.Intn(len(ops))]
+		if op == OpStore && i < n-1 {
+			op = OpFAdd // keep stores at the bottom so they have no data succs
+		}
+		ids[i] = b.Node("", op)
+	}
+	for i := 1; i < n; i++ {
+		src := ids[rng.Intn(i)]
+		if b.Graph().Nodes[src].Op == OpStore {
+			b.MemEdge(src, ids[i], rng.Intn(2))
+			continue
+		}
+		b.Edge(src, ids[i], rng.Intn(4)/3)
+	}
+	return b.MustBuild()
+}
+
+func TestQuickTextRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomValidGraph(rng, 2+int(nRaw%40))
+		text := MarshalText(g)
+		g2, err := ParseOne(strings.NewReader(text))
+		if err != nil {
+			return false
+		}
+		return MarshalText(g2) == text
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTimingConsistency(t *testing.T) {
+	// At an II large enough to clamp every loop-carried edge (II > max
+	// latency 18), timing is driven by distance-0 edges alone and must be
+	// internally consistent: ASAP ≤ ALAP everywhere and non-negative slack
+	// on distance-0 edges. (At smaller IIs the ASAP pass folds in
+	// loop-carried edges that the backward ALAP pass deliberately ignores,
+	// so ASAP can exceed ALAP — a documented lower-bound approximation.)
+	f := func(seed int64, nRaw, iiRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomValidGraph(rng, 2+int(nRaw%30))
+		ii := 19 + int(iiRaw%12)
+		tm := g.ComputeTiming(ii)
+		for v := range g.Nodes {
+			if tm.ASAP[v] > tm.ALAP[v] {
+				return false
+			}
+			if tm.Depth(v) != tm.ASAP[v] || tm.Height(g, v) < 0 {
+				return false
+			}
+		}
+		for i := range g.Edges {
+			e := &g.Edges[i]
+			if e.Dist == 0 && tm.Slack(g, e, ii) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTopoOrderSound(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomValidGraph(rng, 2+int(nRaw%40))
+		order := g.TopoOrder()
+		if len(order) != g.NumNodes() {
+			return false
+		}
+		pos := make([]int, g.NumNodes())
+		for i, v := range order {
+			pos[v] = i
+		}
+		for i := range g.Edges {
+			e := &g.Edges[i]
+			if e.Dist == 0 && pos[e.Src] >= pos[e.Dst] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSCCPartition(t *testing.T) {
+	// SCCs form a partition of the node set.
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomValidGraph(rng, 2+int(nRaw%40))
+		seen := make([]int, g.NumNodes())
+		for _, comp := range g.SCCs() {
+			for _, v := range comp {
+				seen[v]++
+			}
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,36 @@
+package ddg
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseText hardens the text-format parser: arbitrary input must never
+// panic, and accepted input must re-encode to a form the parser accepts
+// again with identical structure.
+func FuzzParseText(f *testing.F) {
+	f.Add("loop a\nnode x iadd\nend\n")
+	f.Add("loop a\nnode x load\nnode y fmul\nedge x y dist 2 lat 9\nend\n")
+	f.Add("loop a\nnode s store\nnode l load\nedge s l mem\nend\n")
+	f.Add("# comment\n\nloop a\nend\nloop b\nnode q fdiv\nend\n")
+	f.Add("loop x\nnode a iadd\nedge a a dist -1\nend\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		gs, err := ParseText(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, g := range gs {
+			if verr := g.Validate(); verr != nil {
+				t.Fatalf("parser accepted an invalid graph: %v", verr)
+			}
+			text := MarshalText(g)
+			g2, err := ParseOne(strings.NewReader(text))
+			if err != nil {
+				t.Fatalf("re-encoded form rejected: %v\n%s", err, text)
+			}
+			if MarshalText(g2) != text {
+				t.Fatalf("re-encode not a fixed point:\n%s\nvs\n%s", text, MarshalText(g2))
+			}
+		}
+	})
+}

@@ -1,0 +1,220 @@
+package ddg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements a line-oriented text format for DDGs, used by the
+// replisched and loopgen commands and by the examples:
+//
+//	loop <name>
+//	node <label> <op>
+//	edge <srcLabel> <dstLabel> [dist <n>] [lat <n>] [mem]
+//	end
+//
+// '#' starts a comment; blank lines are ignored. Multiple loops may appear
+// in one stream.
+
+// WriteText encodes the graph in the text format.
+func WriteText(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "loop %s\n", g.Name)
+	for i := range g.Nodes {
+		fmt.Fprintf(bw, "node %s %s\n", g.NodeName(i), g.Nodes[i].Op)
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		fmt.Fprintf(bw, "edge %s %s", g.NodeName(e.Src), g.NodeName(e.Dst))
+		if e.Dist != 0 {
+			fmt.Fprintf(bw, " dist %d", e.Dist)
+		}
+		if e.Kind == EdgeMem {
+			fmt.Fprint(bw, " mem")
+			if e.Lat != 1 {
+				fmt.Fprintf(bw, " lat %d", e.Lat)
+			}
+		} else if e.Lat != g.Nodes[e.Src].Op.Latency() {
+			fmt.Fprintf(bw, " lat %d", e.Lat)
+		}
+		fmt.Fprintln(bw)
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+// MarshalText returns the text encoding of the graph as a string.
+func MarshalText(g *Graph) string {
+	var sb strings.Builder
+	if err := WriteText(&sb, g); err != nil {
+		panic(err) // strings.Builder never errors
+	}
+	return sb.String()
+}
+
+// ParseText decodes every loop in the stream.
+func ParseText(r io.Reader) ([]*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var (
+		graphs []*Graph
+		b      *Builder
+		lineNo int
+	)
+	fail := func(format string, args ...any) ([]*Graph, error) {
+		return nil, fmt.Errorf("ddg: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "loop":
+			if b != nil {
+				return fail("nested loop directive")
+			}
+			if len(fields) != 2 {
+				return fail("loop directive wants a name")
+			}
+			b = NewBuilder(fields[1])
+		case "node":
+			if b == nil {
+				return fail("node outside loop")
+			}
+			if len(fields) != 3 {
+				return fail("node wants <label> <op>")
+			}
+			op, err := ParseOpKind(fields[2])
+			if err != nil {
+				return fail("%v", err)
+			}
+			b.Node(fields[1], op)
+		case "edge":
+			if b == nil {
+				return fail("edge outside loop")
+			}
+			if len(fields) < 3 {
+				return fail("edge wants <src> <dst>")
+			}
+			src := b.g.labelIndex[fields[1]]
+			dst := b.g.labelIndex[fields[2]]
+			if _, ok := b.g.labelIndex[fields[1]]; !ok {
+				return fail("unknown node %q", fields[1])
+			}
+			if _, ok := b.g.labelIndex[fields[2]]; !ok {
+				return fail("unknown node %q", fields[2])
+			}
+			dist, lat, mem := 0, -1, false
+			for i := 3; i < len(fields); i++ {
+				switch fields[i] {
+				case "dist", "lat":
+					if i+1 >= len(fields) {
+						return fail("%s wants a value", fields[i])
+					}
+					v, err := strconv.Atoi(fields[i+1])
+					if err != nil {
+						return fail("bad %s value %q", fields[i], fields[i+1])
+					}
+					if fields[i] == "dist" {
+						dist = v
+					} else {
+						lat = v
+					}
+					i++
+				case "mem":
+					mem = true
+				default:
+					return fail("unknown edge attribute %q", fields[i])
+				}
+			}
+			switch {
+			case mem && lat >= 0:
+				b.addEdge(src, dst, dist, EdgeMem, lat)
+			case mem:
+				b.MemEdge(src, dst, dist)
+			case lat >= 0:
+				b.EdgeLat(src, dst, dist, lat)
+			default:
+				b.Edge(src, dst, dist)
+			}
+		case "end":
+			if b == nil {
+				return fail("end outside loop")
+			}
+			g, err := b.Build()
+			if err != nil {
+				return nil, err
+			}
+			graphs = append(graphs, g)
+			b = nil
+		default:
+			return fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ddg: %w", err)
+	}
+	if b != nil {
+		return nil, fmt.Errorf("ddg: loop %s not terminated with end", b.g.Name)
+	}
+	return graphs, nil
+}
+
+// ParseOne decodes exactly one loop from the stream.
+func ParseOne(r io.Reader) (*Graph, error) {
+	gs, err := ParseText(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(gs) != 1 {
+		return nil, fmt.Errorf("ddg: want exactly one loop, got %d", len(gs))
+	}
+	return gs[0], nil
+}
+
+// DOT renders the graph in Graphviz format. Cluster assignment may be nil;
+// when given, nodes are grouped into subgraph clusters.
+func DOT(g *Graph, cluster []int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=TB;\n", g.Name)
+	if cluster == nil {
+		for i := range g.Nodes {
+			fmt.Fprintf(&sb, "  n%d [label=%q];\n", i, g.NodeName(i)+"\\n"+g.Nodes[i].Op.String())
+		}
+	} else {
+		maxC := 0
+		for _, c := range cluster {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		for c := 0; c <= maxC; c++ {
+			fmt.Fprintf(&sb, "  subgraph cluster_%d {\n    label=\"cluster %d\";\n", c, c)
+			for i := range g.Nodes {
+				if cluster[i] == c {
+					fmt.Fprintf(&sb, "    n%d [label=%q];\n", i, g.NodeName(i)+"\\n"+g.Nodes[i].Op.String())
+				}
+			}
+			fmt.Fprint(&sb, "  }\n")
+		}
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		attrs := ""
+		if e.Dist != 0 {
+			attrs = fmt.Sprintf(" [label=\"d=%d\"]", e.Dist)
+		}
+		if e.Kind == EdgeMem {
+			attrs = " [style=dashed]"
+		}
+		fmt.Fprintf(&sb, "  n%d -> n%d%s;\n", e.Src, e.Dst, attrs)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,169 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4, §5) on the synthetic SPECfp95 suite: the cause breakdown
+// of Fig. 1, the configuration table (Table 1), the IPC comparisons of
+// Fig. 7/8, the II reductions of Fig. 9, the added-instruction counts of
+// Fig. 10, the schedule-length upper bound of Fig. 12, and the §4/§5.2
+// statistics. Each experiment returns a typed result and renders a report
+// table; cmd/paperbench and the root benchmarks drive them.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"clusched/internal/core"
+	"clusched/internal/machine"
+	"clusched/internal/metrics"
+	"clusched/internal/workload"
+)
+
+// Mode selects a pipeline variant for a suite run.
+type Mode int
+
+const (
+	// Baseline is the state-of-the-art scheduler without replication.
+	Baseline Mode = iota
+	// Replication is the paper's technique (§3).
+	Replication
+	// ReplicationZeroLat is replication with the Fig. 12 zero-bus-latency
+	// upper bound.
+	ReplicationZeroLat
+	// ReplicationLength adds the §5.1 schedule-length extension.
+	ReplicationLength
+	// ReplicationMacro swaps in the §5.2 macro-node heuristic.
+	ReplicationMacro
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Baseline:
+		return "baseline"
+	case Replication:
+		return "replication"
+	case ReplicationZeroLat:
+		return "replication+lat0"
+	case ReplicationLength:
+		return "replication+length"
+	case ReplicationMacro:
+		return "replication-macro"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// options maps a mode to pipeline options.
+func (m Mode) options() core.Options {
+	switch m {
+	case Baseline:
+		return core.Options{}
+	case Replication:
+		return core.Options{Replicate: true}
+	case ReplicationZeroLat:
+		return core.Options{Replicate: true, ZeroBusLatency: true}
+	case ReplicationLength:
+		return core.Options{Replicate: true, LengthReplicate: true}
+	case ReplicationMacro:
+		return core.Options{Replicate: true, UseMacroReplication: true}
+	}
+	return core.Options{}
+}
+
+// LoopResult pairs one workload loop with its compilation result.
+type LoopResult struct {
+	Loop   *workload.Loop
+	Result *core.Result
+}
+
+// Cycles returns the loop's modeled total execution cycles over the whole
+// program run.
+func (lr *LoopResult) Cycles() float64 {
+	return lr.Result.Schedule.CyclesFor(lr.Loop.AvgIters) * float64(lr.Loop.Visits)
+}
+
+// SuiteResult is a full-suite compilation under one config and mode.
+type SuiteResult struct {
+	Config  machine.Config
+	Mode    Mode
+	ByBench map[string][]*LoopResult
+	// Failed lists loops that did not schedule (should stay empty).
+	Failed []string
+}
+
+// suiteCache memoizes suite runs: the experiments share config/mode pairs.
+var (
+	suiteMu    sync.Mutex
+	suiteCache = map[string]*SuiteResult{}
+)
+
+// ResetCache drops memoized suite runs so benchmarks measure real work.
+func ResetCache() {
+	suiteMu.Lock()
+	suiteCache = map[string]*SuiteResult{}
+	suiteMu.Unlock()
+}
+
+// RunSuite compiles the whole 678-loop suite for one config and mode,
+// in parallel, with memoization.
+func RunSuite(m machine.Config, mode Mode) *SuiteResult {
+	key := m.Name + "/" + mode.String()
+	suiteMu.Lock()
+	if r, ok := suiteCache[key]; ok {
+		suiteMu.Unlock()
+		return r
+	}
+	suiteMu.Unlock()
+
+	loops := workload.SPECfp95()
+	results := make([]*core.Result, len(loops))
+	errs := make([]error, len(loops))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	opts := mode.options()
+	for i, l := range loops {
+		wg.Add(1)
+		go func(i int, l *workload.Loop) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = core.Compile(l.Graph, m, opts)
+		}(i, l)
+	}
+	wg.Wait()
+
+	sr := &SuiteResult{Config: m, Mode: mode, ByBench: map[string][]*LoopResult{}}
+	for i, l := range loops {
+		if errs[i] != nil {
+			sr.Failed = append(sr.Failed, fmt.Sprintf("%s: %v", l.Graph.Name, errs[i]))
+			continue
+		}
+		sr.ByBench[l.Bench] = append(sr.ByBench[l.Bench], &LoopResult{Loop: l, Result: results[i]})
+	}
+	suiteMu.Lock()
+	suiteCache[key] = sr
+	suiteMu.Unlock()
+	return sr
+}
+
+// BenchIPC computes the IPC of one benchmark: useful dynamic instructions
+// over modeled cycles, aggregated over its loops.
+func BenchIPC(lrs []*LoopResult) float64 {
+	var acc metrics.IPCAccumulator
+	for _, lr := range lrs {
+		acc.Add(lr.Loop.DynamicInstrs(), lr.Cycles())
+	}
+	return acc.IPC()
+}
+
+// IPCByBench returns per-benchmark IPC in presentation order plus the
+// harmonic mean.
+func IPCByBench(sr *SuiteResult) (map[string]float64, float64) {
+	out := map[string]float64{}
+	var vals []float64
+	for _, b := range workload.Benchmarks() {
+		ipc := BenchIPC(sr.ByBench[b])
+		out[b] = ipc
+		vals = append(vals, ipc)
+	}
+	return out, metrics.HarmonicMean(vals)
+}

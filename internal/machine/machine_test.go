@@ -1,0 +1,110 @@
+package machine
+
+import (
+	"testing"
+
+	"clusched/internal/ddg"
+)
+
+func TestParsePaperConfig(t *testing.T) {
+	c, err := Parse("4c2b2l64r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Clusters != 4 || c.Buses != 2 || c.BusLatency != 2 || c.Regs != 16 {
+		t.Errorf("parsed %+v", c)
+	}
+	if c.FU[ddg.ClassInt] != 1 || c.FU[ddg.ClassFP] != 1 || c.FU[ddg.ClassMem] != 1 {
+		t.Errorf("4-cluster FU split = %v, want 1 each (Table 1)", c.FU)
+	}
+	if c.Name != "4c2b2l64r" {
+		t.Errorf("Name = %q", c.Name)
+	}
+
+	c2 := MustParse("2c1b2l64r")
+	if c2.FU[ddg.ClassInt] != 2 {
+		t.Errorf("2-cluster FU split = %v, want 2 each (Table 1)", c2.FU)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "4c2b2l", "3c1b2l64r", "x4c2b2l64r", "4c0b2l64r", "4c2b0l64r", "4c2b2l0r"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded", s)
+		}
+	}
+}
+
+func TestUnified(t *testing.T) {
+	u := Unified(64)
+	if u.Clustered() {
+		t.Error("unified reports clustered")
+	}
+	if u.IssueWidth() != 12 {
+		t.Errorf("unified issue width = %d, want 12", u.IssueWidth())
+	}
+	if u.BusComs(10) != 0 {
+		t.Error("unified has bus bandwidth")
+	}
+	u2, err := Parse("unified")
+	if err != nil || u2.Clusters != 1 {
+		t.Errorf("Parse(unified) = %+v, %v", u2, err)
+	}
+}
+
+func TestIssueWidthConstantAcrossClusterCounts(t *testing.T) {
+	for _, s := range []string{"2c1b2l64r", "4c1b2l64r"} {
+		if w := MustParse(s).IssueWidth(); w != 12 {
+			t.Errorf("%s issue width = %d, want 12", s, w)
+		}
+	}
+}
+
+func TestBusComs(t *testing.T) {
+	// Paper §3.3 example: II=2, one 1-cycle bus => bus_coms = 2.
+	c := MustNew(4, 1, 1, 64)
+	if got := c.BusComs(2); got != 2 {
+		t.Errorf("BusComs(2) = %d, want 2", got)
+	}
+	// 2-cycle bus at II=5: floor(5/2)*1 = 2.
+	c2 := MustParse("4c1b2l64r")
+	if got := c2.BusComs(5); got != 2 {
+		t.Errorf("BusComs(5) = %d, want 2", got)
+	}
+	// 2 buses double it.
+	c3 := MustParse("4c2b2l64r")
+	if got := c3.BusComs(5); got != 4 {
+		t.Errorf("BusComs(5) = %d, want 4", got)
+	}
+}
+
+func TestMinBusIIInvertsBusComs(t *testing.T) {
+	for _, name := range []string{"2c1b2l64r", "4c2b2l64r", "4c2b4l64r", "4c4b4l64r"} {
+		c := MustParse(name)
+		for coms := 0; coms <= 20; coms++ {
+			ii := c.MinBusII(coms)
+			if c.BusComs(ii) < coms {
+				t.Errorf("%s: MinBusII(%d)=%d but BusComs(%d)=%d", name, coms, ii, ii, c.BusComs(ii))
+			}
+			if ii > 1 && c.BusComs(ii-1) >= coms {
+				t.Errorf("%s: MinBusII(%d)=%d not minimal", name, coms, ii)
+			}
+		}
+	}
+}
+
+func TestPaperConfigLists(t *testing.T) {
+	if n := len(PaperConfigs()); n != 6 {
+		t.Errorf("PaperConfigs has %d entries, want 6", n)
+	}
+	if n := len(Fig1Configs()); n != 3 {
+		t.Errorf("Fig1Configs has %d entries, want 3", n)
+	}
+	seen := map[string]bool{}
+	for _, c := range PaperConfigs() {
+		if seen[c.Name] {
+			t.Errorf("duplicate config %s", c.Name)
+		}
+		seen[c.Name] = true
+	}
+}

@@ -1,0 +1,145 @@
+// Package mii computes initiation-interval lower bounds for modulo
+// scheduling: the resource-constrained bound (ResMII), the recurrence-
+// constrained bound (RecMII), and their combination MII = max(ResMII,
+// RecMII) (paper §1, §2.2).
+package mii
+
+import (
+	"clusched/internal/ddg"
+	"clusched/internal/machine"
+)
+
+// ResMII returns the resource-constrained lower bound on the II for graph g
+// on machine m, using the machine's total resources (the tightest bound
+// that is independent of the cluster assignment).
+func ResMII(g *ddg.Graph, m machine.Config) int {
+	counts := g.CountClass()
+	res := 1
+	for cl, n := range counts {
+		total := m.TotalFU(ddg.Class(cl))
+		if total == 0 {
+			if n > 0 {
+				// Unschedulable class; report a huge bound.
+				return 1 << 20
+			}
+			continue
+		}
+		if b := ceilDiv(n, total); b > res {
+			res = b
+		}
+	}
+	return res
+}
+
+// ClusterResII returns the resource-constrained II for one cluster of a
+// homogeneous machine given the per-class operation counts assigned to it.
+func ClusterResII(counts [ddg.NumClasses]int, m machine.Config) int {
+	return ClusterResIIAt(counts, m, 0)
+}
+
+// ClusterResIIAt is ClusterResII for a specific cluster, honoring
+// heterogeneous per-cluster unit counts.
+func ClusterResIIAt(counts [ddg.NumClasses]int, m machine.Config, cluster int) int {
+	res := 1
+	for cl, n := range counts {
+		fu := m.FUAt(cluster, ddg.Class(cl))
+		if fu == 0 {
+			if n > 0 {
+				return 1 << 20
+			}
+			continue
+		}
+		if b := ceilDiv(n, fu); b > res {
+			res = b
+		}
+	}
+	return res
+}
+
+// RecMII returns the recurrence-constrained lower bound: the maximum over
+// all dependence cycles of ceil(totalLatency / totalDistance). It is
+// computed by binary-searching the smallest II for which the constraint
+// graph with edge weights lat − II·dist has no positive-weight cycle.
+func RecMII(g *ddg.Graph) int {
+	lo, hi := 1, 1
+	hasCycle := false
+	for _, comp := range g.SCCs() {
+		if g.IsRecurrence(comp) {
+			hasCycle = true
+			// Any single edge lat with dist d implies II ≥ ceil(lat/d) might
+			// be insufficient for multi-edge cycles; use the sum of
+			// latencies in the component as a safe upper bound.
+			sum := 0
+			inComp := make(map[int]bool, len(comp))
+			for _, v := range comp {
+				inComp[v] = true
+			}
+			for _, v := range comp {
+				for _, eid := range g.Out(v) {
+					e := &g.Edges[eid]
+					if inComp[e.Dst] {
+						sum += e.Lat
+					}
+				}
+			}
+			if sum > hi {
+				hi = sum
+			}
+		}
+	}
+	if !hasCycle {
+		return 1
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if feasibleII(g, mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// MII returns max(ResMII, RecMII).
+func MII(g *ddg.Graph, m machine.Config) int {
+	r := ResMII(g, m)
+	if rec := RecMII(g); rec > r {
+		return rec
+	}
+	return r
+}
+
+// feasibleII reports whether the dependence constraints admit the given II,
+// i.e. the graph with edge weights lat − II·dist has no positive cycle.
+// Bellman-Ford style relaxation on longest paths: if after n passes values
+// still increase, a positive cycle exists.
+func feasibleII(g *ddg.Graph, ii int) bool {
+	n := g.NumNodes()
+	dist := make([]int64, n)
+	for pass := 0; pass < n; pass++ {
+		changed := false
+		for i := range g.Edges {
+			e := &g.Edges[i]
+			w := int64(e.Lat) - int64(e.Dist)*int64(ii)
+			if d := dist[e.Src] + w; d > dist[e.Dst] {
+				dist[e.Dst] = d
+				changed = true
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+	// One more pass: any further improvement proves a positive cycle.
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		w := int64(e.Lat) - int64(e.Dist)*int64(ii)
+		if dist[e.Src]+w > dist[e.Dst] {
+			return false
+		}
+	}
+	return true
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,229 @@
+package mii
+
+import (
+	"math/rand"
+	"testing"
+
+	"clusched/internal/ddg"
+	"clusched/internal/machine"
+)
+
+func chain(t *testing.T, ops ...ddg.OpKind) *ddg.Graph {
+	t.Helper()
+	b := ddg.NewBuilder("chain")
+	prev := -1
+	for _, op := range ops {
+		v := b.Node("", op)
+		if prev >= 0 {
+			b.Edge(prev, v, 0)
+		}
+		prev = v
+	}
+	return b.MustBuild()
+}
+
+func TestResMIIUnified(t *testing.T) {
+	u := machine.Unified(64)
+	// 8 int ops on 4 int FUs => ResMII 2.
+	b := ddg.NewBuilder("g")
+	for i := 0; i < 8; i++ {
+		b.Node("", ddg.OpIAdd)
+	}
+	g := b.MustBuild()
+	if got := ResMII(g, u); got != 2 {
+		t.Errorf("ResMII = %d, want 2", got)
+	}
+}
+
+func TestResMIIClusteredUsesTotalResources(t *testing.T) {
+	c := machine.MustParse("4c1b2l64r") // 1 FU per class per cluster, 4 total
+	b := ddg.NewBuilder("g")
+	for i := 0; i < 8; i++ {
+		b.Node("", ddg.OpFMul)
+	}
+	g := b.MustBuild()
+	if got := ResMII(g, c); got != 2 {
+		t.Errorf("ResMII = %d, want 2 (8 fp ops / 4 total fp FUs)", got)
+	}
+}
+
+func TestClusterResII(t *testing.T) {
+	c := machine.MustParse("4c1b2l64r")
+	var counts [ddg.NumClasses]int
+	counts[ddg.ClassInt] = 3
+	counts[ddg.ClassMem] = 1
+	if got := ClusterResII(counts, c); got != 3 {
+		t.Errorf("ClusterResII = %d, want 3", got)
+	}
+	c2 := machine.MustParse("2c1b2l64r")
+	if got := ClusterResII(counts, c2); got != 2 {
+		t.Errorf("ClusterResII = %d, want 2 (3 int ops on 2 FUs)", got)
+	}
+}
+
+func TestRecMIINoCycle(t *testing.T) {
+	g := chain(t, ddg.OpLoad, ddg.OpFAdd, ddg.OpStore)
+	if got := RecMII(g); got != 1 {
+		t.Errorf("RecMII = %d, want 1", got)
+	}
+}
+
+func TestRecMIISelfLoop(t *testing.T) {
+	// fadd with self dependence at distance 1: II >= 3.
+	b := ddg.NewBuilder("g")
+	a := b.Node("a", ddg.OpFAdd)
+	b.Edge(a, a, 1)
+	g := b.MustBuild()
+	if got := RecMII(g); got != 3 {
+		t.Errorf("RecMII = %d, want 3", got)
+	}
+}
+
+func TestRecMIITwoNodeCycle(t *testing.T) {
+	// fmul(6) -> fadd(3) -> fmul at distance 2: ceil(9/2) = 5.
+	b := ddg.NewBuilder("g")
+	m := b.Node("m", ddg.OpFMul)
+	a := b.Node("a", ddg.OpFAdd)
+	b.Edge(m, a, 0)
+	b.Edge(a, m, 2)
+	g := b.MustBuild()
+	if got := RecMII(g); got != 5 {
+		t.Errorf("RecMII = %d, want 5", got)
+	}
+}
+
+func TestRecMIIPicksWorstCycle(t *testing.T) {
+	b := ddg.NewBuilder("g")
+	// Cycle 1: iadd self-loop dist 1 => 1.
+	x := b.Node("x", ddg.OpIAdd)
+	b.Edge(x, x, 1)
+	// Cycle 2: fdiv(18) self-loop dist 2 => 9.
+	y := b.Node("y", ddg.OpFDiv)
+	b.Edge(y, y, 2)
+	g := b.MustBuild()
+	if got := RecMII(g); got != 9 {
+		t.Errorf("RecMII = %d, want 9", got)
+	}
+}
+
+func TestMIICombines(t *testing.T) {
+	u := machine.Unified(64)
+	b := ddg.NewBuilder("g")
+	a := b.Node("a", ddg.OpFDiv)
+	b.Edge(a, a, 1) // RecMII 18
+	for i := 0; i < 4; i++ {
+		b.Node("", ddg.OpIAdd) // ResMII 1
+	}
+	g := b.MustBuild()
+	if got := MII(g, u); got != 18 {
+		t.Errorf("MII = %d, want 18", got)
+	}
+}
+
+func TestRecMIIMonotoneUnderAddedLatency(t *testing.T) {
+	// Property: adding an edge to a cycle can only increase RecMII.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(6)
+		b := ddg.NewBuilder("g")
+		ids := make([]int, n)
+		ops := ddg.AllOpKinds()
+		for i := range ids {
+			op := ops[rng.Intn(len(ops))]
+			if op == ddg.OpStore {
+				op = ddg.OpFAdd // keep data cycles legal
+			}
+			ids[i] = b.Node("", op)
+		}
+		// Ring with distance 1 on the back edge.
+		for i := 0; i+1 < n; i++ {
+			b.Edge(ids[i], ids[i+1], 0)
+		}
+		b.Edge(ids[n-1], ids[0], 1+rng.Intn(3))
+		g := b.MustBuild()
+		r1 := RecMII(g)
+
+		b2 := ddg.NewBuilder("g2")
+		ids2 := make([]int, n+1)
+		for i := 0; i < n; i++ {
+			ids2[i] = b2.Node("", g.Nodes[i].Op)
+		}
+		ids2[n] = b2.Node("", ddg.OpFDiv)
+		for i := range g.Edges {
+			e := g.Edges[i]
+			b2.Edge(ids2[e.Src], ids2[e.Dst], e.Dist)
+		}
+		// Splice an extra node into the ring: n-1 -> extra -> 0 (dist 0).
+		b2.Edge(ids2[n-1], ids2[n], 0)
+		b2.Edge(ids2[n], ids2[0], 1)
+		g2 := b2.MustBuild()
+		if r2 := RecMII(g2); r2 < r1 {
+			t.Fatalf("trial %d: RecMII decreased %d -> %d", trial, r1, r2)
+		}
+	}
+}
+
+func TestRecMIIMultiDistanceCycle(t *testing.T) {
+	// Two interleaved cycles sharing nodes: a->b->a (dist 1, lat 3+3=6 ->
+	// bound 6) and a->b->c->a (dist 2, lat 3+3+3=9 -> bound ceil(9/2)=5);
+	// the worst cycle wins.
+	b := ddg.NewBuilder("multi")
+	a := b.Node("a", ddg.OpFAdd)
+	x := b.Node("x", ddg.OpFAdd)
+	c := b.Node("c", ddg.OpFAdd)
+	b.Edge(a, x, 0)
+	b.Edge(x, a, 1)
+	b.Edge(x, c, 0)
+	b.Edge(c, a, 2)
+	g := b.MustBuild()
+	if got := RecMII(g); got != 6 {
+		t.Errorf("RecMII = %d, want 6", got)
+	}
+}
+
+func TestMIIHeterogeneous(t *testing.T) {
+	m, err := machine.NewHetero(1, 2, 32, [][ddg.NumClasses]int{
+		{2, 1, 1},
+		{0, 3, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := ddg.NewBuilder("h")
+	for i := 0; i < 8; i++ {
+		b.Node("", ddg.OpFAdd)
+	}
+	for i := 0; i < 4; i++ {
+		b.Node("", ddg.OpIAdd)
+	}
+	g := b.MustBuild()
+	// 8 fp over 4 total fp units -> 2; 4 int over 2 total int units -> 2.
+	if got := ResMII(g, m); got != 2 {
+		t.Errorf("ResMII = %d, want 2", got)
+	}
+	var counts [ddg.NumClasses]int
+	counts[ddg.ClassInt] = 2
+	if got := ClusterResIIAt(counts, m, 1); got < 1<<19 {
+		t.Errorf("int work on the int-less cluster should be unschedulable, got %d", got)
+	}
+	if got := ClusterResIIAt(counts, m, 0); got != 1 {
+		t.Errorf("ClusterResIIAt(c0) = %d, want 1", got)
+	}
+}
+
+func TestFeasibleIIExactBoundary(t *testing.T) {
+	// fmul(6)+fadd(3) cycle at distance 3: RecMII = 3; II=2 must be
+	// infeasible and II=3 feasible.
+	b := ddg.NewBuilder("b")
+	m := b.Node("m", ddg.OpFMul)
+	a := b.Node("a", ddg.OpFAdd)
+	b.Edge(m, a, 0)
+	b.Edge(a, m, 3)
+	g := b.MustBuild()
+	if feasibleII(g, 2) {
+		t.Error("II=2 reported feasible for a 9/3 cycle")
+	}
+	if !feasibleII(g, 3) {
+		t.Error("II=3 reported infeasible for a 9/3 cycle")
+	}
+}

@@ -1,0 +1,282 @@
+package partition
+
+import (
+	"sort"
+
+	"clusched/internal/ddg"
+	"clusched/internal/machine"
+)
+
+// edgeWeights computes a weight per edge reflecting the execution-time
+// impact of paying a bus latency on it (§2.3.1 step 1, after [1]): edges
+// whose slack cannot absorb the bus latency are critical and get high
+// weight; loop-carried and memory edges get low weight (memory edges never
+// cost a communication at all).
+func edgeWeights(g *ddg.Graph, m machine.Config, ii int) []int {
+	w := make([]int, g.NumEdges())
+	tm := g.ComputeTiming(ii)
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		if e.Kind == ddg.EdgeMem {
+			w[i] = 0
+			continue
+		}
+		slack := tm.Slack(g, e, ii)
+		impact := m.BusLatency - slack
+		if impact < 0 {
+			impact = 0
+		}
+		// Base weight 1 keeps connected nodes attractive to merge even off
+		// the critical path (fewer communications); the impact term
+		// dominates for critical edges.
+		w[i] = 1 + 4*impact
+	}
+	return w
+}
+
+// macroNode is a group of original nodes treated as one unit during
+// coarsening.
+type macroNode struct {
+	members []int
+	counts  [ddg.NumClasses]int
+}
+
+// coarsen groups nodes into at most... as few macro-nodes as matching
+// allows, targeting m.Clusters macro-nodes, by repeated maximum-weight
+// matching over the macro graph. Merges that would overflow a single
+// cluster's capacity at the given ii are rejected, so a macro always fits in
+// one cluster.
+func coarsen(g *ddg.Graph, m machine.Config, ii int, w []int) []macroNode {
+	// Coarsening cap: a macro must fit in at least one cluster, so use the
+	// largest per-class capacity across clusters at this ii.
+	var cap [ddg.NumClasses]int
+	for cl := range cap {
+		for c := 0; c < m.Clusters; c++ {
+			if x := m.FUAt(c, ddg.Class(cl)) * ii; x > cap[cl] {
+				cap[cl] = x
+			}
+		}
+	}
+
+	macros := make([]macroNode, g.NumNodes())
+	macroOf := make([]int, g.NumNodes())
+	for v := range g.Nodes {
+		macros[v] = macroNode{members: []int{v}}
+		macros[v].counts[g.Nodes[v].Op.Class()]++
+		macroOf[v] = v
+	}
+	alive := g.NumNodes()
+
+	type pair struct {
+		a, b, w int
+	}
+	for alive > m.Clusters {
+		// Accumulate inter-macro edge weights.
+		agg := make(map[[2]int]int)
+		for i := range g.Edges {
+			e := &g.Edges[i]
+			ma, mb := macroOf[e.Src], macroOf[e.Dst]
+			if ma == mb {
+				continue
+			}
+			if ma > mb {
+				ma, mb = mb, ma
+			}
+			agg[[2]int{ma, mb}] += w[i]
+		}
+		pairs := make([]pair, 0, len(agg))
+		for k, ww := range agg {
+			pairs = append(pairs, pair{a: k[0], b: k[1], w: ww})
+		}
+		// Deterministic order: weight desc, then IDs.
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].w != pairs[j].w {
+				return pairs[i].w > pairs[j].w
+			}
+			if pairs[i].a != pairs[j].a {
+				return pairs[i].a < pairs[j].a
+			}
+			return pairs[i].b < pairs[j].b
+		})
+		matched := make(map[int]bool)
+		merges := 0
+		for _, p := range pairs {
+			if alive-merges <= m.Clusters {
+				break
+			}
+			if matched[p.a] || matched[p.b] {
+				continue
+			}
+			if !fitsTogether(&macros[p.a], &macros[p.b], cap) {
+				continue
+			}
+			mergeMacros(macros, macroOf, p.a, p.b)
+			matched[p.a], matched[p.b] = true, true
+			merges++
+		}
+		if merges == 0 {
+			// Matching stuck (disconnected graph or capacity limits): merge
+			// smallest compatible pairs regardless of connectivity, else stop.
+			if !forceMerge(macros, macroOf, cap, alive, m.Clusters) {
+				break
+			}
+			merges = 1 // forceMerge merged at least one pair
+			alive = countAlive(macros)
+			continue
+		}
+		alive -= merges
+	}
+
+	// Compact: return only live macros.
+	out := make([]macroNode, 0, m.Clusters)
+	for i := range macros {
+		if macros[i].members != nil {
+			out = append(out, macros[i])
+		}
+	}
+	return out
+}
+
+func countAlive(macros []macroNode) int {
+	n := 0
+	for i := range macros {
+		if macros[i].members != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func fitsTogether(a, b *macroNode, cap [ddg.NumClasses]int) bool {
+	for cl := range cap {
+		if a.counts[cl]+b.counts[cl] > cap[cl] {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeMacros folds macro b into macro a; b becomes dead.
+func mergeMacros(macros []macroNode, macroOf []int, a, b int) {
+	for _, v := range macros[b].members {
+		macroOf[v] = a
+	}
+	macros[a].members = append(macros[a].members, macros[b].members...)
+	for cl := range macros[a].counts {
+		macros[a].counts[cl] += macros[b].counts[cl]
+	}
+	macros[b] = macroNode{}
+}
+
+// forceMerge merges the two smallest capacity-compatible macros; returns
+// false when no pair fits (coarsening must stop).
+func forceMerge(macros []macroNode, macroOf []int, cap [ddg.NumClasses]int, alive, want int) bool {
+	live := make([]int, 0, alive)
+	for i := range macros {
+		if macros[i].members != nil {
+			live = append(live, i)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool {
+		return len(macros[live[i]].members) < len(macros[live[j]].members)
+	})
+	for i := 0; i < len(live); i++ {
+		for j := i + 1; j < len(live); j++ {
+			if fitsTogether(&macros[live[i]], &macros[live[j]], cap) {
+				mergeMacros(macros, macroOf, live[i], live[j])
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// assignMacros places macro-nodes onto clusters: largest first, each to a
+// cluster with spare capacity at the given ii, preferring connectivity to
+// already-placed neighbors and per-class balance.
+func assignMacros(g *ddg.Graph, m machine.Config, ii int, macros []macroNode, w []int) *Assignment {
+	capacity := make([][ddg.NumClasses]int, m.Clusters)
+	for c := 0; c < m.Clusters; c++ {
+		for cl := range capacity[c] {
+			capacity[c][cl] = m.FUAt(c, ddg.Class(cl)) * ii
+		}
+	}
+	a := &Assignment{Cluster: make([]int, g.NumNodes()), K: m.Clusters}
+	macroOf := make([]int, g.NumNodes())
+	for mi := range macros {
+		for _, v := range macros[mi].members {
+			macroOf[v] = mi
+		}
+	}
+	order := make([]int, len(macros))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		li, lj := len(macros[order[i]].members), len(macros[order[j]].members)
+		if li != lj {
+			return li > lj
+		}
+		return order[i] < order[j]
+	})
+
+	clusterOf := make([]int, len(macros))
+	for i := range clusterOf {
+		clusterOf[i] = -1
+	}
+	loads := make([][ddg.NumClasses]int, m.Clusters)
+
+	for _, mi := range order {
+		bestC := 0
+		bestKey := [3]int{1 << 30, 1 << 30, 1 << 30}
+		for c := 0; c < m.Clusters; c++ {
+			// Capacity overflow this placement would cause (op units).
+			overflow := 0
+			load := 0
+			for cl := range loads[c] {
+				after := loads[c][cl] + macros[mi].counts[cl]
+				if ex := after - capacity[c][cl]; ex > 0 {
+					overflow += ex
+				}
+				if fu := m.FUAt(c, ddg.Class(cl)); fu > 0 {
+					inII := (after + fu - 1) / fu
+					if inII > load {
+						load = inII
+					}
+				}
+			}
+			// Connectivity to macros already in c.
+			conn := 0
+			for _, v := range macros[mi].members {
+				for _, eid := range g.Out(v) {
+					e := &g.Edges[eid]
+					if other := macroOf[e.Dst]; other != mi && clusterOf[other] == c {
+						conn += w[eid]
+					}
+				}
+				for _, eid := range g.In(v) {
+					e := &g.Edges[eid]
+					if other := macroOf[e.Src]; other != mi && clusterOf[other] == c {
+						conn += w[eid]
+					}
+				}
+			}
+			// Fit first (never overflow a cluster when an alternative
+			// exists), then connectivity, then balance; deterministic.
+			key := [3]int{overflow, -conn, load*m.Clusters + c}
+			if key[0] < bestKey[0] ||
+				(key[0] == bestKey[0] && (key[1] < bestKey[1] ||
+					(key[1] == bestKey[1] && key[2] < bestKey[2]))) {
+				bestKey, bestC = key, c
+			}
+		}
+		clusterOf[mi] = bestC
+		for cl := range loads[bestC] {
+			loads[bestC][cl] += macros[mi].counts[cl]
+		}
+		for _, v := range macros[mi].members {
+			a.Cluster[v] = bestC
+		}
+	}
+	return a
+}

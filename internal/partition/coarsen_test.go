@@ -1,0 +1,112 @@
+package partition
+
+import (
+	"testing"
+
+	"clusched/internal/ddg"
+	"clusched/internal/machine"
+)
+
+func TestEdgeWeightsCriticalEdgesHeavier(t *testing.T) {
+	// Critical-path edges must outweigh slack-rich edges so the matcher
+	// keeps critical producer/consumer pairs together.
+	b := ddg.NewBuilder("w")
+	l := b.Node("l", ddg.OpLoad)
+	long := b.Node("long", ddg.OpFDiv) // 18-cycle arm
+	short := b.Node("short", ddg.OpIAdd)
+	join := b.Node("join", ddg.OpFAdd)
+	b.Edge(l, long, 0)
+	b.Edge(l, short, 0)
+	b.Edge(long, join, 0)
+	b.Edge(short, join, 0)
+	g := b.MustBuild()
+	m := machine.MustParse("2c1b2l64r")
+	w := edgeWeights(g, m, 4)
+	var wLong, wShort int
+	for i := range g.Edges {
+		switch g.Edges[i].Dst {
+		case join:
+			if g.Edges[i].Src == long {
+				wLong = w[i]
+			} else {
+				wShort = w[i]
+			}
+		}
+	}
+	if wLong <= wShort {
+		t.Errorf("critical edge weight %d not above slack-rich edge %d", wLong, wShort)
+	}
+}
+
+func TestEdgeWeightsMemEdgesZero(t *testing.T) {
+	b := ddg.NewBuilder("m")
+	s := b.Node("s", ddg.OpStore)
+	l := b.Node("l", ddg.OpLoad)
+	b.MemEdge(s, l, 1) // next iteration's load waits for this store
+	x := b.Node("x", ddg.OpFAdd)
+	b.Edge(l, x, 0)
+	b.Edge(x, s, 0)
+	g := b.MustBuild()
+	m := machine.MustParse("2c1b2l64r")
+	w := edgeWeights(g, m, 4)
+	for i := range g.Edges {
+		if g.Edges[i].Kind == ddg.EdgeMem && w[i] != 0 {
+			t.Errorf("memory edge has weight %d, want 0 (never costs a communication)", w[i])
+		}
+	}
+}
+
+func TestCoarsenRespectsCapacity(t *testing.T) {
+	// 16 fp nodes in one connected blob on a machine with 2 fp units per
+	// cluster at ii=4: no macro may exceed 8 fp ops.
+	b := ddg.NewBuilder("cap")
+	prev := -1
+	for i := 0; i < 16; i++ {
+		v := b.Node("", ddg.OpFAdd)
+		if prev >= 0 {
+			b.Edge(prev, v, 0)
+		}
+		prev = v
+	}
+	g := b.MustBuild()
+	m := machine.MustParse("2c1b2l64r")
+	w := edgeWeights(g, m, 4)
+	macros := coarsen(g, m, 4, w)
+	for _, mac := range macros {
+		if mac.counts[ddg.ClassFP] > 8 {
+			t.Errorf("macro with %d fp ops exceeds cluster capacity 8", mac.counts[ddg.ClassFP])
+		}
+	}
+	total := 0
+	for _, mac := range macros {
+		total += len(mac.members)
+	}
+	if total != g.NumNodes() {
+		t.Errorf("macros cover %d of %d nodes", total, g.NumNodes())
+	}
+}
+
+func TestCoarsenDisconnectedComponents(t *testing.T) {
+	// More components than clusters: forceMerge must still converge and
+	// cover everything.
+	b := ddg.NewBuilder("disc")
+	for i := 0; i < 7; i++ {
+		l := b.Node("", ddg.OpLoad)
+		f := b.Node("", ddg.OpFAdd)
+		b.Edge(l, f, 0)
+	}
+	g := b.MustBuild()
+	m := machine.MustParse("2c1b2l64r")
+	w := edgeWeights(g, m, 8)
+	macros := coarsen(g, m, 8, w)
+	total := 0
+	for _, mac := range macros {
+		total += len(mac.members)
+	}
+	if total != g.NumNodes() {
+		t.Fatalf("macros cover %d of %d nodes", total, g.NumNodes())
+	}
+	if len(macros) > 7 {
+		t.Errorf("no coarsening happened: %d macros", len(macros))
+	}
+}

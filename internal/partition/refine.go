@@ -1,0 +1,215 @@
+package partition
+
+import (
+	"clusched/internal/ddg"
+	"clusched/internal/machine"
+	"clusched/internal/mii"
+)
+
+// refine improves the assignment in place by greedy single-node moves
+// (§2.3.1 step 2). A move is accepted when it strictly improves the score
+// (inducedII, communications, weighted cut) lexicographically. Several
+// passes run until a pass makes no move.
+func refine(g *ddg.Graph, m machine.Config, ii int, a *Assignment, w []int) {
+	const maxPasses = 8
+	st := newRefineState(g, m, a, w)
+	st.targetII = ii
+	for pass := 0; pass < maxPasses; pass++ {
+		moved := false
+		for v := range g.Nodes {
+			cur := a.Cluster[v]
+			before := st.score()
+			bestC, bestScore := cur, before
+			for c := 0; c < a.K; c++ {
+				if c == cur {
+					continue
+				}
+				st.move(v, c)
+				if s := st.score(); s.less(bestScore) {
+					bestScore, bestC = s, c
+				}
+				st.move(v, cur)
+			}
+			if bestC != cur {
+				st.move(v, bestC)
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+}
+
+// score orders candidate partitions: first by how far any cluster's
+// resource requirement overflows the current II target (an overfull cluster
+// can never be scheduled at this II, no matter what the bus does), then by
+// the II the partition induces (resources and bus), then by communication
+// count, then by the weighted cut (a proxy for critical-path damage).
+type score struct {
+	resOverflow int
+	inducedII   int
+	coms        int
+	wcut        int
+}
+
+func (s score) less(o score) bool {
+	if s.resOverflow != o.resOverflow {
+		return s.resOverflow < o.resOverflow
+	}
+	if s.inducedII != o.inducedII {
+		return s.inducedII < o.inducedII
+	}
+	if s.coms != o.coms {
+		return s.coms < o.coms
+	}
+	return s.wcut < o.wcut
+}
+
+// refineState maintains the score incrementally under node moves.
+type refineState struct {
+	g *ddg.Graph
+	m machine.Config
+	a *Assignment
+	w []int
+
+	targetII int
+	counts   []([ddg.NumClasses]int) // per cluster
+	// consIn[v][c] counts data edges from v to consumers in cluster c.
+	consIn [][]int
+	// comm[v] is 1 when v needs a communication.
+	comm    []int8
+	numComs int
+	wcut    int
+}
+
+func newRefineState(g *ddg.Graph, m machine.Config, a *Assignment, w []int) *refineState {
+	st := &refineState{
+		g: g, m: m, a: a, w: w,
+		counts: make([][ddg.NumClasses]int, a.K),
+		consIn: make([][]int, g.NumNodes()),
+		comm:   make([]int8, g.NumNodes()),
+	}
+	for v := range g.Nodes {
+		st.consIn[v] = make([]int, a.K)
+		st.counts[a.Cluster[v]][g.Nodes[v].Op.Class()]++
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		if e.Kind != ddg.EdgeData {
+			continue
+		}
+		st.consIn[e.Src][a.Cluster[e.Dst]]++
+		if a.Cluster[e.Src] != a.Cluster[e.Dst] {
+			st.wcut += w[i]
+		}
+	}
+	for v := range g.Nodes {
+		st.comm[v] = st.commBit(v)
+		st.numComs += int(st.comm[v])
+	}
+	return st
+}
+
+func (st *refineState) commBit(v int) int8 {
+	if st.g.Nodes[v].Op.IsStore() {
+		return 0
+	}
+	home := st.a.Cluster[v]
+	for c, n := range st.consIn[v] {
+		if c != home && n > 0 {
+			return 1
+		}
+	}
+	return 0
+}
+
+// move relocates v to cluster c, updating all incremental state.
+func (st *refineState) move(v, c int) {
+	old := st.a.Cluster[v]
+	if old == c {
+		return
+	}
+	cl := st.g.Nodes[v].Op.Class()
+	st.counts[old][cl]--
+	st.counts[c][cl]++
+	st.a.Cluster[v] = c
+
+	// Cut and producer-comm updates for edges incident to v.
+	for _, eid := range st.g.Out(v) {
+		e := &st.g.Edges[eid]
+		if e.Kind != ddg.EdgeData {
+			continue
+		}
+		wasCross := old != st.a.Cluster[e.Dst]
+		isCross := c != st.a.Cluster[e.Dst]
+		if e.Src == e.Dst {
+			wasCross, isCross = false, false
+		}
+		if wasCross != isCross {
+			if isCross {
+				st.wcut += st.w[eid]
+			} else {
+				st.wcut -= st.w[eid]
+			}
+		}
+	}
+	for _, eid := range st.g.In(v) {
+		e := &st.g.Edges[eid]
+		if e.Kind != ddg.EdgeData || e.Src == v {
+			continue
+		}
+		p := e.Src
+		pc := st.a.Cluster[p]
+		st.consIn[p][old]--
+		st.consIn[p][c]++
+		wasCross := pc != old
+		isCross := pc != c
+		if wasCross != isCross {
+			if isCross {
+				st.wcut += st.w[eid]
+			} else {
+				st.wcut -= st.w[eid]
+			}
+		}
+		st.updateComm(p)
+	}
+	// Self-loops: consIn[v] counts v's own consumers including itself.
+	for _, eid := range st.g.Out(v) {
+		e := &st.g.Edges[eid]
+		if e.Kind == ddg.EdgeData && e.Dst == v {
+			st.consIn[v][old]--
+			st.consIn[v][c]++
+		}
+	}
+	st.updateComm(v)
+}
+
+func (st *refineState) updateComm(v int) {
+	nb := st.commBit(v)
+	st.numComs += int(nb) - int(st.comm[v])
+	st.comm[v] = nb
+}
+
+func (st *refineState) score() score {
+	res := 1
+	over := 0
+	for c := range st.counts {
+		if r := mii.ClusterResIIAt(st.counts[c], st.m, c); r > res {
+			res = r
+		}
+		// Overflow is measured in operation units (not ceil'd II units) so
+		// that every single-node move out of an overfull cluster strictly
+		// improves the score — ceil'd units plateau between moves.
+		for cl, n := range st.counts[c] {
+			if ex := n - st.m.FUAt(c, ddg.Class(cl))*st.targetII; ex > 0 {
+				over += ex
+			}
+		}
+	}
+	induced := res
+	if b := st.m.MinBusII(st.numComs); b > induced {
+		induced = b
+	}
+	return score{resOverflow: over, inducedII: induced, coms: st.numComs, wcut: st.wcut}
+}

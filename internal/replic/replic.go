@@ -1,0 +1,319 @@
+// Package replic implements the paper's contribution: selective instruction
+// replication that removes inter-cluster communications from a partitioned
+// modulo-scheduled loop (§3). For each communicated value it computes the
+// replication subgraph (the minimal ancestor set that must be copied into
+// the consuming clusters, Fig. 4), the original instructions that die once
+// the communication disappears (Fig. 5), and a resource-pressure weight
+// (§3.3); subgraphs are replicated greedily, cheapest first, until the bus
+// is no longer oversubscribed, recomputing candidates after every step
+// (§3.4). It also provides the schedule-length extension of §5.1 and the
+// macro-node alternative of §5.2 as an ablation.
+package replic
+
+import (
+	"sort"
+
+	"clusched/internal/ddg"
+	"clusched/internal/machine"
+	"clusched/internal/sched"
+)
+
+// Candidate is one communicated value together with everything needed to
+// decide whether to remove it by replication.
+type Candidate struct {
+	// Com is the node whose value is communicated.
+	Com int
+	// Targets are the clusters the subgraph must be replicated into:
+	// consumer clusters lacking an instance of Com.
+	Targets sched.ClusterSet
+	// Subgraph is the minimal set of nodes to replicate (Fig. 4), Com
+	// included. AddTo[i] lists the clusters node Subgraph[i] is actually
+	// missing from (already-present replicas are not duplicated).
+	Subgraph []int
+	AddTo    []sched.ClusterSet
+	// Removable lists original instructions in Com's home cluster that die
+	// if the communication is removed (Fig. 5).
+	Removable []int
+	// Weight is the §3.3 resource-pressure estimate; lower is better.
+	Weight float64
+}
+
+// subgraphOf computes the replication subgraph of com (Fig. 4): the upward
+// closure over data parents, cutting at nodes whose own value is already
+// communicated (available everywhere via the broadcast bus) and at nodes
+// already replicated in every target cluster.
+func subgraphOf(p *sched.Placement, com int, targets sched.ClusterSet) ([]int, []sched.ClusterSet) {
+	g := p.G
+	inSub := map[int]bool{com: true}
+	subgraph := []int{com}
+	var candidates []int
+	candidates = g.DataPreds(com, candidates)
+	for len(candidates) > 0 {
+		v := candidates[len(candidates)-1]
+		candidates = candidates[:len(candidates)-1]
+		if inSub[v] || p.NeedsComm(v) {
+			continue
+		}
+		if targets.Minus(p.Replicas[v]).Empty() {
+			// Already replicated everywhere it is needed; its inputs are
+			// wired up wherever it lives.
+			continue
+		}
+		inSub[v] = true
+		subgraph = append(subgraph, v)
+		candidates = g.DataPreds(v, candidates)
+	}
+	sort.Ints(subgraph)
+	addTo := make([]sched.ClusterSet, len(subgraph))
+	for i, v := range subgraph {
+		addTo[i] = targets.Minus(p.Replicas[v])
+	}
+	return subgraph, addTo
+}
+
+// removableOf computes the instructions that can be removed from com's home
+// cluster once the communication of com is replaced by replication (Fig. 5):
+// com itself if it has no surviving local consumer, then transitively its
+// same-cluster parents whose local consumers all died. Nodes that still
+// communicate their own value cannot be removed (they feed the bus; they
+// belong to a different replication subgraph).
+func removableOf(p *sched.Placement, com int) []int {
+	g := p.G
+	home := p.Home[com]
+	removable := map[int]bool{}
+	candidates := []int{com}
+	var succs, preds []int
+	for len(candidates) > 0 {
+		v := candidates[len(candidates)-1]
+		candidates = candidates[:len(candidates)-1]
+		if removable[v] {
+			continue
+		}
+		if v != com && p.NeedsComm(v) {
+			continue // still the bus source for its own value
+		}
+		blocked := false
+		succs = g.DataSuccs(v, succs[:0])
+		for _, w := range succs {
+			if w == v {
+				continue
+			}
+			if p.Replicas[w].Has(home) && !removable[w] {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		removable[v] = true
+		preds = g.DataPreds(v, preds[:0])
+		for _, u := range preds {
+			if u != v && p.Home[u] == home && p.Replicas[u].Has(home) {
+				candidates = append(candidates, u)
+			}
+		}
+	}
+	out := make([]int, 0, len(removable))
+	for v := range removable {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// weigh computes the §3.3 weight of a candidate: for every instance the
+// replication adds, (usage + extra_ops)/(available·II), divided by the
+// number of candidate subgraphs that benefit from that same copy; minus
+// 1/(available·II) for every instruction the replication kills. usage/extra
+// are resolved per functional-unit class.
+func weigh(p *sched.Placement, m machine.Config, ii int, cand *Candidate, all []*Candidate) float64 {
+	counts := p.ClassCounts()
+	// extraOps[class][cluster] for this subgraph.
+	var extraOps [ddg.NumClasses][32]int
+	for i, v := range cand.Subgraph {
+		cl := p.G.Nodes[v].Op.Class()
+		for _, c := range cand.AddTo[i].Clusters() {
+			extraOps[cl][c]++
+		}
+	}
+	w := 0.0
+	for i, v := range cand.Subgraph {
+		cl := p.G.Nodes[v].Op.Class()
+		for _, c := range cand.AddTo[i].Clusters() {
+			avail := float64(m.FUAt(c, cl) * ii)
+			if avail == 0 {
+				return 1e18
+			}
+			term := (float64(counts[c][cl]) + float64(extraOps[cl][c])) / avail
+			share := 0
+			for _, other := range all {
+				if other.sharesCopy(v, c) {
+					share++
+				}
+			}
+			if share < 1 {
+				share = 1
+			}
+			w += term / float64(share)
+		}
+	}
+	home := p.Home[cand.Com]
+	for _, r := range cand.Removable {
+		cl := p.G.Nodes[r].Op.Class()
+		if avail := float64(m.FUAt(home, cl) * ii); avail > 0 {
+			w -= 1 / avail
+		}
+	}
+	return w
+}
+
+// sharesCopy reports whether this candidate also wants a copy of node v in
+// cluster c.
+func (c *Candidate) sharesCopy(v, cluster int) bool {
+	for i, u := range c.Subgraph {
+		if u == v {
+			return c.AddTo[i].Has(cluster)
+		}
+	}
+	return false
+}
+
+// Candidates computes the full candidate set for the current placement:
+// one per communicated value, with subgraphs, removable sets and weights.
+func Candidates(p *sched.Placement, m machine.Config, ii int) []*Candidate {
+	var cands []*Candidate
+	for _, com := range p.CommNodes() {
+		targets := p.CommTargets(com)
+		sub, addTo := subgraphOf(p, com, targets)
+		cands = append(cands, &Candidate{
+			Com:       com,
+			Targets:   targets,
+			Subgraph:  sub,
+			AddTo:     addTo,
+			Removable: removableOf(p, com),
+		})
+	}
+	for _, c := range cands {
+		c.Weight = weigh(p, m, ii, c, cands)
+	}
+	return cands
+}
+
+// feasible reports whether replicating the candidate keeps every target
+// cluster's per-class resource II within ii (the no-over-replication guard:
+// replication must never be the reason the II grows, §3).
+func feasible(p *sched.Placement, m machine.Config, ii int, cand *Candidate) bool {
+	counts := p.ClassCounts()
+	for i, v := range cand.Subgraph {
+		cl := p.G.Nodes[v].Op.Class()
+		for _, c := range cand.AddTo[i].Clusters() {
+			counts[c][cl]++
+		}
+	}
+	home := p.Home[cand.Com]
+	for _, r := range cand.Removable {
+		counts[home][p.G.Nodes[r].Op.Class()]--
+	}
+	for c := range counts {
+		for cl, n := range counts[c] {
+			fu := m.FUAt(c, ddg.Class(cl))
+			if fu == 0 {
+				if n > 0 {
+					return false
+				}
+				continue
+			}
+			if (n+fu-1)/fu > ii {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// apply performs the replication: adds the missing replicas and removes the
+// dead originals from the home cluster.
+func apply(p *sched.Placement, cand *Candidate) {
+	for i, v := range cand.Subgraph {
+		p.Replicas[v] = p.Replicas[v].Union(cand.AddTo[i])
+	}
+	home := p.Home[cand.Com]
+	for _, r := range cand.Removable {
+		if p.Replicas[r].Count() > 1 {
+			p.Replicas[r] = p.Replicas[r].Remove(home)
+		}
+	}
+}
+
+// Stats summarizes what a replication run did.
+type Stats struct {
+	// CommsBefore and CommsAfter count communicated values around the run.
+	CommsBefore, CommsAfter int
+	// Replicated counts instances added, by class; Removed counts original
+	// instructions deleted.
+	Replicated [ddg.NumClasses]int
+	Removed    int
+	// Steps is the number of subgraph replications performed.
+	Steps int
+}
+
+// RemovedComms returns how many communications the run eliminated.
+func (s Stats) RemovedComms() int { return s.CommsBefore - s.CommsAfter }
+
+// TotalReplicated sums replicated instances across classes.
+func (s Stats) TotalReplicated() int {
+	t := 0
+	for _, n := range s.Replicated {
+		t += n
+	}
+	return t
+}
+
+// Run is the main replication heuristic (§3.3): while the partition implies
+// more communications than the buses can carry at the given II
+// (extra_coms > 0), replicate the cheapest feasible subgraph and recompute.
+// It returns the statistics and whether the bus overload was fully
+// resolved; the placement is mutated in place. When it returns false the
+// caller must increase the II (and should discard the placement).
+func Run(p *sched.Placement, m machine.Config, ii int) (Stats, bool) {
+	var st Stats
+	st.CommsBefore = p.Comms()
+	st.CommsAfter = st.CommsBefore
+	if !m.Clustered() {
+		return st, true
+	}
+	for {
+		coms := p.Comms()
+		st.CommsAfter = coms
+		extra := coms - m.BusComs(ii)
+		if extra <= 0 {
+			return st, true
+		}
+		cands := Candidates(p, m, ii)
+		sort.SliceStable(cands, func(i, j int) bool {
+			if cands[i].Weight != cands[j].Weight {
+				return cands[i].Weight < cands[j].Weight
+			}
+			return cands[i].Com < cands[j].Com
+		})
+		applied := false
+		for _, cand := range cands {
+			if !feasible(p, m, ii, cand) {
+				continue
+			}
+			for i := range cand.Subgraph {
+				st.Replicated[p.G.Nodes[cand.Subgraph[i]].Op.Class()] += cand.AddTo[i].Count()
+			}
+			st.Removed += len(cand.Removable)
+			apply(p, cand)
+			st.Steps++
+			applied = true
+			break
+		}
+		if !applied {
+			st.CommsAfter = p.Comms()
+			return st, false
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package sched
+
+import (
+	"fmt"
+
+	"clusched/internal/ddg"
+	"clusched/internal/machine"
+)
+
+// Instance is one schedulable operation: an original node placed in a
+// cluster, a replica of it in another cluster, or a copy operation carrying
+// a communicated value over a bus.
+type Instance struct {
+	// Orig is the original DDG node: the executed operation, or for copies
+	// the node whose value is transported.
+	Orig int
+	// Cluster is the executing cluster. For copies it is the home cluster
+	// of the value (the bus reads there and broadcasts everywhere).
+	Cluster int
+	// IsCopy marks bus copy operations.
+	IsCopy bool
+}
+
+// Op returns the operation kind the instance executes.
+func (in Instance) Op(g *ddg.Graph) ddg.OpKind {
+	if in.IsCopy {
+		return ddg.OpCopy
+	}
+	return g.Nodes[in.Orig].Op
+}
+
+// IEdge is a dependence between instances.
+type IEdge struct {
+	Src, Dst int32
+	Lat      int32
+	Dist     int32
+	// OrderLat is the latency used for priority ordering. It equals Lat
+	// except in zero-bus-latency mode, where copies schedule with Lat 0 but
+	// are still ordered as if they had the real bus latency — otherwise
+	// consumers can be placed before their copies and close their windows.
+	OrderLat int32
+	// Data marks register dependences (they define value lifetimes); memory
+	// ordering edges have Data false.
+	Data bool
+}
+
+// IGraph is the expanded, per-instance dependence graph the scheduler works
+// on.
+type IGraph struct {
+	// G is the source loop; M the machine.
+	G *ddg.Graph
+	M machine.Config
+	// P is the placement the graph was expanded from.
+	P *Placement
+	// Inst lists all instances; Edges all dependences.
+	Inst  []Instance
+	Edges []IEdge
+	// CopyIdx[v] is the index of v's copy instance, or -1.
+	CopyIdx []int32
+
+	out, in  [][]int32 // adjacency: edge indices
+	instIdx  []int32   // flattened [node*K + cluster] -> instance index or -1
+	commLat  int       // effective bus latency used for dependence timing
+	busSlots int       // cycles a copy occupies a bus (real latency)
+}
+
+// BuildIGraph expands a placement into an instance graph. When zeroBusLat
+// is true, copies still occupy the bus for the machine's real latency (so
+// the bus-pressure impact on the II is preserved) but contribute zero
+// dependence latency; this is the Fig. 12 upper-bound mode (§5.1).
+func BuildIGraph(p *Placement, m machine.Config, zeroBusLat bool) (*IGraph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := p.G
+	ig := &IGraph{
+		G: g, M: m, P: p,
+		CopyIdx:  make([]int32, g.NumNodes()),
+		instIdx:  make([]int32, g.NumNodes()*p.K),
+		commLat:  m.BusLatency,
+		busSlots: m.BusLatency,
+	}
+	if zeroBusLat {
+		ig.commLat = 0
+	}
+	for i := range ig.instIdx {
+		ig.instIdx[i] = -1
+	}
+	for v := range g.Nodes {
+		ig.CopyIdx[v] = -1
+		for _, c := range p.Replicas[v].Clusters() {
+			ig.instIdx[v*p.K+c] = int32(len(ig.Inst))
+			ig.Inst = append(ig.Inst, Instance{Orig: v, Cluster: c})
+		}
+	}
+	// Copy instances for communicated values, each fed by the home instance.
+	for v := range g.Nodes {
+		if !p.NeedsComm(v) {
+			continue
+		}
+		ci := int32(len(ig.Inst))
+		ig.CopyIdx[v] = ci
+		ig.Inst = append(ig.Inst, Instance{Orig: v, Cluster: p.Home[v], IsCopy: true})
+	}
+	ig.out = make([][]int32, len(ig.Inst))
+	ig.in = make([][]int32, len(ig.Inst))
+
+	addEdge := func(src, dst int32, lat, orderLat, dist int, data bool) {
+		id := int32(len(ig.Edges))
+		ig.Edges = append(ig.Edges, IEdge{Src: src, Dst: dst, Lat: int32(lat), OrderLat: int32(orderLat), Dist: int32(dist), Data: data})
+		ig.out[src] = append(ig.out[src], id)
+		ig.in[dst] = append(ig.in[dst], id)
+	}
+
+	// Feed each copy from its home instance.
+	for v := range g.Nodes {
+		if ci := ig.CopyIdx[v]; ci >= 0 {
+			home := ig.InstanceAt(v, p.Home[v])
+			if home < 0 {
+				return nil, fmt.Errorf("sched: communicated node %d lacks home instance", v)
+			}
+			addEdge(home, ci, g.Nodes[v].Op.Latency(), g.Nodes[v].Op.Latency(), 0, true)
+		}
+	}
+
+	// Expand source edges.
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		if e.Kind == ddg.EdgeData {
+			for _, c := range p.Replicas[e.Dst].Clusters() {
+				dst := ig.InstanceAt(e.Dst, c)
+				if src := ig.InstanceAt(e.Src, c); src >= 0 {
+					addEdge(src, dst, e.Lat, e.Lat, e.Dist, true)
+				} else {
+					ci := ig.CopyIdx[e.Src]
+					if ci < 0 {
+						return nil, fmt.Errorf("sched: instance of node %d in cluster %d consumes node %d which is neither local nor communicated", e.Dst, c, e.Src)
+					}
+					addEdge(ci, dst, ig.commLat, m.BusLatency, e.Dist, true)
+				}
+			}
+			continue
+		}
+		// Memory ordering edges: between every pair of instances.
+		for _, c1 := range p.Replicas[e.Src].Clusters() {
+			src := ig.InstanceAt(e.Src, c1)
+			for _, c2 := range p.Replicas[e.Dst].Clusters() {
+				if e.Src == e.Dst && c1 == c2 && e.Dist == 0 {
+					continue
+				}
+				addEdge(src, ig.InstanceAt(e.Dst, c2), e.Lat, e.Lat, e.Dist, false)
+			}
+		}
+	}
+	return ig, nil
+}
+
+// InstanceAt returns the instance index of node v in cluster c, or -1.
+func (ig *IGraph) InstanceAt(v, c int) int32 { return ig.instIdx[v*ig.P.K+c] }
+
+// NumInstances returns the number of instances.
+func (ig *IGraph) NumInstances() int { return len(ig.Inst) }
+
+// NumCopies returns the number of copy instances (communications).
+func (ig *IGraph) NumCopies() int {
+	n := 0
+	for i := range ig.Inst {
+		if ig.Inst[i].IsCopy {
+			n++
+		}
+	}
+	return n
+}
+
+// Latency returns the producer latency of instance i: bus latency for
+// copies (possibly zeroed in upper-bound mode), the operation latency
+// otherwise.
+func (ig *IGraph) Latency(i int32) int {
+	if ig.Inst[i].IsCopy {
+		return ig.commLat
+	}
+	return ig.G.Nodes[ig.Inst[i].Orig].Op.Latency()
+}
+
+// Out and In return edge-index adjacency for instance i.
+func (ig *IGraph) Out(i int32) []int32 { return ig.out[i] }
+
+// In returns the incoming edge indices of instance i.
+func (ig *IGraph) In(i int32) []int32 { return ig.in[i] }
+
+// Name renders a debug name for instance i.
+func (ig *IGraph) Name(i int32) string {
+	in := ig.Inst[i]
+	if in.IsCopy {
+		return fmt.Sprintf("copy(%s)", ig.G.NodeName(in.Orig))
+	}
+	return fmt.Sprintf("%s@c%d", ig.G.NodeName(in.Orig), in.Cluster)
+}

@@ -1,0 +1,72 @@
+package sched
+
+import (
+	"clusched/internal/ddg"
+	"clusched/internal/machine"
+)
+
+// mrt is the modulo reservation table: per cluster and functional-unit
+// class, the number of operations issued in each slot of the II window,
+// plus the bus reservation table. A copy occupies one bus for the full bus
+// latency starting at its issue slot.
+type mrt struct {
+	ii       int
+	m        machine.Config
+	fu       [][]int16 // [cluster][class*ii + slot]
+	bus      []int16   // [slot]
+	busSlots int       // cycles a copy holds a bus
+}
+
+func newMRT(m machine.Config, k, ii int) *mrt {
+	t := &mrt{
+		ii:       ii,
+		m:        m,
+		fu:       make([][]int16, k),
+		bus:      make([]int16, ii),
+		busSlots: m.BusLatency,
+	}
+	if t.busSlots <= 0 {
+		t.busSlots = 1
+	}
+	for c := range t.fu {
+		t.fu[c] = make([]int16, ddg.NumClasses*ii)
+	}
+	return t
+}
+
+func (t *mrt) slot(time int) int {
+	s := time % t.ii
+	if s < 0 {
+		s += t.ii
+	}
+	return s
+}
+
+// canPlace reports whether instance in (operating as op) can issue at the
+// given absolute time.
+func (t *mrt) canPlace(in Instance, op ddg.OpKind, time int) bool {
+	if in.IsCopy {
+		if t.busSlots > t.ii {
+			return false // a copy longer than the II can never fit
+		}
+		for d := 0; d < t.busSlots; d++ {
+			if int(t.bus[t.slot(time+d)]) >= t.m.Buses {
+				return false
+			}
+		}
+		return true
+	}
+	cl := op.Class()
+	return int(t.fu[in.Cluster][int(cl)*t.ii+t.slot(time)]) < t.m.FUAt(in.Cluster, cl)
+}
+
+// place reserves the resources for the instance at the given time.
+func (t *mrt) place(in Instance, op ddg.OpKind, time int) {
+	if in.IsCopy {
+		for d := 0; d < t.busSlots; d++ {
+			t.bus[t.slot(time+d)]++
+		}
+		return
+	}
+	t.fu[in.Cluster][int(op.Class())*t.ii+t.slot(time)]++
+}

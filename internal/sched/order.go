@@ -1,0 +1,490 @@
+package sched
+
+import "sort"
+
+// igTiming computes resource-unaware ASAP/ALAP times for the instance graph
+// at a given II, clamping loop-carried edges the same way ddg.ComputeTiming
+// does.
+type igTiming struct {
+	asap, alap []int
+	length     int
+}
+
+func computeIGTiming(ig *IGraph, ii int) *igTiming {
+	n := ig.NumInstances()
+	t := &igTiming{asap: make([]int, n), alap: make([]int, n)}
+	order := igTopo(ig)
+	relax := func() bool {
+		changed := false
+		for _, v := range order {
+			for _, eid := range ig.out[v] {
+				e := &ig.Edges[eid]
+				eff := int(e.OrderLat) - int(e.Dist)*ii
+				if e.Dist != 0 && eff <= 0 {
+					continue
+				}
+				if tt := t.asap[e.Src] + eff; tt > t.asap[e.Dst] {
+					t.asap[e.Dst] = tt
+					changed = true
+				}
+			}
+		}
+		return changed
+	}
+	for pass := 0; pass < 4; pass++ {
+		if !relax() {
+			break
+		}
+	}
+	for i := range ig.Inst {
+		if l := t.asap[i] + ig.Latency(int32(i)); l > t.length {
+			t.length = l
+		}
+	}
+	for i := range ig.Inst {
+		t.alap[i] = t.length - ig.Latency(int32(i))
+	}
+	for k := len(order) - 1; k >= 0; k-- {
+		v := order[k]
+		for _, eid := range ig.out[v] {
+			e := &ig.Edges[eid]
+			if e.Dist != 0 {
+				continue
+			}
+			if tt := t.alap[e.Dst] - int(e.OrderLat); tt < t.alap[e.Src] {
+				t.alap[e.Src] = tt
+			}
+		}
+	}
+	return t
+}
+
+// igTopo returns a topological order over distance-0 edges of the instance
+// graph. Instances on zero-distance cycles (impossible for valid inputs)
+// are appended at the end so the function is total.
+func igTopo(ig *IGraph) []int32 {
+	n := ig.NumInstances()
+	indeg := make([]int, n)
+	for i := range ig.Edges {
+		if ig.Edges[i].Dist == 0 {
+			indeg[ig.Edges[i].Dst]++
+		}
+	}
+	order := make([]int32, 0, n)
+	queue := make([]int32, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, int32(v))
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, eid := range ig.out[v] {
+			e := &ig.Edges[eid]
+			if e.Dist != 0 {
+				continue
+			}
+			indeg[e.Dst]--
+			if indeg[e.Dst] == 0 {
+				queue = append(queue, e.Dst)
+			}
+		}
+	}
+	if len(order) < n {
+		seen := make([]bool, n)
+		for _, v := range order {
+			seen[v] = true
+		}
+		for v := 0; v < n; v++ {
+			if !seen[v] {
+				order = append(order, int32(v))
+			}
+		}
+	}
+	return order
+}
+
+// igTopoAll returns an order that is topological over the condensation of
+// ALL edges (loop-carried included): SCCs in topological order, members by
+// ASAP time. Under this order a node outside a recurrence only ever sees
+// scheduled predecessors, so its placement window is open upward and a free
+// reservation slot always exists when the II covers the resource counts.
+// It is the robust last-resort order: the dist-0 topological order can
+// strand nodes between a predecessor chain and a successor that a
+// loop-carried forward edge dragged to an incompatible anchor.
+func igTopoAll(ig *IGraph, tm *igTiming) []int32 {
+	comps := igSCCs(ig) // reverse topological order of the condensation
+	order := make([]int32, 0, ig.NumInstances())
+	for i := len(comps) - 1; i >= 0; i-- {
+		comp := comps[i]
+		sort.Slice(comp, func(a, b int) bool {
+			if tm.asap[comp[a]] != tm.asap[comp[b]] {
+				return tm.asap[comp[a]] < tm.asap[comp[b]]
+			}
+			return comp[a] < comp[b]
+		})
+		order = append(order, comp...)
+	}
+	return order
+}
+
+// igSCCs returns strongly connected components of the instance graph over
+// all edges, used to give recurrence instances scheduling priority.
+func igSCCs(ig *IGraph) [][]int32 {
+	n := ig.NumInstances()
+	index := make([]int32, n)
+	lowlink := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var (
+		stack []int32
+		comps [][]int32
+		next  int32
+	)
+	type frame struct {
+		v  int32
+		ei int
+	}
+	var callStack []frame
+	for root := int32(0); root < int32(n); root++ {
+		if index[root] != -1 {
+			continue
+		}
+		callStack = append(callStack[:0], frame{v: root})
+		index[root], lowlink[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			recursed := false
+			for f.ei < len(ig.out[f.v]) {
+				w := ig.Edges[ig.out[f.v][f.ei]].Dst
+				f.ei++
+				if index[w] == -1 {
+					index[w], lowlink[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w})
+					recursed = true
+					break
+				} else if onStack[w] && index[w] < lowlink[f.v] {
+					lowlink[f.v] = index[w]
+				}
+			}
+			if recursed {
+				continue
+			}
+			v := f.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := &callStack[len(callStack)-1]
+				if lowlink[v] < lowlink[p.v] {
+					lowlink[p.v] = lowlink[v]
+				}
+			}
+			if lowlink[v] == index[v] {
+				var comp []int32
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// priorityOrder computes an SMS-style scheduling order (after Llosa et al.
+// [18], which the base scheduler uses): recurrence components form priority
+// groups (tightest first) together with the nodes on paths connecting them
+// to previously ordered groups; each group is ordered by alternating
+// top-down and bottom-up sweeps so that, outside recurrences, a node is
+// placed while only its predecessors or only its successors are scheduled.
+func priorityOrder(ig *IGraph, ii int, tm *igTiming) []int32 {
+	n := ig.NumInstances()
+	if n == 0 {
+		return nil
+	}
+
+	groups := buildGroups(ig)
+	order := make([]int32, 0, n)
+	inOrder := make([]bool, n)
+
+	appendNode := func(v int32) {
+		order = append(order, v)
+		inOrder[v] = true
+	}
+
+	for _, group := range groups {
+		inGroup := make([]bool, n)
+		remaining := 0
+		for _, v := range group {
+			if !inOrder[v] {
+				inGroup[v] = true
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			continue
+		}
+		// Candidate seeds: successors/predecessors of the current order.
+		succSeeds := func() []int32 {
+			var r []int32
+			seen := make(map[int32]bool)
+			for _, v := range order {
+				for _, eid := range ig.out[v] {
+					w := ig.Edges[eid].Dst
+					if inGroup[w] && !inOrder[w] && !seen[w] {
+						seen[w] = true
+						r = append(r, w)
+					}
+				}
+			}
+			return r
+		}
+		predSeeds := func() []int32 {
+			var r []int32
+			seen := make(map[int32]bool)
+			for _, v := range order {
+				for _, eid := range ig.in[v] {
+					w := ig.Edges[eid].Src
+					if inGroup[w] && !inOrder[w] && !seen[w] {
+						seen[w] = true
+						r = append(r, w)
+					}
+				}
+			}
+			return r
+		}
+
+		const (
+			topDown = iota
+			bottomUp
+		)
+		var ready []int32
+		dir := topDown
+		if ready = succSeeds(); len(ready) == 0 {
+			if ready = predSeeds(); len(ready) != 0 {
+				dir = bottomUp
+			} else {
+				// Fresh component: start at its minimum-ASAP node, top-down.
+				var best int32 = -1
+				for v := int32(0); v < int32(n); v++ {
+					if inGroup[v] && !inOrder[v] && (best < 0 || tm.asap[v] < tm.asap[best]) {
+						best = v
+					}
+				}
+				ready = []int32{best}
+			}
+		}
+
+		for remaining > 0 {
+			if len(ready) == 0 {
+				// Switch direction; reseed from the order so far.
+				if dir == topDown {
+					dir = bottomUp
+					ready = predSeeds()
+				} else {
+					dir = topDown
+					ready = succSeeds()
+				}
+				if len(ready) == 0 {
+					// Disconnected remainder of the group.
+					var best int32 = -1
+					for v := int32(0); v < int32(n); v++ {
+						if inGroup[v] && !inOrder[v] && (best < 0 || tm.asap[v] < tm.asap[best]) {
+							best = v
+						}
+					}
+					dir = topDown
+					ready = []int32{best}
+				}
+			}
+			for len(ready) > 0 {
+				// Pick the most critical candidate: top-down favors small
+				// ALAP (high height), bottom-up favors large ASAP (high
+				// depth). Deterministic tie-breaks.
+				bi := 0
+				for i := 1; i < len(ready); i++ {
+					a, b := ready[i], ready[bi]
+					var better bool
+					if dir == topDown {
+						if tm.alap[a] != tm.alap[b] {
+							better = tm.alap[a] < tm.alap[b]
+						} else if tm.asap[a] != tm.asap[b] {
+							better = tm.asap[a] < tm.asap[b]
+						} else {
+							better = a < b
+						}
+					} else {
+						if tm.asap[a] != tm.asap[b] {
+							better = tm.asap[a] > tm.asap[b]
+						} else if tm.alap[a] != tm.alap[b] {
+							better = tm.alap[a] > tm.alap[b]
+						} else {
+							better = a < b
+						}
+					}
+					if better {
+						bi = i
+					}
+				}
+				v := ready[bi]
+				ready = append(ready[:bi], ready[bi+1:]...)
+				if inOrder[v] {
+					continue
+				}
+				appendNode(v)
+				remaining--
+				// Extend the frontier in the current direction.
+				if dir == topDown {
+					for _, eid := range ig.out[v] {
+						w := ig.Edges[eid].Dst
+						if inGroup[w] && !inOrder[w] {
+							ready = append(ready, w)
+						}
+					}
+				} else {
+					for _, eid := range ig.in[v] {
+						w := ig.Edges[eid].Src
+						if inGroup[w] && !inOrder[w] {
+							ready = append(ready, w)
+						}
+					}
+				}
+			}
+		}
+	}
+	return order
+}
+
+// buildGroups partitions the instances into SMS priority groups: one per
+// recurrence component in decreasing tension order, each widened with the
+// nodes on paths connecting it to earlier groups, plus a final group with
+// everything else.
+func buildGroups(ig *IGraph) [][]int32 {
+	n := ig.NumInstances()
+	type recComp struct {
+		nodes   []int32
+		tension int
+	}
+	var recs []recComp
+	for _, comp := range igSCCs(ig) {
+		if len(comp) == 1 {
+			v := comp[0]
+			self := false
+			for _, eid := range ig.out[v] {
+				if ig.Edges[eid].Dst == v {
+					self = true
+				}
+			}
+			if !self {
+				continue
+			}
+		}
+		in := make(map[int32]bool, len(comp))
+		for _, v := range comp {
+			in[v] = true
+		}
+		tension := 0
+		for _, v := range comp {
+			for _, eid := range ig.out[v] {
+				if e := &ig.Edges[eid]; in[e.Dst] {
+					tension += int(e.Lat)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		recs = append(recs, recComp{nodes: comp, tension: tension})
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].tension > recs[j].tension })
+
+	grouped := make([]bool, n)
+	var groups [][]int32
+	var prior []int32
+	for _, rc := range recs {
+		group := append([]int32(nil), rc.nodes...)
+		if len(prior) > 0 {
+			// Nodes on paths between the prior groups and this component.
+			descPrior := reach(ig, prior, false)
+			ancComp := reach(ig, rc.nodes, true)
+			descComp := reach(ig, rc.nodes, false)
+			ancPrior := reach(ig, prior, true)
+			for v := int32(0); v < int32(n); v++ {
+				if grouped[v] {
+					continue
+				}
+				onPath := (descPrior[v] && ancComp[v]) || (descComp[v] && ancPrior[v])
+				inComp := false
+				for _, c := range rc.nodes {
+					if c == v {
+						inComp = true
+					}
+				}
+				if onPath && !inComp {
+					group = append(group, v)
+				}
+			}
+		}
+		for _, v := range group {
+			grouped[v] = true
+		}
+		prior = append(prior, group...)
+		groups = append(groups, group)
+	}
+	var rest []int32
+	for v := int32(0); v < int32(n); v++ {
+		if !grouped[v] {
+			rest = append(rest, v)
+		}
+	}
+	if len(rest) > 0 {
+		groups = append(groups, rest)
+	}
+	return groups
+}
+
+// reach returns the set of nodes reachable from seeds following edges
+// forward (backward when up is true), seeds included.
+func reach(ig *IGraph, seeds []int32, up bool) []bool {
+	n := ig.NumInstances()
+	seen := make([]bool, n)
+	queue := make([]int32, 0, len(seeds))
+	for _, s := range seeds {
+		if !seen[s] {
+			seen[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		adj := ig.out[v]
+		if up {
+			adj = ig.in[v]
+		}
+		for _, eid := range adj {
+			w := ig.Edges[eid].Dst
+			if up {
+				w = ig.Edges[eid].Src
+			}
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return seen
+}

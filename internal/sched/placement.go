@@ -1,0 +1,209 @@
+// Package sched implements the modulo scheduler of the base framework
+// (§2.3.2): given a placement of operations onto clusters (including
+// replicas added by the replication pass), it materializes inter-cluster
+// copy operations, orders nodes SMS-style, and places each operation in a
+// reservation-table slot as close as possible to its scheduled neighbors,
+// without backtracking. It also estimates per-cluster register pressure
+// (MaxLive) and verifies schedules.
+package sched
+
+import (
+	"fmt"
+	"math/bits"
+
+	"clusched/internal/ddg"
+	"clusched/internal/machine"
+	"clusched/internal/partition"
+)
+
+// ClusterSet is a bitmask of cluster indices (machines have at most 32
+// clusters; the paper's have at most 4).
+type ClusterSet uint32
+
+// Has reports whether cluster c is in the set.
+func (s ClusterSet) Has(c int) bool { return s&(1<<uint(c)) != 0 }
+
+// Add returns the set with cluster c included.
+func (s ClusterSet) Add(c int) ClusterSet { return s | 1<<uint(c) }
+
+// Remove returns the set with cluster c excluded.
+func (s ClusterSet) Remove(c int) ClusterSet { return s &^ (1 << uint(c)) }
+
+// Union returns the union of both sets.
+func (s ClusterSet) Union(o ClusterSet) ClusterSet { return s | o }
+
+// Minus returns the clusters of s not in o.
+func (s ClusterSet) Minus(o ClusterSet) ClusterSet { return s &^ o }
+
+// Empty reports whether the set has no clusters.
+func (s ClusterSet) Empty() bool { return s == 0 }
+
+// Count returns the number of clusters in the set.
+func (s ClusterSet) Count() int { return bits.OnesCount32(uint32(s)) }
+
+// Clusters returns the members in increasing order.
+func (s ClusterSet) Clusters() []int {
+	out := make([]int, 0, s.Count())
+	for c := 0; s != 0; c, s = c+1, s>>1 {
+		if s&1 != 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Placement describes where each original operation has instances: its home
+// cluster (from the partitioner) plus any replica clusters added by the
+// replication pass. The home instance may be removed (dead after
+// replication), in which case the home bit is cleared from Replicas.
+type Placement struct {
+	// G is the source loop.
+	G *ddg.Graph
+	// K is the number of clusters.
+	K int
+	// Home[v] is the cluster the partitioner assigned v to.
+	Home []int
+	// Replicas[v] is the set of clusters holding an instance of v. It
+	// initially equals {Home[v]}.
+	Replicas []ClusterSet
+}
+
+// NewPlacement wraps a partitioner assignment into a placement with no
+// replicas.
+func NewPlacement(g *ddg.Graph, a *partition.Assignment) *Placement {
+	p := &Placement{
+		G:        g,
+		K:        a.K,
+		Home:     append([]int(nil), a.Cluster...),
+		Replicas: make([]ClusterSet, g.NumNodes()),
+	}
+	for v, c := range p.Home {
+		p.Replicas[v] = ClusterSet(0).Add(c)
+	}
+	return p
+}
+
+// Clone returns a deep copy.
+func (p *Placement) Clone() *Placement {
+	return &Placement{
+		G:        p.G,
+		K:        p.K,
+		Home:     append([]int(nil), p.Home...),
+		Replicas: append([]ClusterSet(nil), p.Replicas...),
+	}
+}
+
+// ConsumerClusters returns the set of clusters containing instances that
+// consume v's value.
+func (p *Placement) ConsumerClusters(v int) ClusterSet {
+	var s ClusterSet
+	for _, eid := range p.G.Out(v) {
+		e := &p.G.Edges[eid]
+		if e.Kind == ddg.EdgeData {
+			s = s.Union(p.Replicas[e.Dst])
+		}
+	}
+	return s
+}
+
+// NeedsComm reports whether v's value must cross clusters: some consumer
+// instance lives in a cluster with no instance of v. Stores produce no
+// register value and never communicate (§3.1).
+func (p *Placement) NeedsComm(v int) bool {
+	if p.G.Nodes[v].Op.IsStore() {
+		return false
+	}
+	return !p.ConsumerClusters(v).Minus(p.Replicas[v]).Empty()
+}
+
+// CommTargets returns the clusters that still need v's value delivered:
+// consumer clusters without an instance of v.
+func (p *Placement) CommTargets(v int) ClusterSet {
+	return p.ConsumerClusters(v).Minus(p.Replicas[v])
+}
+
+// Comms returns the number of values that must be communicated (nof_coms in
+// the paper's notation).
+func (p *Placement) Comms() int {
+	n := 0
+	for v := range p.G.Nodes {
+		if p.NeedsComm(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// CommNodes returns the IDs of nodes whose values must be communicated.
+func (p *Placement) CommNodes() []int {
+	var out []int
+	for v := range p.G.Nodes {
+		if p.NeedsComm(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ClassCounts returns per-cluster, per-class instance counts, counting
+// replicas and excluding removed home instances.
+func (p *Placement) ClassCounts() [][ddg.NumClasses]int {
+	counts := make([][ddg.NumClasses]int, p.K)
+	for v := range p.G.Nodes {
+		cl := p.G.Nodes[v].Op.Class()
+		for _, c := range p.Replicas[v].Clusters() {
+			counts[c][cl]++
+		}
+	}
+	return counts
+}
+
+// ExtraInstances returns, per class, the number of instances beyond one per
+// original node (replication cost), net of removed originals. Negative
+// per-class values are possible when removal outweighs replication for that
+// class.
+func (p *Placement) ExtraInstances() [ddg.NumClasses]int {
+	var extra [ddg.NumClasses]int
+	for v := range p.G.Nodes {
+		extra[p.G.Nodes[v].Op.Class()] += p.Replicas[v].Count() - 1
+	}
+	return extra
+}
+
+// Validate checks structural invariants: every node has at least one
+// instance, and communicated values retain their home instance (the bus
+// source).
+func (p *Placement) Validate() error {
+	for v := range p.G.Nodes {
+		if p.Replicas[v].Empty() {
+			return fmt.Errorf("sched: node %d has no instances", v)
+		}
+		if p.NeedsComm(v) && !p.Replicas[v].Has(p.Home[v]) {
+			return fmt.Errorf("sched: node %d is communicated but its home instance was removed", v)
+		}
+	}
+	return nil
+}
+
+// Machine-facing helpers shared by the scheduler and the replication pass.
+
+// ClusterResIIOf returns the largest per-cluster resource II of the
+// placement on machine m.
+func (p *Placement) ClusterResIIOf(m machine.Config) int {
+	best := 1
+	for c, counts := range p.ClassCounts() {
+		for cl, n := range counts {
+			fu := m.FUAt(c, ddg.Class(cl))
+			if fu == 0 {
+				if n > 0 {
+					return 1 << 20
+				}
+				continue
+			}
+			if r := (n + fu - 1) / fu; r > best {
+				best = r
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,100 @@
+package sched
+
+// computeMaxLive estimates per-cluster register pressure of a modulo
+// schedule: every register value's lifetime (definition to last use,
+// including loop-carried uses II·dist cycles later and copy reads) is
+// folded modulo II; the pressure of a cluster is the maximum number of
+// simultaneously live values across the II slots. Lifetimes longer than II
+// overlap themselves once per started iteration.
+func computeMaxLive(s *Schedule) []int {
+	ig := s.IG
+	ii := s.II
+	pressure := make([][]int, ig.P.K)
+	for c := range pressure {
+		pressure[c] = make([]int, ii)
+	}
+
+	addInterval := func(cluster, def, lastUse int) {
+		if lastUse < def {
+			lastUse = def
+		}
+		length := lastUse - def + 1
+		wraps := length / ii
+		rem := length % ii
+		if wraps > 0 {
+			for slot := range pressure[cluster] {
+				pressure[cluster][slot] += wraps
+			}
+		}
+		start := def % ii
+		if start < 0 {
+			start += ii
+		}
+		for d := 0; d < rem; d++ {
+			pressure[cluster][(start+d)%ii]++
+		}
+	}
+
+	for i := range ig.Inst {
+		in := ig.Inst[i]
+		if !in.IsCopy && ig.G.Nodes[in.Orig].Op.IsStore() {
+			continue // stores produce no register value
+		}
+		def := s.Time[i] + ig.Latency(int32(i))
+		// A copy writes the value into every cluster that reads it from the
+		// bus; an ordinary instance writes its own cluster's file. Track the
+		// last use per destination cluster.
+		lastUse := make(map[int]int)
+		for _, eid := range ig.out[i] {
+			e := &ig.Edges[eid]
+			if !e.Data {
+				continue
+			}
+			dst := ig.Inst[e.Dst]
+			use := s.Time[e.Dst] + ii*int(e.Dist)
+			// The consuming "cluster" for pressure purposes: copies read in
+			// the producer's home cluster.
+			c := dst.Cluster
+			if u, ok := lastUse[c]; !ok || use > u {
+				lastUse[c] = use
+			}
+		}
+		if in.IsCopy {
+			// The value occupies a register in each destination cluster from
+			// bus delivery until its last local use.
+			for c, use := range lastUse {
+				addInterval(c, def, use)
+			}
+			continue
+		}
+		// Ordinary instance: pressure in its own cluster from definition to
+		// the latest local read (consumers in this cluster plus copies,
+		// which read here).
+		last, any := def, false
+		for c, use := range lastUse {
+			if c == in.Cluster {
+				any = true
+				if use > last {
+					last = use
+				}
+			}
+		}
+		if !any {
+			// Value produced but never read in this cluster (e.g. all its
+			// consumers are fed by a copy chain elsewhere): hold it for one
+			// cycle.
+			last = def
+		}
+		addInterval(in.Cluster, def, last)
+	}
+
+	maxLive := make([]int, ig.P.K)
+	for c := range pressure {
+		for _, p := range pressure[c] {
+			if p > maxLive[c] {
+				maxLive[c] = p
+			}
+		}
+	}
+	return maxLive
+}

@@ -1,0 +1,287 @@
+package sched
+
+import (
+	"fmt"
+
+	"clusched/internal/machine"
+)
+
+// FailKind classifies why a schedule attempt at some II failed; the driver
+// uses it to attribute II increases (paper Fig. 1).
+type FailKind int
+
+const (
+	// FailNone means success.
+	FailNone FailKind = iota
+	// FailWindow means a node's dependence window closed: its scheduled
+	// predecessors and successors left no legal slot. This is the
+	// recurrence-driven failure mode.
+	FailWindow
+	// FailResource means every slot in the node's window was occupied
+	// (functional units or buses full).
+	FailResource
+	// FailRegisters means the schedule exists but some cluster's MaxLive
+	// exceeds its register file.
+	FailRegisters
+)
+
+// String names the failure kind.
+func (k FailKind) String() string {
+	switch k {
+	case FailNone:
+		return "none"
+	case FailWindow:
+		return "window"
+	case FailResource:
+		return "resource"
+	case FailRegisters:
+		return "registers"
+	}
+	return fmt.Sprintf("FailKind(%d)", int(k))
+}
+
+// Error reports a failed schedule attempt.
+type Error struct {
+	Kind FailKind
+	// Inst is the instance that could not be placed (copy instances point
+	// at bus pressure), or -1 for register failures.
+	Inst int32
+	// IsCopy records whether the unplaceable instance was a bus copy.
+	IsCopy bool
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("sched: %s: %s", e.Kind, e.Detail) }
+
+// Schedule is a modulo schedule of an instance graph at a fixed II.
+type Schedule struct {
+	IG *IGraph
+	II int
+	// Time[i] is the absolute issue cycle of instance i within the flat
+	// (single-iteration) schedule; row = Time mod II, stage = Time / II.
+	Time []int
+	// Length is the schedule length of one iteration: max issue + latency.
+	Length int
+	// SC is the stage count, ceil(Length/II).
+	SC int
+	// MaxLive[c] is the register pressure of cluster c.
+	MaxLive []int
+}
+
+// Options tune a schedule attempt.
+type Options struct {
+	// SkipRegisterCheck disables the register-pressure failure (used by
+	// experiments isolating bus effects and by tests).
+	SkipRegisterCheck bool
+	// ForceTopoOrder bypasses the SMS-style priority ordering and schedules
+	// in plain condensation-topological order — the ablation showing what
+	// the swing ordering buys (§2.3.2 / [18]).
+	ForceTopoOrder bool
+}
+
+// Run schedules the instance graph at the given II: first with the
+// SMS-style priority order, and if that fails, once more with a plain
+// topological order (which at sufficiently large II always places every
+// node). On failure the error of the first attempt is returned, as it
+// carries the more meaningful cause.
+func Run(ig *IGraph, ii int, opts Options) (*Schedule, error) {
+	if ii <= 0 {
+		return nil, &Error{Kind: FailWindow, Inst: -1, Detail: "non-positive II"}
+	}
+	tm := computeIGTiming(ig, ii)
+	if opts.ForceTopoOrder {
+		return runWithOrder(ig, ii, igTopoAll(ig, tm), tm, opts)
+	}
+	s, err := runWithOrder(ig, ii, priorityOrder(ig, ii, tm), tm, opts)
+	if err == nil {
+		return s, nil
+	}
+	if e, ok := err.(*Error); ok && e.Kind == FailRegisters {
+		return nil, err // a register failure is definitive for this II
+	}
+	for _, order := range [][]int32{igTopo(ig), igTopoAll(ig, tm)} {
+		if s2, err2 := runWithOrder(ig, ii, order, tm, opts); err2 == nil {
+			return s2, nil
+		}
+	}
+	return nil, err
+}
+
+func runWithOrder(ig *IGraph, ii int, order []int32, tm *igTiming, opts Options) (*Schedule, error) {
+	const inf = int(^uint(0) >> 1)
+	rt := newMRT(ig.M, ig.P.K, ii)
+	n := ig.NumInstances()
+	time := make([]int, n)
+	placed := make([]bool, n)
+
+	for _, v := range order {
+		estart, lstart := -inf, inf
+		hasPred, hasSucc := false, false
+		for _, eid := range ig.in[v] {
+			e := &ig.Edges[eid]
+			if !placed[e.Src] || e.Src == v {
+				continue
+			}
+			hasPred = true
+			if t := time[e.Src] + int(e.Lat) - ii*int(e.Dist); t > estart {
+				estart = t
+			}
+		}
+		for _, eid := range ig.out[v] {
+			e := &ig.Edges[eid]
+			if !placed[e.Dst] || e.Dst == v {
+				continue
+			}
+			hasSucc = true
+			if t := time[e.Dst] - int(e.Lat) + ii*int(e.Dist); t < lstart {
+				lstart = t
+			}
+		}
+		inst := ig.Inst[v]
+		op := inst.Op(ig.G)
+
+		var found bool
+		var foundAt int
+		switch {
+		case hasPred && hasSucc:
+			if estart > lstart {
+				return nil, &Error{Kind: FailWindow, Inst: v, IsCopy: inst.IsCopy,
+					Detail: fmt.Sprintf("window closed for %s: estart=%d > lstart=%d at II=%d", ig.Name(v), estart, lstart, ii)}
+			}
+			end := lstart
+			if e2 := estart + ii - 1; e2 < end {
+				end = e2
+			}
+			for t := estart; t <= end; t++ {
+				if rt.canPlace(inst, op, t) {
+					found, foundAt = true, t
+					break
+				}
+			}
+		case hasSucc:
+			for t := lstart; t > lstart-ii; t-- {
+				if rt.canPlace(inst, op, t) {
+					found, foundAt = true, t
+					break
+				}
+			}
+		default: // preds only, or no scheduled neighbors
+			if !hasPred {
+				estart = tm.asap[v]
+			}
+			for t := estart; t < estart+ii; t++ {
+				if rt.canPlace(inst, op, t) {
+					found, foundAt = true, t
+					break
+				}
+			}
+		}
+		if !found {
+			return nil, &Error{Kind: FailResource, Inst: v, IsCopy: inst.IsCopy,
+				Detail: fmt.Sprintf("no free slot for %s in its window at II=%d", ig.Name(v), ii)}
+		}
+		rt.place(inst, op, foundAt)
+		time[v] = foundAt
+		placed[v] = true
+	}
+
+	// Normalize: shift all times by a multiple of II so the earliest issue
+	// lands in [0, II). Shifting by k·II preserves both dependences and
+	// reservation-table residues.
+	minT := 0
+	for i := range time {
+		if time[i] < minT {
+			minT = time[i]
+		}
+	}
+	if minT < 0 {
+		shift := ((-minT + ii - 1) / ii) * ii
+		for i := range time {
+			time[i] += shift
+		}
+	}
+
+	s := &Schedule{IG: ig, II: ii, Time: time}
+	for i := range ig.Inst {
+		if l := time[i] + ig.Latency(int32(i)); l > s.Length {
+			s.Length = l
+		}
+	}
+	if s.Length == 0 {
+		s.Length = 1
+	}
+	s.SC = (s.Length + ii - 1) / ii
+	s.MaxLive = computeMaxLive(s)
+	if !opts.SkipRegisterCheck {
+		for c, live := range s.MaxLive {
+			if live > ig.M.Regs {
+				return nil, &Error{Kind: FailRegisters, Inst: -1,
+					Detail: fmt.Sprintf("cluster %d MaxLive=%d exceeds %d registers at II=%d", c, live, ig.M.Regs, ii)}
+			}
+		}
+	}
+	return s, nil
+}
+
+// Adopt builds a Schedule for ig from externally produced issue times (for
+// instance, times found by scheduling the same placement under different
+// edge latencies). The times are validated against ig's constraints; length,
+// stage count and register pressure are recomputed.
+func Adopt(ig *IGraph, ii int, times []int, opts Options) (*Schedule, error) {
+	if len(times) != ig.NumInstances() {
+		return nil, &Error{Kind: FailWindow, Inst: -1, Detail: "time vector size mismatch"}
+	}
+	s := &Schedule{IG: ig, II: ii, Time: append([]int(nil), times...)}
+	for i := range ig.Inst {
+		if l := s.Time[i] + ig.Latency(int32(i)); l > s.Length {
+			s.Length = l
+		}
+	}
+	if s.Length == 0 {
+		s.Length = 1
+	}
+	s.SC = (s.Length + ii - 1) / ii
+	s.MaxLive = computeMaxLive(s)
+	if err := Verify(s); err != nil {
+		return nil, &Error{Kind: FailWindow, Inst: -1, Detail: err.Error()}
+	}
+	if !opts.SkipRegisterCheck {
+		for c, live := range s.MaxLive {
+			if live > ig.M.Regs {
+				return nil, &Error{Kind: FailRegisters, Inst: -1,
+					Detail: fmt.Sprintf("cluster %d MaxLive=%d exceeds %d registers at II=%d", c, live, ig.M.Regs, ii)}
+			}
+		}
+	}
+	return s, nil
+}
+
+// ScheduleLoop is a convenience wrapper: build the instance graph for a
+// placement and schedule it. In zero-bus-latency mode, if the relaxed
+// problem happens to defeat the greedy scheduler at this II, the real-
+// latency schedule (whose times always satisfy the relaxed constraints) is
+// adopted instead, so the upper-bound mode never does worse than the real
+// machine.
+func ScheduleLoop(p *Placement, m machine.Config, ii int, zeroBusLat bool, opts Options) (*Schedule, error) {
+	ig, err := BuildIGraph(p, m, zeroBusLat)
+	if err != nil {
+		return nil, err
+	}
+	s, serr := Run(ig, ii, opts)
+	if serr == nil || !zeroBusLat {
+		return s, serr
+	}
+	realIG, err := BuildIGraph(p, m, false)
+	if err != nil {
+		return nil, serr
+	}
+	rs, rerr := Run(realIG, ii, opts)
+	if rerr != nil {
+		return nil, serr
+	}
+	if as, aerr := Adopt(ig, ii, rs.Time, opts); aerr == nil {
+		return as, nil
+	}
+	return nil, serr
+}

@@ -1,0 +1,42 @@
+package vliwsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceEqualAndDiff(t *testing.T) {
+	a := &Trace{Stores: []StoreRecord{{Node: 1, Iter: 0, Value: 7}, {Node: 2, Iter: 0, Value: 9}}}
+	b := &Trace{Stores: []StoreRecord{{Node: 1, Iter: 0, Value: 7}, {Node: 2, Iter: 0, Value: 9}}}
+	if !a.Equal(b) || a.Diff(b) != "" {
+		t.Error("identical traces compare unequal")
+	}
+	b.Stores[1].Value = 10
+	if a.Equal(b) {
+		t.Error("different traces compare equal")
+	}
+	if d := a.Diff(b); !strings.Contains(d, "store 1 differs") {
+		t.Errorf("Diff = %q", d)
+	}
+	c := &Trace{Stores: a.Stores[:1]}
+	if d := a.Diff(c); !strings.Contains(d, "counts differ") {
+		t.Errorf("Diff = %q", d)
+	}
+}
+
+func TestValueFunctionsAreDiscriminating(t *testing.T) {
+	// Different nodes, iterations and operand orders must produce distinct
+	// values — otherwise the trace comparison is blind.
+	if InitialValue(1, -1) == InitialValue(2, -1) {
+		t.Error("initial values collide across nodes")
+	}
+	if InitialValue(1, -1) == InitialValue(1, -2) {
+		t.Error("initial values collide across iterations")
+	}
+	if StoreValue([]uint64{1, 2}) == StoreValue([]uint64{2, 1}) {
+		t.Error("store values insensitive to operand order")
+	}
+	if StoreValue([]uint64{1}) == StoreValue([]uint64{1, 1}) {
+		t.Error("store values insensitive to operand count")
+	}
+}
