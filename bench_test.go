@@ -148,6 +148,39 @@ func BenchmarkAblationMacro(b *testing.B) {
 	}
 }
 
+// BenchmarkCompileAll measures batch-compilation throughput over the full
+// 678-loop suite with the concurrent engine (loops/sec is the headline
+// metric; caching is disabled so every iteration does real work). Compare
+// against BenchmarkCompileAllSerial: on an N-core runner the engine should
+// approach N× the serial rate — the scaling baseline for future PRs.
+func BenchmarkCompileAll(b *testing.B) {
+	benchmarkCompileAll(b, 0) // GOMAXPROCS workers
+}
+
+// BenchmarkCompileAllSerial is the single-worker reference for the
+// parallel speedup of BenchmarkCompileAll.
+func BenchmarkCompileAllSerial(b *testing.B) {
+	benchmarkCompileAll(b, 1)
+}
+
+func benchmarkCompileAll(b *testing.B, workers int) {
+	loops := workload.SPECfp95()
+	m := machine.MustParse("4c2b2l64r")
+	jobs := make([]clusched.CompileJob, len(loops))
+	for i, l := range loops {
+		jobs[i] = clusched.CompileJob{Graph: l.Graph, Machine: m, Opts: clusched.Options{Replicate: true}}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comp := clusched.NewCompiler(clusched.CompilerConfig{Workers: workers, CacheSize: -1})
+		if _, err := comp.CompileAll(jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(loops))*float64(b.N)/b.Elapsed().Seconds(), "loops/sec")
+}
+
 // BenchmarkCompileSingleLoop measures raw pipeline throughput on one
 // representative stencil loop (not a paper figure; a sanity baseline for
 // the suite-level benchmarks above).

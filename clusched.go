@@ -8,6 +8,9 @@
 // (multilevel partitioning with slack-weighted edges), removes excess
 // inter-cluster communications by replicating cheap instruction subgraphs
 // into the consuming clusters, and produces a verified modulo schedule.
+// Batch traffic goes through the concurrent engine (NewCompiler,
+// CompileAll): a bounded worker pool with deterministic result ordering
+// and a shared result cache.
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction of the paper's evaluation.
 //
@@ -36,6 +39,7 @@ import (
 	"clusched/internal/codegen"
 	"clusched/internal/core"
 	"clusched/internal/ddg"
+	"clusched/internal/driver"
 	"clusched/internal/machine"
 	"clusched/internal/sched"
 	"clusched/internal/workload"
@@ -132,6 +136,62 @@ func CompileBaseline(g *Graph, m Machine) (*Result, error) {
 // CompileReplicated compiles with the paper's replication pass enabled.
 func CompileReplicated(g *Graph, m Machine) (*Result, error) {
 	return core.CompileReplicated(g, m)
+}
+
+// Compiler is a concurrent batch-compilation engine: a bounded worker
+// pool with deterministic result ordering, an LRU result cache keyed on
+// (graph fingerprint, machine, options) with hit/miss accounting,
+// aggregate error reporting, and optional progress callbacks. One Compiler
+// is safe for concurrent use and meant to be shared.
+type Compiler = driver.Compiler
+
+// CompilerConfig parameterizes NewCompiler; the zero value gives
+// GOMAXPROCS workers and a default-sized cache.
+type CompilerConfig = driver.Config
+
+// CompileJob is one batch compilation request: a loop DDG, a machine and
+// pipeline options.
+type CompileJob = driver.Job
+
+// CompileOutcome is the outcome of one CompileJob: exactly one of Result
+// and Err is set, plus whether it was served from the cache.
+type CompileOutcome = driver.Outcome
+
+// BatchError aggregates every failed job of a batch compilation.
+type BatchError = driver.BatchError
+
+// CacheStats reports the engine's result-cache effectiveness.
+type CacheStats = driver.CacheStats
+
+// NewCompiler builds a batch-compilation engine.
+func NewCompiler(cfg CompilerConfig) *Compiler { return driver.New(cfg) }
+
+// CompileAll compiles every loop for every machine on a fresh engine with
+// default settings and returns the results machine-major: the result for
+// loops[i] on machines[j] is at index j*len(loops)+i. The order is
+// deterministic regardless of scheduling. When some compilations fail,
+// their slots are nil and the returned error is a *BatchError aggregating
+// them; the other results are still valid. Callers wanting a persistent
+// cache, a custom worker count or progress callbacks should use
+// NewCompiler and Compiler.CompileAll directly.
+func CompileAll(loops []*Loop, machines []Machine, opts Options) ([]*Result, error) {
+	jobs := make([]driver.Job, 0, len(loops)*len(machines))
+	for _, m := range machines {
+		for _, l := range loops {
+			jobs = append(jobs, driver.Job{Graph: l.Graph, Machine: m, Opts: opts})
+		}
+	}
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	// The engine is throwaway, so bound its cache to the batch: large
+	// enough that duplicate loops hit, never larger than the work.
+	outcomes, err := NewCompiler(CompilerConfig{CacheSize: len(jobs)}).CompileAll(jobs)
+	results := make([]*Result, len(outcomes))
+	for i := range outcomes {
+		results[i] = outcomes[i].Result
+	}
+	return results, err
 }
 
 // Pipeline is an expanded software pipeline: prolog, MVE-unrolled kernel

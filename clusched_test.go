@@ -98,6 +98,62 @@ func TestPublicAPIOptionsVariants(t *testing.T) {
 	}
 }
 
+func TestPublicAPICompileAll(t *testing.T) {
+	loops := clusched.BenchmarkLoops("tomcatv")
+	machines := []clusched.Machine{
+		clusched.MustParseMachine("2c1b2l64r"),
+		clusched.MustParseMachine("4c2b2l64r"),
+	}
+	opts := clusched.Options{Replicate: true}
+	results, err := clusched.CompileAll(loops, machines, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(loops)*len(machines) {
+		t.Fatalf("%d results, want %d", len(results), len(loops)*len(machines))
+	}
+	// Machine-major ordering: results[j*len(loops)+i] is loops[i] on
+	// machines[j], and matches a direct serial compile.
+	for j, m := range machines {
+		for i, l := range loops {
+			r := results[j*len(loops)+i]
+			if r == nil {
+				t.Fatalf("nil result for %s on %s", l.Graph.Name, m)
+			}
+			if r.Loop != l.Graph || r.Machine.Name != m.Name {
+				t.Fatalf("slot (%d,%d) holds %s on %s, want %s on %s",
+					j, i, r.Loop.Name, r.Machine.Name, l.Graph.Name, m.Name)
+			}
+			serial, err := clusched.Compile(l.Graph, m, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.II != serial.II || r.Comms != serial.Comms {
+				t.Fatalf("%s on %s: batch II=%d, serial II=%d", l.Graph.Name, m, r.II, serial.II)
+			}
+		}
+	}
+}
+
+func TestPublicAPICompilerCache(t *testing.T) {
+	g := buildSaxpy(t)
+	m := clusched.MustParseMachine("4c2b2l64r")
+	comp := clusched.NewCompiler(clusched.CompilerConfig{Workers: 2})
+	jobs := []clusched.CompileJob{
+		{Graph: g, Machine: m},
+		{Graph: g, Machine: m, Opts: clusched.Options{Replicate: true}},
+	}
+	for run := 0; run < 2; run++ {
+		if _, err := comp.CompileAll(jobs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := comp.CacheStats()
+	if st.Misses != 2 || st.Hits != 2 || st.Entries != 2 {
+		t.Fatalf("cache stats %+v, want 2 misses / 2 hits / 2 entries", st)
+	}
+}
+
 func TestCauseNames(t *testing.T) {
 	if clusched.CauseBus.String() != "Bus" ||
 		clusched.CauseRecurrence.String() != "Recurrences" ||

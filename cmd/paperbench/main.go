@@ -11,6 +11,13 @@
 //	paperbench -fig macro   # §5.2 macro-node ablation
 //	paperbench -fig unroll  # §6 unrolling-vs-replication ablation
 //	paperbench -o report.txt
+//	paperbench -j 4 -progress   # 4 concurrent compilations, progress on stderr
+//
+// Every pipeline-level experiment drives the shared batch-compilation
+// engine (internal/driver): -j bounds its worker pool and -progress
+// subscribes to its completion callbacks. The design ablation (-fig
+// design) is the one exception — it measures partitioner and scheduler
+// internals directly, below the pipeline the engine runs.
 package main
 
 import (
@@ -18,13 +25,31 @@ import (
 	"fmt"
 	"os"
 
+	"clusched/internal/driver"
 	"clusched/internal/experiments"
 )
 
 func main() {
 	fig := flag.String("fig", "", "experiment to run: 1, 7, 8, 9, 10, 12, table1, stats, macro, unroll, regs, design (default: all)")
 	out := flag.String("o", "", "write the report to a file instead of stdout")
+	jobs := flag.Int("j", 0, "concurrent compilations (default: GOMAXPROCS)")
+	progress := flag.Bool("progress", false, "report per-suite compilation progress on stderr")
 	flag.Parse()
+
+	if *jobs != 0 || *progress {
+		cfg := driver.Config{Workers: *jobs}
+		if *progress {
+			cfg.Progress = func(done, total int) {
+				if done%100 == 0 || done == total {
+					fmt.Fprintf(os.Stderr, "\rcompiling %d/%d loops", done, total)
+					if done == total {
+						fmt.Fprintln(os.Stderr)
+					}
+				}
+			}
+		}
+		experiments.Configure(cfg)
+	}
 
 	var report string
 	switch *fig {
@@ -59,6 +84,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *progress {
+		st := experiments.EngineStats()
+		fmt.Fprintf(os.Stderr, "engine cache: %d hits, %d misses, %d entries\n",
+			st.Hits, st.Misses, st.Entries)
+	}
 	if *out == "" {
 		fmt.Print(report)
 		return

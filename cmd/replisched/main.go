@@ -8,7 +8,10 @@
 //	loopgen -bench tomcatv -n 1 | replisched -config 4c1b2l64r -kernel -
 //
 // Flags select the machine (wcxbylzr or "unified"), the pipeline variant,
-// and whether to print the kernel and the cluster assignment.
+// and whether to print the kernel and the cluster assignment. Inputs with
+// several loops are compiled concurrently on the batch engine; reports are
+// printed in input order, loops that fail to schedule are reported inline,
+// and the exit status is nonzero if any loop failed.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"clusched/internal/codegen"
 	"clusched/internal/core"
 	"clusched/internal/ddg"
+	"clusched/internal/driver"
 	"clusched/internal/machine"
 	"clusched/internal/vliwsim"
 )
@@ -60,10 +64,16 @@ func main() {
 	}
 
 	opts := core.Options{Replicate: !*noRepl, LengthReplicate: *length, VerifySchedules: true}
-	for _, g := range loops {
-		res, err := core.Compile(g, m, opts)
-		if err != nil {
-			fatal(err)
+	jobs := make([]driver.Job, len(loops))
+	for i, g := range loops {
+		jobs[i] = driver.Job{Graph: g, Machine: m, Opts: opts}
+	}
+	outcomes, batchErr := driver.New(driver.Config{}).CompileAll(jobs)
+	for _, out := range outcomes {
+		g, res := out.Job.Graph, out.Result
+		if out.Err != nil {
+			fmt.Fprintf(os.Stderr, "replisched: %v\n", out.Err)
+			continue
 		}
 		fmt.Printf("loop %s on %s: MII=%d II=%d length=%d stages=%d\n",
 			g.Name, m, res.MII, res.II, res.Length, res.SC)
@@ -99,6 +109,9 @@ func main() {
 		if *dot {
 			fmt.Println(ddg.DOT(g, res.Placement.Home))
 		}
+	}
+	if batchErr != nil {
+		fatal(batchErr)
 	}
 }
 

@@ -4,6 +4,11 @@
 // motivation study (Fig. 1): on bus-starved machines the achieved II is
 // dominated by communications, and replication recovers most of the gap to
 // the unified machine.
+//
+// The sweep submits every (machine, variant) pair to the concurrent batch
+// engine in one go (clusched.NewCompiler); outcomes come back in
+// submission order, so the table prints deterministically however the
+// compilations were scheduled.
 package main
 
 import (
@@ -54,27 +59,30 @@ func main() {
 	}
 	const iters = 512
 
-	u, err := clusched.CompileBaseline(g, clusched.UnifiedMachine(64))
-	if err != nil {
-		log.Fatal(err)
-	}
-	uCycles := u.Schedule.CyclesFor(iters)
-	fmt.Printf("unified upper bound: II=%d, %.0f cycles for %d iterations\n\n", u.II, uCycles, iters)
-
-	fmt.Printf("%-10s  %9s  %9s  %9s  %16s\n", "config", "base II", "repl II", "repl gain", "% of unified perf")
+	// One batch: the unified upper bound, then (baseline, replicated) for
+	// every clustered configuration.
+	jobs := []clusched.CompileJob{{Graph: g, Machine: clusched.UnifiedMachine(64)}}
 	for _, name := range configs {
 		m, err := clusched.ParseMachine(name)
 		if err != nil {
 			log.Fatal(err)
 		}
-		base, err := clusched.CompileBaseline(g, m)
-		if err != nil {
-			log.Fatal(err)
-		}
-		repl, err := clusched.CompileReplicated(g, m)
-		if err != nil {
-			log.Fatal(err)
-		}
+		jobs = append(jobs,
+			clusched.CompileJob{Graph: g, Machine: m},
+			clusched.CompileJob{Graph: g, Machine: m, Opts: clusched.Options{Replicate: true}})
+	}
+	outcomes, err := clusched.NewCompiler(clusched.CompilerConfig{}).CompileAll(jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	u := outcomes[0].Result
+	uCycles := u.Schedule.CyclesFor(iters)
+	fmt.Printf("unified upper bound: II=%d, %.0f cycles for %d iterations\n\n", u.II, uCycles, iters)
+
+	fmt.Printf("%-10s  %9s  %9s  %9s  %16s\n", "config", "base II", "repl II", "repl gain", "% of unified perf")
+	for i, name := range configs {
+		base, repl := outcomes[1+2*i].Result, outcomes[2+2*i].Result
 		gain := repl.Speedup(base, iters)
 		ofUnified := 100 * uCycles / repl.Schedule.CyclesFor(iters)
 		fmt.Printf("%-10s  %9d  %9d  %8.2fx  %15.1f%%\n", name, base.II, repl.II, gain, ofUnified)

@@ -1,0 +1,3 @@
+module clusched
+
+go 1.24

@@ -1,196 +1,44 @@
-// Package core is the public compilation pipeline: the Fig. 2 driver loop
-// of the paper. Starting at II = MII it partitions the loop's DDG onto the
+// Package core is the stable compilation API: the Fig. 2 driver loop of the
+// paper. Starting at II = MII it partitions the loop's DDG onto the
 // clusters, optionally removes excess communications by instruction
 // replication (§3), modulo-schedules the result, and on failure increases
 // the II and refines the partition, recording the cause of every increase
 // (bus, recurrences, or registers — the buckets of Fig. 1).
+//
+// The pipeline itself lives in internal/pipeline as an explicit pass chain
+// (see pipeline.Chain); core re-exports the types and drives the standard
+// chain, so consumers keep a one-call interface while custom chains remain
+// possible. Batch compilation with caching and a worker pool is
+// internal/driver.
 package core
 
 import (
-	"fmt"
-
 	"clusched/internal/ddg"
 	"clusched/internal/machine"
-	"clusched/internal/mii"
-	"clusched/internal/partition"
-	"clusched/internal/replic"
-	"clusched/internal/sched"
+	"clusched/internal/pipeline"
 )
 
 // Cause classifies why the II had to be increased past the MII.
-type Cause int
+type Cause = pipeline.Cause
 
+// Cause values for Result.IIIncreases, as in the paper's Fig. 1 legend.
 const (
-	// CauseBus: the partition implies more communications than the buses
-	// can carry (or a copy could not be placed).
-	CauseBus Cause = iota
-	// CauseRecurrence: the scheduler could not honor a dependence window.
-	CauseRecurrence
-	// CauseRegisters: a cluster's register pressure exceeded its file.
-	CauseRegisters
-	// NumCauses is the number of cause buckets.
-	NumCauses
+	CauseBus        = pipeline.CauseBus
+	CauseRecurrence = pipeline.CauseRecurrence
+	CauseRegisters  = pipeline.CauseRegisters
+	NumCauses       = pipeline.NumCauses
 )
 
-// String names the cause as in the paper's Fig. 1 legend.
-func (c Cause) String() string {
-	switch c {
-	case CauseBus:
-		return "Bus"
-	case CauseRecurrence:
-		return "Recurrences"
-	case CauseRegisters:
-		return "Registers"
-	}
-	return fmt.Sprintf("Cause(%d)", int(c))
-}
-
 // Options selects the pipeline variant.
-type Options struct {
-	// Replicate enables the §3 replication pass (the paper's contribution).
-	Replicate bool
-	// LengthReplicate additionally runs the §5.1 schedule-length extension
-	// after the II settles.
-	LengthReplicate bool
-	// ZeroBusLatency schedules with zero-latency buses that still consume
-	// bus bandwidth: the Fig. 12 upper bound.
-	ZeroBusLatency bool
-	// UseMacroReplication swaps in the §5.2 macro-node heuristic (ablation).
-	UseMacroReplication bool
-	// MaxII overrides the search bound (0 = automatic).
-	MaxII int
-	// IgnoreRegisterPressure disables the register-file feasibility check
-	// (used by the unrolling ablation, whose bodies legitimately exceed the
-	// file — a real compiler would spill).
-	IgnoreRegisterPressure bool
-	// VerifySchedules re-checks every accepted schedule against the
-	// dependence and resource constraints (cheap; used by tests).
-	VerifySchedules bool
-}
+type Options = pipeline.Options
 
 // Result is the outcome of compiling one loop for one machine.
-type Result struct {
-	// Loop and Machine identify the compilation.
-	Loop    *ddg.Graph
-	Machine machine.Config
-	// MII is the lower bound max(ResMII, RecMII); II the achieved interval.
-	MII, II int
-	// Length is the schedule length of one iteration; SC the stage count.
-	Length, SC int
-	// CommsBeforeReplication counts the communications the final partition
-	// implied; Comms counts those remaining in the final schedule.
-	CommsBeforeReplication, Comms int
-	// Replicated counts replica instances added per class; Removed counts
-	// original instructions deleted as dead.
-	Replicated [ddg.NumClasses]int
-	Removed    int
-	// ReplicationSteps is the number of subgraphs replicated.
-	ReplicationSteps int
-	// IIIncreases tallies II bumps by cause.
-	IIIncreases [NumCauses]int
-	// Schedule is the final verified schedule.
-	Schedule *sched.Schedule
-	// Placement is the final placement (homes + replicas).
-	Placement *sched.Placement
-}
+type Result = pipeline.Result
 
-// Speedup returns the ratio of the other result's cycle count to this one's
-// for N iterations: >1 means this result is faster.
-func (r *Result) Speedup(other *Result, iterations float64) float64 {
-	return other.Schedule.CyclesFor(iterations) / r.Schedule.CyclesFor(iterations)
-}
-
-// Compile runs the full pipeline on one loop.
+// Compile runs the full pipeline on one loop: the standard pass chain of
+// internal/pipeline over the II search.
 func Compile(g *ddg.Graph, m machine.Config, opts Options) (*Result, error) {
-	res := &Result{Loop: g, Machine: m}
-	res.MII = mii.MII(g, m)
-
-	maxII := opts.MaxII
-	if maxII == 0 {
-		// Any loop fits once the II covers all communications, the longest
-		// latency chain and the whole resource footprint.
-		maxII = res.MII + m.MinBusII(g.NumNodes()) + 16*g.NumNodes() + 256
-	}
-
-	var assign *partition.Assignment
-	for ii := res.MII; ii <= maxII; ii++ {
-		if assign == nil {
-			assign = partition.Initial(g, m, ii)
-		} else {
-			assign = partition.Refine(g, m, ii, assign)
-		}
-		p := sched.NewPlacement(g, assign)
-		commsBefore := p.Comms()
-
-		var st replic.Stats
-		if m.Clustered() && commsBefore > m.BusComs(ii) {
-			if !opts.Replicate {
-				res.IIIncreases[CauseBus]++
-				continue // II++
-			}
-			run := replic.Run
-			if opts.UseMacroReplication {
-				run = replic.RunMacro
-			}
-			stats, ok := run(p, m, ii)
-			st = stats
-			if !ok {
-				res.IIIncreases[CauseBus]++
-				continue // II++
-			}
-		}
-		if opts.Replicate && opts.LengthReplicate {
-			replic.LengthReplicate(p, m, ii, 8)
-		}
-
-		s, err := sched.ScheduleLoop(p, m, ii, opts.ZeroBusLatency, sched.Options{SkipRegisterCheck: opts.IgnoreRegisterPressure})
-		if err != nil {
-			res.IIIncreases[classifyFailure(err)]++
-			continue // II++
-		}
-		if opts.VerifySchedules {
-			if verr := sched.Verify(s); verr != nil {
-				return nil, fmt.Errorf("core: internal error: accepted schedule fails verification: %w", verr)
-			}
-		}
-		res.II = ii
-		res.Length = s.Length
-		res.SC = s.SC
-		res.CommsBeforeReplication = commsBefore
-		res.Comms = p.Comms()
-		res.Replicated = st.Replicated
-		res.Removed = st.Removed
-		res.ReplicationSteps = st.Steps
-		res.Schedule = s
-		res.Placement = p
-		return res, nil
-	}
-	return nil, fmt.Errorf("core: loop %s does not schedule on %s with II up to %d", g.Name, m, maxII)
-}
-
-// classifyFailure maps scheduler failures to Fig. 1 cause buckets: window
-// failures are recurrence-driven; register failures are their own bucket;
-// resource failures on copies are bus pressure, on ordinary ops they stem
-// from cluster resource contention, which the paper's taxonomy folds into
-// the bus bucket for clustered machines (the partition balances resources,
-// so residual contention traces back to communication constraints).
-func classifyFailure(err error) Cause {
-	e, ok := err.(*sched.Error)
-	if !ok {
-		return CauseRecurrence
-	}
-	switch e.Kind {
-	case sched.FailRegisters:
-		return CauseRegisters
-	case sched.FailWindow:
-		return CauseRecurrence
-	case sched.FailResource:
-		if e.IsCopy {
-			return CauseBus
-		}
-		return CauseBus
-	}
-	return CauseRecurrence
+	return pipeline.Compile(g, m, opts)
 }
 
 // CompileBaseline compiles without replication (the state-of-the-art base

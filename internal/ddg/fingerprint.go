@@ -1,0 +1,36 @@
+package ddg
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// Fingerprint returns a stable 64-bit hash of the graph's identity: its
+// name, operations and dependences (labels are excluded — they never affect
+// compilation). Two calls on the same graph always agree, across processes
+// and releases of the generator; the batch-compilation engine keys its
+// result cache on (fingerprint, machine, options).
+func (g *Graph) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	h.Write([]byte(g.Name))
+	u64(uint64(len(g.Nodes))<<32 | uint64(uint32(len(g.Edges))))
+	for i := range g.Nodes {
+		u64(uint64(g.Nodes[i].Op))
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		// One word per field: packing would alias fields that exceed their
+		// bit budget, and the cache keyed on this hash must never collide
+		// on graphs that compile differently.
+		u64(uint64(uint32(e.Src))<<32 | uint64(uint32(e.Dst)))
+		u64(uint64(e.Dist))
+		u64(uint64(e.Kind))
+		u64(uint64(e.Lat))
+	}
+	return h.Sum64()
+}

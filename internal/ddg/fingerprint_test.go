@@ -1,0 +1,56 @@
+package ddg
+
+import "testing"
+
+func fpLoop(name string, lat int) *Graph {
+	b := NewBuilder(name)
+	x := b.Node("x", OpLoad)
+	y := b.Node("y", OpFMul)
+	s := b.Node("s", OpStore)
+	b.EdgeLat(x, y, 0, lat)
+	b.Edge(y, s, 0)
+	return b.MustBuild()
+}
+
+func TestFingerprintStableAndDiscriminating(t *testing.T) {
+	g := fpLoop("a", 2)
+	if g.Fingerprint() != g.Fingerprint() {
+		t.Fatal("fingerprint not stable across calls")
+	}
+	if g.Fingerprint() != fpLoop("a", 2).Fingerprint() {
+		t.Fatal("identical graphs disagree")
+	}
+	if g.Fingerprint() != g.Clone().Fingerprint() {
+		t.Fatal("clone disagrees with original")
+	}
+	if g.Fingerprint() == fpLoop("b", 2).Fingerprint() {
+		t.Fatal("name change not reflected")
+	}
+	if g.Fingerprint() == fpLoop("a", 3).Fingerprint() {
+		t.Fatal("latency change not reflected")
+	}
+
+	// Op change.
+	b := NewBuilder("a")
+	x := b.Node("x", OpLoad)
+	y := b.Node("y", OpFAdd)
+	s := b.Node("s", OpStore)
+	b.EdgeLat(x, y, 0, 2)
+	b.Edge(y, s, 0)
+	if g.Fingerprint() == b.MustBuild().Fingerprint() {
+		t.Fatal("op change not reflected")
+	}
+
+	// Distance change on a loop-carried edge.
+	mk := func(dist int) *Graph {
+		b := NewBuilder("c")
+		v := b.Node("v", OpIAdd)
+		b.Edge(v, v, dist)
+		s := b.Node("s", OpStore)
+		b.Edge(v, s, 0)
+		return b.MustBuild()
+	}
+	if mk(1).Fingerprint() == mk(2).Fingerprint() {
+		t.Fatal("distance change not reflected")
+	}
+}

@@ -1,0 +1,295 @@
+// Package driver is the concurrent batch-compilation engine: one shared
+// Compiler replaces the ad-hoc worker pools and memo maps that used to be
+// re-implemented by every consumer of the pipeline. It offers a bounded
+// worker pool, deterministic result ordering (outcome i always corresponds
+// to job i, regardless of scheduling), a per-(graph-fingerprint, machine,
+// options) LRU result cache with hit/miss accounting, aggregate error
+// reporting, and optional progress callbacks.
+//
+// The engine is the seam future scaling work plugs into (sharding across
+// machines, alternative backends, async serving): everything above it —
+// the public clusched API, the experiments, the cmd tools — submits Jobs
+// and consumes Outcomes.
+package driver
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"clusched/internal/ddg"
+	"clusched/internal/machine"
+	"clusched/internal/pipeline"
+)
+
+// Job is one compilation request: a loop, a machine and pipeline options.
+type Job struct {
+	Graph   *ddg.Graph
+	Machine machine.Config
+	Opts    pipeline.Options
+}
+
+// Outcome is the result of one Job. Exactly one of Result and Err is
+// non-nil; CacheHit reports whether the outcome was served from the cache.
+type Outcome struct {
+	Job      Job
+	Result   *pipeline.Result
+	Err      error
+	CacheHit bool
+}
+
+// Progress observes batch completion: done jobs out of total. Callbacks are
+// serialized and arrive with strictly increasing done counts, ending at
+// done == total; they must not block for long, as they are on the workers'
+// completion path.
+type Progress func(done, total int)
+
+// DefaultCacheSize bounds the result cache when Config.CacheSize is zero:
+// large enough to hold every (loop, config, mode) pair of a full paper
+// evaluation (~30 suite runs of the 678-loop workload).
+const DefaultCacheSize = 1 << 15
+
+// Config parameterizes a Compiler. The zero value is ready to use:
+// GOMAXPROCS workers and a DefaultCacheSize-entry cache.
+type Config struct {
+	// Workers bounds concurrent compilations; ≤0 means GOMAXPROCS.
+	Workers int
+	// CacheSize bounds the LRU result cache in entries; 0 means
+	// DefaultCacheSize, negative disables caching entirely.
+	CacheSize int
+	// Progress, when non-nil, is called after every completed job of a
+	// CompileAll batch.
+	Progress Progress
+}
+
+// CacheStats reports result-cache effectiveness.
+type CacheStats struct {
+	// Hits counts lookups served from the cache or joined onto an
+	// identical in-flight compilation; Misses counts actual compilations.
+	// Both reset with ResetCache.
+	Hits, Misses uint64
+	// Entries is the current number of cached results.
+	Entries int
+}
+
+// Compiler is a concurrent batch-compilation engine. It is safe for use by
+// multiple goroutines; results for identical (graph, machine, options)
+// keys are shared through the cache, so callers must treat returned
+// Results as immutable.
+type Compiler struct {
+	workers  int
+	progress Progress
+
+	mu      sync.Mutex
+	cache   *lruCache            // nil when caching is disabled
+	pending map[cacheKey]*flight // in-flight compilations, for deduplication
+	hits    uint64
+	misses  uint64
+}
+
+// flight is one in-progress compilation that identical concurrent jobs
+// join instead of recomputing. val is written before done is closed.
+type flight struct {
+	done chan struct{}
+	val  cacheValue
+}
+
+// New builds a Compiler from the config.
+func New(cfg Config) *Compiler {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	c := &Compiler{workers: w, progress: cfg.Progress}
+	size := cfg.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	if size > 0 {
+		c.cache = newLRU(size)
+		c.pending = make(map[cacheKey]*flight)
+	}
+	return c
+}
+
+// cacheKey identifies a compilation: graph fingerprint, canonical machine
+// key and the exact option set.
+type cacheKey struct {
+	graph   uint64
+	machine string
+	opts    pipeline.Options
+}
+
+// machineKey canonicalizes a machine config for cache keying. The name
+// alone is not enough for heterogeneous machines, whose FU matrix is not
+// part of the name.
+func machineKey(m machine.Config) string {
+	if m.Hetero == nil {
+		return m.Name
+	}
+	return fmt.Sprintf("%s%v", m.Name, m.Hetero)
+}
+
+func keyFor(j Job) cacheKey {
+	return cacheKey{graph: j.Graph.Fingerprint(), machine: machineKey(j.Machine), opts: j.Opts}
+}
+
+// Compile compiles one loop through the cache.
+func (c *Compiler) Compile(g *ddg.Graph, m machine.Config, opts pipeline.Options) (*pipeline.Result, error) {
+	out := c.do(Job{Graph: g, Machine: m, Opts: opts})
+	return out.Result, out.Err
+}
+
+// do serves one job, consulting and populating the cache. Failures are
+// cached too: an unschedulable loop costs a full II sweep, the most
+// expensive outcome there is. Identical jobs running concurrently are
+// deduplicated: followers block on the leader's flight and share its
+// outcome (counted as hits) instead of recompiling.
+func (c *Compiler) do(j Job) Outcome {
+	if c.cache == nil {
+		res, err := pipeline.Compile(j.Graph, j.Machine, j.Opts)
+		return Outcome{Job: j, Result: res, Err: err}
+	}
+
+	key := keyFor(j)
+	c.mu.Lock()
+	if e, ok := c.cache.get(key); ok {
+		c.hits++
+		c.mu.Unlock()
+		return Outcome{Job: j, Result: e.res, Err: e.err, CacheHit: true}
+	}
+	if f, ok := c.pending[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-f.done
+		return Outcome{Job: j, Result: f.val.res, Err: f.val.err, CacheHit: true}
+	}
+	c.misses++
+	f := &flight{done: make(chan struct{})}
+	c.pending[key] = f
+	c.mu.Unlock()
+
+	res, err := pipeline.Compile(j.Graph, j.Machine, j.Opts)
+	f.val = cacheValue{res: res, err: err}
+	c.mu.Lock()
+	c.cache.add(key, f.val)
+	delete(c.pending, key)
+	c.mu.Unlock()
+	close(f.done)
+	return Outcome{Job: j, Result: res, Err: err}
+}
+
+// CompileAll compiles every job on the worker pool. The returned slice is
+// index-aligned with jobs — outcomes[i] is the outcome of jobs[i] no matter
+// how the work was scheduled — so batch output is deterministic. The error
+// is nil when every job succeeded, otherwise a *BatchError aggregating
+// every failure; outcomes is complete either way.
+func (c *Compiler) CompileAll(jobs []Job) ([]Outcome, error) {
+	outcomes := make([]Outcome, len(jobs))
+	if len(jobs) == 0 {
+		return outcomes, nil
+	}
+
+	workers := c.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var (
+		wg     sync.WaitGroup
+		idx    = make(chan int)
+		progMu sync.Mutex
+		done   int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				outcomes[i] = c.do(jobs[i])
+				if c.progress != nil {
+					progMu.Lock()
+					done++
+					c.progress(done, len(jobs))
+					progMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	var failed []JobError
+	for i := range outcomes {
+		if outcomes[i].Err != nil {
+			failed = append(failed, JobError{
+				Index:   i,
+				Loop:    jobs[i].Graph.Name,
+				Machine: jobs[i].Machine.Name,
+				Err:     outcomes[i].Err,
+			})
+		}
+	}
+	if failed != nil {
+		return outcomes, &BatchError{Total: len(jobs), Failed: failed}
+	}
+	return outcomes, nil
+}
+
+// CacheStats returns a snapshot of cache effectiveness.
+func (c *Compiler) CacheStats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{Hits: c.hits, Misses: c.misses}
+	if c.cache != nil {
+		s.Entries = c.cache.len()
+	}
+	return s
+}
+
+// ResetCache drops every cached result and zeroes the hit/miss counters,
+// so benchmarks measure real work.
+func (c *Compiler) ResetCache() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cache != nil {
+		c.cache = newLRU(c.cache.cap)
+	}
+	c.hits, c.misses = 0, 0
+}
+
+// JobError records one failed job of a batch.
+type JobError struct {
+	// Index is the job's position in the batch.
+	Index int
+	// Loop and Machine identify the compilation.
+	Loop, Machine string
+	// Err is the underlying compilation error.
+	Err error
+}
+
+// Error implements error.
+func (e *JobError) Error() string {
+	return fmt.Sprintf("job %d (%s on %s): %v", e.Index, e.Loop, e.Machine, e.Err)
+}
+
+// Unwrap exposes the underlying compilation error.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// BatchError aggregates every failed job of a CompileAll batch.
+type BatchError struct {
+	// Total is the batch size; Failed the failures in job order.
+	Total  int
+	Failed []JobError
+}
+
+// Error implements error.
+func (e *BatchError) Error() string {
+	if len(e.Failed) == 1 {
+		return fmt.Sprintf("driver: 1 of %d compilations failed: %v", e.Total, &e.Failed[0])
+	}
+	return fmt.Sprintf("driver: %d of %d compilations failed (first: %v)",
+		len(e.Failed), e.Total, &e.Failed[0])
+}

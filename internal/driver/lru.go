@@ -1,0 +1,57 @@
+package driver
+
+import (
+	"container/list"
+
+	"clusched/internal/pipeline"
+)
+
+// cacheValue is one memoized compilation outcome (result or error).
+type cacheValue struct {
+	res *pipeline.Result
+	err error
+}
+
+type lruEntry struct {
+	key cacheKey
+	val cacheValue
+}
+
+// lruCache is a plain LRU over cacheKeys. It is not internally locked; the
+// Compiler serializes access.
+type lruCache struct {
+	cap   int
+	ll    *list.List // front = most recently used
+	byKey map[cacheKey]*list.Element
+}
+
+func newLRU(capacity int) *lruCache {
+	// The map grows on demand: capacity is an upper bound (often the large
+	// default), not the expected population, so no preallocation hint.
+	return &lruCache{cap: capacity, ll: list.New(), byKey: make(map[cacheKey]*list.Element)}
+}
+
+func (c *lruCache) get(k cacheKey) (cacheValue, bool) {
+	el, ok := c.byKey[k]
+	if !ok {
+		return cacheValue{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (c *lruCache) add(k cacheKey, v cacheValue) {
+	if el, ok := c.byKey[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = v
+		return
+	}
+	c.byKey[k] = c.ll.PushFront(&lruEntry{key: k, val: v})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int { return c.ll.Len() }

@@ -9,10 +9,9 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"clusched/internal/core"
+	"clusched/internal/driver"
 	"clusched/internal/machine"
 	"clusched/internal/metrics"
 	"clusched/internal/workload"
@@ -90,58 +89,48 @@ type SuiteResult struct {
 	Failed []string
 }
 
-// suiteCache memoizes suite runs: the experiments share config/mode pairs.
-var (
-	suiteMu    sync.Mutex
-	suiteCache = map[string]*SuiteResult{}
-)
+// engine is the shared batch-compilation engine behind every suite run.
+// Its per-loop LRU cache replaces the per-suite memo map this package used
+// to keep: experiments that share a (config, mode) pair still compile each
+// loop exactly once, and the engine's bounded worker pool replaces the
+// hand-rolled goroutine fan-out.
+var engine = driver.New(driver.Config{})
 
-// ResetCache drops memoized suite runs so benchmarks measure real work.
-func ResetCache() {
-	suiteMu.Lock()
-	suiteCache = map[string]*SuiteResult{}
-	suiteMu.Unlock()
+// Configure swaps the shared engine (worker count, cache size, progress
+// callback); cmd/paperbench uses it for its -j and -progress flags.
+// Configure discards any cached results and is not meant to race with
+// in-flight suite runs.
+func Configure(cfg driver.Config) {
+	engine = driver.New(cfg)
 }
 
-// RunSuite compiles the whole 678-loop suite for one config and mode,
-// in parallel, with memoization.
-func RunSuite(m machine.Config, mode Mode) *SuiteResult {
-	key := m.Name + "/" + mode.String()
-	suiteMu.Lock()
-	if r, ok := suiteCache[key]; ok {
-		suiteMu.Unlock()
-		return r
-	}
-	suiteMu.Unlock()
+// ResetCache drops memoized compilations so benchmarks measure real work.
+func ResetCache() { engine.ResetCache() }
 
+// EngineStats reports the shared engine's result-cache effectiveness.
+func EngineStats() driver.CacheStats { return engine.CacheStats() }
+
+// RunSuite compiles the whole 678-loop suite for one config and mode on
+// the shared engine: in parallel, with per-loop memoization.
+func RunSuite(m machine.Config, mode Mode) *SuiteResult {
 	loops := workload.SPECfp95()
-	results := make([]*core.Result, len(loops))
-	errs := make([]error, len(loops))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	jobs := make([]driver.Job, len(loops))
 	opts := mode.options()
 	for i, l := range loops {
-		wg.Add(1)
-		go func(i int, l *workload.Loop) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = core.Compile(l.Graph, m, opts)
-		}(i, l)
+		jobs[i] = driver.Job{Graph: l.Graph, Machine: m, Opts: opts}
 	}
-	wg.Wait()
+	// Per-job failures land in SuiteResult.Failed; the aggregate error
+	// repeats what the outcomes already carry.
+	outcomes, _ := engine.CompileAll(jobs)
 
 	sr := &SuiteResult{Config: m, Mode: mode, ByBench: map[string][]*LoopResult{}}
 	for i, l := range loops {
-		if errs[i] != nil {
-			sr.Failed = append(sr.Failed, fmt.Sprintf("%s: %v", l.Graph.Name, errs[i]))
+		if outcomes[i].Err != nil {
+			sr.Failed = append(sr.Failed, fmt.Sprintf("%s: %v", l.Graph.Name, outcomes[i].Err))
 			continue
 		}
-		sr.ByBench[l.Bench] = append(sr.ByBench[l.Bench], &LoopResult{Loop: l, Result: results[i]})
+		sr.ByBench[l.Bench] = append(sr.ByBench[l.Bench], &LoopResult{Loop: l, Result: outcomes[i].Result})
 	}
-	suiteMu.Lock()
-	suiteCache[key] = sr
-	suiteMu.Unlock()
 	return sr
 }
 

@@ -4,6 +4,8 @@ import (
 	"strings"
 
 	"clusched/internal/core"
+	"clusched/internal/ddg"
+	"clusched/internal/driver"
 	"clusched/internal/machine"
 	"clusched/internal/metrics"
 	"clusched/internal/unroll"
@@ -35,16 +37,17 @@ type UnrollRow struct {
 }
 
 // UnrollAblation runs the comparison on a deterministic sample of the suite
-// (unrolled loops are compiled from scratch; the sample keeps the runtime
-// in benchmark range).
+// on the shared batch engine (unrolled loops are compiled from scratch; the
+// sample keeps the runtime in benchmark range).
 func UnrollAblation(cfg string, factor, perBench int) (UnrollRow, error) {
 	m := machine.MustParse(cfg)
 	row := UnrollRow{Config: cfg, Factor: factor}
 
-	var baseAcc, replAcc, unrollAcc metrics.IPCAccumulator
-	var origOps, replOps, unrollOps float64
-	var sampled, regOverflows int
-
+	// Three compilations per sampled loop — baseline, replication, unrolled
+	// baseline — submitted as one batch.
+	var samples []*workload.Loop
+	var unrolled []*ddg.Graph
+	var jobs []driver.Job
 	for _, bench := range workload.Benchmarks() {
 		loops := workload.LoopsFor(bench)
 		n := perBench
@@ -52,46 +55,58 @@ func UnrollAblation(cfg string, factor, perBench int) (UnrollRow, error) {
 			n = len(loops)
 		}
 		for _, l := range loops[:n] {
-			base, err := core.CompileBaseline(l.Graph, m)
-			if err != nil {
-				return row, err
-			}
-			repl, err := core.CompileReplicated(l.Graph, m)
-			if err != nil {
-				return row, err
-			}
 			ug, err := unroll.Unroll(l.Graph, factor)
 			if err != nil {
 				return row, err
 			}
-			ur, err := core.CompileBaseline(ug, m)
-			if err != nil {
-				// Typically a register-file overflow: retry without the
-				// register check and count the violation.
-				ur, err = core.Compile(ug, m, core.Options{IgnoreRegisterPressure: true})
-				if err != nil {
-					return row, err
-				}
-				regOverflows++
-			}
-			sampled++
-
-			instrs := l.DynamicInstrs()
-			visits := float64(l.Visits)
-			baseAcc.Add(instrs, base.Schedule.CyclesFor(l.AvgIters)*visits)
-			replAcc.Add(instrs, repl.Schedule.CyclesFor(l.AvgIters)*visits)
-			// The unrolled body initiates once per `factor` source
-			// iterations.
-			unrollAcc.Add(instrs, ur.Schedule.CyclesFor(l.AvgIters/float64(factor))*visits)
-
-			origOps += float64(l.Graph.NumNodes())
-			extra := 0
-			for _, e := range repl.Placement.ExtraInstances() {
-				extra += e
-			}
-			replOps += float64(l.Graph.NumNodes() + extra)
-			unrollOps += float64(unroll.CodeSize(l.Graph, factor))
+			samples = append(samples, l)
+			unrolled = append(unrolled, ug)
+			jobs = append(jobs,
+				driver.Job{Graph: l.Graph, Machine: m},
+				driver.Job{Graph: l.Graph, Machine: m, Opts: core.Options{Replicate: true}},
+				driver.Job{Graph: ug, Machine: m})
 		}
+	}
+	outcomes, _ := engine.CompileAll(jobs) // per-job errors handled below
+
+	var baseAcc, replAcc, unrollAcc metrics.IPCAccumulator
+	var origOps, replOps, unrollOps float64
+	var sampled, regOverflows int
+	for i, l := range samples {
+		bout, rout, uout := outcomes[3*i], outcomes[3*i+1], outcomes[3*i+2]
+		if bout.Err != nil {
+			return row, bout.Err
+		}
+		if rout.Err != nil {
+			return row, rout.Err
+		}
+		base, repl, ur := bout.Result, rout.Result, uout.Result
+		if uout.Err != nil {
+			// Typically a register-file overflow: retry without the
+			// register check and count the violation.
+			var err error
+			ur, err = engine.Compile(unrolled[i], m, core.Options{IgnoreRegisterPressure: true})
+			if err != nil {
+				return row, err
+			}
+			regOverflows++
+		}
+		sampled++
+
+		instrs := l.DynamicInstrs()
+		visits := float64(l.Visits)
+		baseAcc.Add(instrs, base.Schedule.CyclesFor(l.AvgIters)*visits)
+		replAcc.Add(instrs, repl.Schedule.CyclesFor(l.AvgIters)*visits)
+		// The unrolled body initiates once per `factor` source iterations.
+		unrollAcc.Add(instrs, ur.Schedule.CyclesFor(l.AvgIters/float64(factor))*visits)
+
+		origOps += float64(l.Graph.NumNodes())
+		extra := 0
+		for _, e := range repl.Placement.ExtraInstances() {
+			extra += e
+		}
+		replOps += float64(l.Graph.NumNodes() + extra)
+		unrollOps += float64(unroll.CodeSize(l.Graph, factor))
 	}
 	row.BaselineIPC = baseAcc.IPC()
 	row.ReplIPC = replAcc.IPC()

@@ -1,0 +1,225 @@
+// Package pipeline decomposes the paper's Fig. 2 compilation driver into
+// explicit, composable passes. A compilation is a sequence of II attempts:
+// starting at II = MII, the driver runs a pass chain — partition the loop's
+// DDG onto the clusters, optionally remove excess communications by
+// instruction replication (§3), modulo-schedule the result, verify — over a
+// shared per-II Context. When a pass fails the attempt it records the cause
+// (bus, recurrences, or registers — the buckets of Fig. 1) and the driver
+// retries at II+1, refining the previous partition.
+//
+// internal/core re-exports these types as the stable compilation API;
+// internal/driver builds the concurrent batch-compilation engine on top.
+package pipeline
+
+import (
+	"fmt"
+
+	"clusched/internal/ddg"
+	"clusched/internal/machine"
+	"clusched/internal/mii"
+	"clusched/internal/partition"
+	"clusched/internal/replic"
+	"clusched/internal/sched"
+)
+
+// Cause classifies why the II had to be increased past the MII.
+type Cause int
+
+const (
+	// CauseBus: the partition implies more communications than the buses
+	// can carry (or a copy could not be placed).
+	CauseBus Cause = iota
+	// CauseRecurrence: the scheduler could not honor a dependence window.
+	CauseRecurrence
+	// CauseRegisters: a cluster's register pressure exceeded its file.
+	CauseRegisters
+	// NumCauses is the number of cause buckets.
+	NumCauses
+)
+
+// String names the cause as in the paper's Fig. 1 legend.
+func (c Cause) String() string {
+	switch c {
+	case CauseBus:
+		return "Bus"
+	case CauseRecurrence:
+		return "Recurrences"
+	case CauseRegisters:
+		return "Registers"
+	}
+	return fmt.Sprintf("Cause(%d)", int(c))
+}
+
+// Options selects the pipeline variant.
+type Options struct {
+	// Replicate enables the §3 replication pass (the paper's contribution).
+	Replicate bool
+	// LengthReplicate additionally runs the §5.1 schedule-length extension
+	// after the II settles.
+	LengthReplicate bool
+	// ZeroBusLatency schedules with zero-latency buses that still consume
+	// bus bandwidth: the Fig. 12 upper bound.
+	ZeroBusLatency bool
+	// UseMacroReplication swaps in the §5.2 macro-node heuristic (ablation).
+	UseMacroReplication bool
+	// MaxII overrides the search bound (0 = automatic).
+	MaxII int
+	// IgnoreRegisterPressure disables the register-file feasibility check
+	// (used by the unrolling ablation, whose bodies legitimately exceed the
+	// file — a real compiler would spill).
+	IgnoreRegisterPressure bool
+	// VerifySchedules re-checks every accepted schedule against the
+	// dependence and resource constraints (cheap; used by tests).
+	VerifySchedules bool
+}
+
+// Result is the outcome of compiling one loop for one machine.
+type Result struct {
+	// Loop and Machine identify the compilation.
+	Loop    *ddg.Graph
+	Machine machine.Config
+	// MII is the lower bound max(ResMII, RecMII); II the achieved interval.
+	MII, II int
+	// Length is the schedule length of one iteration; SC the stage count.
+	Length, SC int
+	// CommsBeforeReplication counts the communications the final partition
+	// implied; Comms counts those remaining in the final schedule.
+	CommsBeforeReplication, Comms int
+	// Replicated counts replica instances added per class; Removed counts
+	// original instructions deleted as dead.
+	Replicated [ddg.NumClasses]int
+	Removed    int
+	// ReplicationSteps is the number of subgraphs replicated.
+	ReplicationSteps int
+	// IIIncreases tallies II bumps by cause.
+	IIIncreases [NumCauses]int
+	// Schedule is the final verified schedule.
+	Schedule *sched.Schedule
+	// Placement is the final placement (homes + replicas).
+	Placement *sched.Placement
+}
+
+// Speedup returns the ratio of the other result's cycle count to this one's
+// for N iterations: >1 means this result is faster.
+func (r *Result) Speedup(other *Result, iterations float64) float64 {
+	return other.Schedule.CyclesFor(iterations) / r.Schedule.CyclesFor(iterations)
+}
+
+// Context is the compilation state shared by the passes of one II attempt.
+// The driver resets the per-attempt fields before each attempt; Assign
+// persists across attempts so the partitioner can refine its previous
+// answer instead of starting over.
+type Context struct {
+	// Graph, Machine and Opts identify the compilation; they are fixed for
+	// the whole II search.
+	Graph   *ddg.Graph
+	Machine machine.Config
+	Opts    Options
+
+	// MII is the lower bound; II is the interval of the current attempt.
+	MII, II int
+
+	// Assign is the cluster assignment, carried across II attempts.
+	Assign *partition.Assignment
+	// Placement wraps Assign with copy and replica bookkeeping for the
+	// current attempt.
+	Placement *sched.Placement
+	// CommsBeforeReplication counts the communications the partition
+	// implied before any replication ran.
+	CommsBeforeReplication int
+	// ReplStats accumulates replication statistics for the current attempt.
+	ReplStats replic.Stats
+	// Schedule is set by the scheduling pass on success.
+	Schedule *sched.Schedule
+
+	failCause Cause
+	failed    bool
+}
+
+// Fail abandons the current II attempt with the given cause. The driver
+// tallies the cause in Result.IIIncreases, skips the remaining passes and
+// retries the chain at II+1.
+func (c *Context) Fail(cause Cause) { c.failed, c.failCause = true, cause }
+
+// Failed reports whether the current attempt has been abandoned, and why.
+func (c *Context) Failed() (Cause, bool) { return c.failCause, c.failed }
+
+// reset clears the per-attempt state for a new II attempt.
+func (c *Context) reset(ii int) {
+	c.II = ii
+	c.Placement = nil
+	c.CommsBeforeReplication = 0
+	c.ReplStats = replic.Stats{}
+	c.Schedule = nil
+	c.failed = false
+}
+
+// Pass is one stage of the per-II pipeline. Run either advances the
+// context, calls ctx.Fail to abandon the attempt, or returns a hard error
+// that aborts the whole compilation (reserved for internal invariant
+// violations, not for ordinary "try a larger II" failures).
+type Pass interface {
+	// Name identifies the pass in diagnostics.
+	Name() string
+	// Run executes the pass over the shared context.
+	Run(ctx *Context) error
+}
+
+// Compile runs the standard pass chain on one loop: the paper's Fig. 2
+// driver, searching upward from II = MII.
+func Compile(g *ddg.Graph, m machine.Config, opts Options) (*Result, error) {
+	return Run(g, m, opts, Chain())
+}
+
+// MaxII returns the automatic II search bound for a loop on a machine: any
+// loop fits once the II covers all communications, the longest latency
+// chain and the whole resource footprint.
+func MaxII(g *ddg.Graph, m machine.Config, lower int) int {
+	return lower + m.MinBusII(g.NumNodes()) + 16*g.NumNodes() + 256
+}
+
+// Run drives an explicit pass chain through the II search. Each attempt
+// resets the per-attempt context state and executes the passes in order;
+// the first pass to Fail ends the attempt and its cause is tallied. The
+// chain must leave ctx.Schedule and ctx.Placement set on success.
+func Run(g *ddg.Graph, m machine.Config, opts Options, passes []Pass) (*Result, error) {
+	res := &Result{Loop: g, Machine: m}
+	res.MII = mii.MII(g, m)
+
+	maxII := opts.MaxII
+	if maxII == 0 {
+		maxII = MaxII(g, m, res.MII)
+	}
+
+	ctx := &Context{Graph: g, Machine: m, Opts: opts, MII: res.MII}
+	for ii := res.MII; ii <= maxII; ii++ {
+		ctx.reset(ii)
+		for _, p := range passes {
+			if err := p.Run(ctx); err != nil {
+				return nil, err
+			}
+			if ctx.failed {
+				break
+			}
+		}
+		if cause, failed := ctx.Failed(); failed {
+			res.IIIncreases[cause]++
+			continue // II++
+		}
+		if ctx.Schedule == nil || ctx.Placement == nil {
+			return nil, fmt.Errorf("pipeline: pass chain accepted II=%d without producing a schedule", ii)
+		}
+		res.II = ii
+		res.Length = ctx.Schedule.Length
+		res.SC = ctx.Schedule.SC
+		res.CommsBeforeReplication = ctx.CommsBeforeReplication
+		res.Comms = ctx.Placement.Comms()
+		res.Replicated = ctx.ReplStats.Replicated
+		res.Removed = ctx.ReplStats.Removed
+		res.ReplicationSteps = ctx.ReplStats.Steps
+		res.Schedule = ctx.Schedule
+		res.Placement = ctx.Placement
+		return res, nil
+	}
+	return nil, fmt.Errorf("pipeline: loop %s does not schedule on %s with II up to %d", g.Name, m, maxII)
+}
