@@ -1,0 +1,208 @@
+package clusched
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"clusched/internal/driver"
+	"clusched/internal/wire"
+)
+
+// Client speaks to a clusched-serve compilation service. Results come
+// back through the wire codec, which rebuilds and re-verifies every
+// schedule — a Result obtained remotely is as trustworthy as one compiled
+// in-process, and carries the full Schedule and Placement (so kernels can
+// be printed and pipelines expanded locally).
+//
+// The zero Client is not usable; call NewClient.
+type Client struct {
+	base string
+	hc   *http.Client
+	// PollInterval paces WaitBatch's GET /jobs/{id} loop (default 250ms).
+	PollInterval time.Duration
+}
+
+// NewClient returns a Client for the service at base (e.g.
+// "http://localhost:8357").
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// RemoteStats is the service's /stats answer.
+type RemoteStats = wire.ServiceStats
+
+// QueueFullError reports an admission-control rejection (HTTP 429); the
+// caller should retry after the hinted delay.
+type QueueFullError struct {
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("clusched: service queue full, retry after %v", e.RetryAfter)
+}
+
+// do sends one JSON request and decodes the JSON answer into out,
+// translating error answers.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var er wire.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&er); err == nil && er.Error != "" {
+			if resp.StatusCode == http.StatusTooManyRequests {
+				return &QueueFullError{RetryAfter: time.Duration(er.RetryAfterMS) * time.Millisecond}
+			}
+			return fmt.Errorf("clusched: service: %s", er.Error)
+		}
+		return fmt.Errorf("clusched: service answered %s", resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health reports whether the service is up and accepting work.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Stats fetches the service metrics.
+func (c *Client) Stats(ctx context.Context) (RemoteStats, error) {
+	var st RemoteStats
+	err := c.do(ctx, http.MethodGet, "/stats", nil, &st)
+	return st, err
+}
+
+// Compile compiles one loop remotely (POST /compile?wait=1, blocking
+// until the service finishes). cacheHit reports whether the service
+// answered from its cache.
+func (c *Client) Compile(ctx context.Context, g *Graph, m Machine, opts Options) (res *Result, cacheHit bool, err error) {
+	wj, err := wire.EncodeJob(driver.Job{Graph: g, Machine: m, Opts: opts})
+	if err != nil {
+		return nil, false, err
+	}
+	var st wire.JobStatus
+	if err := c.do(ctx, http.MethodPost, "/compile?wait=1", wj, &st); err != nil {
+		return nil, false, err
+	}
+	if len(st.Outcomes) != 1 {
+		return nil, false, fmt.Errorf("clusched: service answered %d outcomes for one job (state %s, %s)",
+			len(st.Outcomes), st.State, st.Error)
+	}
+	out, err := st.Outcomes[0].Decode()
+	if err != nil {
+		return nil, false, err
+	}
+	return out.Result, out.CacheHit, out.Err
+}
+
+// SubmitBatch submits jobs for asynchronous remote compilation and
+// returns the ticket ID. timeout bounds the batch's remote lifetime
+// (0 = the server's policy).
+func (c *Client) SubmitBatch(ctx context.Context, jobs []CompileJob, timeout time.Duration) (string, error) {
+	wjs := make([]wire.Job, len(jobs))
+	for i, j := range jobs {
+		wj, err := wire.EncodeJob(j)
+		if err != nil {
+			return "", fmt.Errorf("job %d: %w", i, err)
+		}
+		wjs[i] = wj
+	}
+	var sub wire.SubmitResponse
+	err := c.do(ctx, http.MethodPost, "/batch", wire.SubmitRequest{Jobs: wjs, TimeoutMS: timeout.Milliseconds()}, &sub)
+	return sub.ID, err
+}
+
+// BatchStatus is a remote ticket snapshot; Outcomes is nil until the
+// ticket finishes.
+type BatchStatus struct {
+	ID    string
+	State string
+	// Outcomes is index-aligned with the submitted jobs; Job fields are
+	// zero (the submitter already has them).
+	Outcomes []CompileOutcome
+	// Err summarizes the batch failure or cancellation, if any.
+	Err error
+}
+
+// Status polls a ticket once.
+func (c *Client) Status(ctx context.Context, id string) (BatchStatus, error) {
+	var ws wire.JobStatus
+	if err := c.do(ctx, http.MethodGet, "/jobs/"+id, nil, &ws); err != nil {
+		return BatchStatus{}, err
+	}
+	return decodeStatus(ws)
+}
+
+// WaitBatch polls a ticket until it finishes (or ctx is done) and returns
+// the final status with decoded outcomes.
+func (c *Client) WaitBatch(ctx context.Context, id string) (BatchStatus, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return BatchStatus{}, err
+		}
+		if st.State == wire.StateDone || st.State == wire.StateCanceled {
+			return st, nil
+		}
+		select {
+		case <-time.After(interval):
+		case <-ctx.Done():
+			return BatchStatus{}, ctx.Err()
+		}
+	}
+}
+
+// Cancel cancels a remote ticket.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/jobs/"+id, nil, nil)
+}
+
+func decodeStatus(ws wire.JobStatus) (BatchStatus, error) {
+	st := BatchStatus{ID: ws.ID, State: ws.State}
+	if ws.Error != "" {
+		st.Err = &wire.RemoteError{Msg: ws.Error}
+	}
+	if ws.Outcomes == nil {
+		return st, nil
+	}
+	st.Outcomes = make([]CompileOutcome, len(ws.Outcomes))
+	for i, wo := range ws.Outcomes {
+		out, err := wo.Decode()
+		if err != nil {
+			return BatchStatus{}, fmt.Errorf("outcome %d: %w", i, err)
+		}
+		st.Outcomes[i] = out
+	}
+	return st, nil
+}

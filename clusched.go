@@ -10,7 +10,9 @@
 // into the consuming clusters, and produces a verified modulo schedule.
 // Batch traffic goes through the concurrent engine (NewCompiler,
 // CompileAll): a bounded worker pool with deterministic result ordering
-// and a shared result cache.
+// and a shared result cache. For cross-process compilation, cmd/clusched-
+// serve runs the engine as an HTTP service with a persistent result cache,
+// and Client (NewClient) speaks to it.
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction of the paper's evaluation.
 //

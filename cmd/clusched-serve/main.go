@@ -1,0 +1,105 @@
+// Command clusched-serve runs the compilation service: an HTTP server
+// that accepts loops in the ddg text format (wrapped in JSON), compiles
+// them on the shared batch engine, and answers tickets asynchronously.
+// With -cache-dir it keeps a persistent result cache, so a restarted
+// server answers previously seen jobs without recompiling them.
+//
+// Usage:
+//
+//	clusched-serve -addr :8357 -cache-dir /var/cache/clusched
+//	clusched-serve -workers 8 -queue 128 -timeout 5m
+//
+// Endpoints:
+//
+//	POST   /compile    one job (JSON {loop, machine, options}); ?wait=1 blocks
+//	POST   /batch      {jobs: [...], timeout_ms} → {id}
+//	GET    /jobs/{id}  ticket status; outcomes once finished
+//	DELETE /jobs/{id}  cancel
+//	GET    /stats      queue depth, in-flight, throughput, cache hit rate
+//	GET    /healthz    200 while serving, 503 while draining
+//
+// SIGINT/SIGTERM triggers a graceful drain bounded by -drain-timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"clusched/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8357", "listen address")
+	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory (empty = in-memory only)")
+	workers := flag.Int("workers", 0, "concurrent compilations per batch (default: GOMAXPROCS)")
+	runners := flag.Int("runners", 1, "batches processed concurrently")
+	queue := flag.Int("queue", 64, "queued-ticket bound (admission control)")
+	cacheSize := flag.Int("cache-size", 0, "in-memory result-cache entries (default: engine default)")
+	timeout := flag.Duration("timeout", 0, "default per-ticket deadline (0 = none)")
+	drain := flag.Duration("drain-timeout", time.Minute, "graceful-shutdown bound")
+	flag.Parse()
+
+	cfg := service.Config{
+		Workers:        *workers,
+		Runners:        *runners,
+		QueueDepth:     *queue,
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *timeout,
+	}
+	var cache *service.DiskCache
+	if *cacheDir != "" {
+		var err error
+		cache, err = service.OpenDiskCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Store = cache
+		fmt.Fprintf(os.Stderr, "clusched-serve: persistent cache at %s (%d entries)\n", *cacheDir, cache.Len())
+	}
+	srv := service.New(cfg)
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "clusched-serve: listening on %s\n", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "clusched-serve: %v, draining (up to %v)\n", sig, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "clusched-serve: forced shutdown: %v\n", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "clusched-serve: http shutdown: %v\n", err)
+	}
+	if cache != nil {
+		if err := cache.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "clusched-serve: cache close: %v\n", err)
+		}
+	}
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "clusched-serve: served %d tickets, %d jobs; cache hit rate %.1f%%\n",
+		st.Completed, st.JobsCompiled, 100*st.Cache.HitRate)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "clusched-serve: %v\n", err)
+	os.Exit(1)
+}

@@ -12,6 +12,14 @@
 //	paperbench -fig unroll  # §6 unrolling-vs-replication ablation
 //	paperbench -o report.txt
 //	paperbench -j 4 -progress   # 4 concurrent compilations, progress on stderr
+//	paperbench -json bench.json # machine-readable per-figure numbers + engine stats
+//
+// -json writes the typed per-figure rows (the same data the text report
+// renders) plus the engine's CacheStats as one JSON document, the format
+// of the BENCH_*.json perf-trajectory files. It composes with -fig: only
+// the selected experiment's section is populated. The suite results are
+// memoized in the engine, so emitting JSON alongside the text report does
+// not recompile anything.
 //
 // Every pipeline-level experiment drives the shared batch-compilation
 // engine (internal/driver): -j bounds its worker pool and -progress
@@ -21,6 +29,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,9 +38,62 @@ import (
 	"clusched/internal/experiments"
 )
 
+// jsonReport is the -json document: one optional section per experiment
+// (absent sections were not run) plus the engine cache accounting.
+type jsonReport struct {
+	Fig1      []experiments.Fig1Row      `json:"fig1,omitempty"`
+	Fig7      []experiments.Fig7Config   `json:"fig7,omitempty"`
+	Fig8      []experiments.Fig8Row      `json:"fig8,omitempty"`
+	Fig9      []experiments.Fig9Row      `json:"fig9,omitempty"`
+	Fig10     []experiments.Fig10Row     `json:"fig10,omitempty"`
+	Fig12     []experiments.Fig12Row     `json:"fig12,omitempty"`
+	CommStats []experiments.CommStatsRow `json:"comm_stats,omitempty"`
+	Macro     []experiments.MacroRow     `json:"macro,omitempty"`
+	RegSweep  []experiments.RegSweepRow  `json:"reg_sweep,omitempty"`
+	Engine    driver.CacheStats          `json:"engine"`
+}
+
+// collectJSON gathers the typed rows for the selected experiment ("" =
+// every figure the full report covers). The underlying suite runs are
+// served from the engine cache, so this re-reads, it does not recompute.
+func collectJSON(fig string) jsonReport {
+	var r jsonReport
+	all := fig == ""
+	if all || fig == "1" {
+		r.Fig1 = experiments.Fig1()
+	}
+	if all || fig == "7" {
+		r.Fig7 = experiments.Fig7()
+	}
+	if all || fig == "8" {
+		r.Fig8 = experiments.Fig8()
+	}
+	if all || fig == "9" {
+		r.Fig9 = experiments.Fig9()
+	}
+	if all || fig == "10" {
+		r.Fig10 = experiments.Fig10()
+	}
+	if all || fig == "12" {
+		r.Fig12 = experiments.Fig12()
+	}
+	if all || fig == "stats" {
+		r.CommStats = experiments.CommStats()
+	}
+	if all || fig == "macro" {
+		r.Macro = experiments.MacroAblation()
+	}
+	if fig == "regs" { // not part of the full report; only when selected
+		r.RegSweep = experiments.RegSweep()
+	}
+	r.Engine = experiments.EngineStats()
+	return r
+}
+
 func main() {
 	fig := flag.String("fig", "", "experiment to run: 1, 7, 8, 9, 10, 12, table1, stats, macro, unroll, regs, design (default: all)")
 	out := flag.String("o", "", "write the report to a file instead of stdout")
+	jsonOut := flag.String("json", "", "also write machine-readable per-figure numbers and engine CacheStats to this file")
 	jobs := flag.Int("j", 0, "concurrent compilations (default: GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "report per-suite compilation progress on stderr")
 	flag.Parse()
@@ -88,6 +150,18 @@ func main() {
 		st := experiments.EngineStats()
 		fmt.Fprintf(os.Stderr, "engine cache: %d hits, %d misses, %d entries\n",
 			st.Hits, st.Misses, st.Entries)
+	}
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(collectJSON(*fig), "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 	}
 	if *out == "" {
 		fmt.Print(report)

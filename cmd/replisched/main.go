@@ -6,20 +6,29 @@
 //
 //	replisched -config 4c2b2l64r loop.ddg
 //	loopgen -bench tomcatv -n 1 | replisched -config 4c1b2l64r -kernel -
+//	replisched -remote http://localhost:8357 -config 4c2b2l64r loop.ddg
 //
 // Flags select the machine (wcxbylzr or "unified"), the pipeline variant,
 // and whether to print the kernel and the cluster assignment. Inputs with
 // several loops are compiled concurrently on the batch engine; reports are
 // printed in input order, loops that fail to schedule are reported inline,
 // and the exit status is nonzero if any loop failed.
+//
+// With -remote the batch is submitted to a clusched-serve instance over
+// HTTP instead of being compiled in-process; results come back through
+// the wire codec (re-verified schedules), so -kernel, -asm, -verify and
+// -dot work identically. Outcomes served from the service's cache are
+// marked "(cached)".
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"clusched"
 	"clusched/internal/codegen"
 	"clusched/internal/core"
 	"clusched/internal/ddg"
@@ -36,6 +45,7 @@ func main() {
 	asm := flag.Bool("asm", false, "expand and print the full software pipeline (prolog/kernel/epilog with registers)")
 	simIters := flag.Int("verify", 0, "execute the schedule for N iterations and verify against direct evaluation")
 	dot := flag.Bool("dot", false, "print the partitioned DDG in Graphviz format")
+	remote := flag.String("remote", "", "compile on a clusched-serve instance at this base URL instead of in-process")
 	flag.Parse()
 
 	m, err := machine.Parse(*cfg)
@@ -68,15 +78,27 @@ func main() {
 	for i, g := range loops {
 		jobs[i] = driver.Job{Graph: g, Machine: m, Opts: opts}
 	}
-	outcomes, batchErr := driver.New(driver.Config{}).CompileAll(jobs)
-	for _, out := range outcomes {
-		g, res := out.Job.Graph, out.Result
+	var (
+		outcomes []driver.Outcome
+		batchErr error
+	)
+	if *remote != "" {
+		outcomes, batchErr = compileRemote(*remote, jobs)
+	} else {
+		outcomes, batchErr = driver.New(driver.Config{}).CompileAll(jobs)
+	}
+	for i, out := range outcomes {
+		g, res := jobs[i].Graph, out.Result
 		if out.Err != nil {
-			fmt.Fprintf(os.Stderr, "replisched: %v\n", out.Err)
+			fmt.Fprintf(os.Stderr, "replisched: loop %s: %v\n", g.Name, out.Err)
 			continue
 		}
-		fmt.Printf("loop %s on %s: MII=%d II=%d length=%d stages=%d\n",
-			g.Name, m, res.MII, res.II, res.Length, res.SC)
+		cached := ""
+		if out.CacheHit {
+			cached = " (cached)"
+		}
+		fmt.Printf("loop %s on %s: MII=%d II=%d length=%d stages=%d%s\n",
+			g.Name, m, res.MII, res.II, res.Length, res.SC, cached)
 		fmt.Printf("  communications: %d implied by the partition, %d after replication\n",
 			res.CommsBeforeReplication, res.Comms)
 		if res.ReplicationSteps > 0 {
@@ -113,6 +135,33 @@ func main() {
 	if batchErr != nil {
 		fatal(batchErr)
 	}
+}
+
+// compileRemote ships the batch to a clusched-serve instance and maps the
+// remote outcomes back onto the submitted jobs. The returned error plays
+// the role of CompileAll's aggregate batch error.
+func compileRemote(base string, jobs []driver.Job) ([]driver.Outcome, error) {
+	ctx := context.Background()
+	client := clusched.NewClient(base)
+	if err := client.Health(ctx); err != nil {
+		fatal(fmt.Errorf("service at %s unreachable: %w", base, err))
+	}
+	id, err := client.SubmitBatch(ctx, jobs, 0)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := client.WaitBatch(ctx, id)
+	if err != nil {
+		fatal(err)
+	}
+	if len(st.Outcomes) != len(jobs) {
+		fatal(fmt.Errorf("service answered %d outcomes for %d loops (ticket %s %s)",
+			len(st.Outcomes), len(jobs), id, st.State))
+	}
+	for i := range st.Outcomes {
+		st.Outcomes[i].Job = jobs[i]
+	}
+	return st.Outcomes, st.Err
 }
 
 func fatal(err error) {

@@ -49,6 +49,12 @@ func (b *Builder) EdgeLat(src, dst, dist, lat int) {
 	b.addEdge(src, dst, dist, EdgeData, lat)
 }
 
+// MemEdgeLat adds a memory ordering dependence with an explicit latency
+// (MemEdge uses latency 1).
+func (b *Builder) MemEdgeLat(src, dst, dist, lat int) {
+	b.addEdge(src, dst, dist, EdgeMem, lat)
+}
+
 func (b *Builder) addEdge(src, dst, dist int, kind EdgeKind, lat int) {
 	if src < 0 || src >= len(b.g.Nodes) || dst < 0 || dst >= len(b.g.Nodes) {
 		b.errs = append(b.errs, fmt.Errorf("edge (%d,%d) references unknown node", src, dst))

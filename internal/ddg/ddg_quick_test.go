@@ -33,12 +33,16 @@ func TestQuickTextRoundTrip(t *testing.T) {
 	f := func(seed int64, nRaw uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		g := randomValidGraph(rng, 2+int(nRaw%40))
-		text := MarshalText(g)
+		text, err := MarshalText(g)
+		if err != nil {
+			return false
+		}
 		g2, err := ParseOne(strings.NewReader(text))
 		if err != nil {
 			return false
 		}
-		return MarshalText(g2) == text
+		text2, err := MarshalText(g2)
+		return err == nil && text2 == text
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Error(err)

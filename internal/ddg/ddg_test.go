@@ -258,13 +258,16 @@ func TestTextRoundTrip(t *testing.T) {
 	b.Edge(m, s, 0)
 	b.MemEdge(s, l, 1)
 	g := b.MustBuild()
-	text := MarshalText(g)
+	text, err := MarshalText(g)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
 	g2, err := ParseOne(strings.NewReader(text))
 	if err != nil {
 		t.Fatalf("parse: %v\n%s", err, text)
 	}
-	if MarshalText(g2) != text {
-		t.Errorf("round trip mismatch:\n%s\nvs\n%s", text, MarshalText(g2))
+	if text2, err := MarshalText(g2); err != nil || text2 != text {
+		t.Errorf("round trip mismatch (%v):\n%s\nvs\n%s", err, text, text2)
 	}
 }
 

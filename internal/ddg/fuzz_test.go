@@ -14,6 +14,16 @@ func FuzzParseText(f *testing.F) {
 	f.Add("loop a\nnode s store\nnode l load\nedge s l mem\nend\n")
 	f.Add("# comment\n\nloop a\nend\nloop b\nnode q fdiv\nend\n")
 	f.Add("loop x\nnode a iadd\nedge a a dist -1\nend\n")
+	// Mem-edge latency encoding: the writer omits "lat" only at the MemEdge
+	// default (1); explicit defaults and non-defaults must both round-trip.
+	f.Add("loop m\nnode s store\nnode l load\nedge s l mem lat 1\nend\n")
+	f.Add("loop m\nnode s store\nnode l load\nedge s l mem lat 4\nend\n")
+	f.Add("loop m\nnode s store\nnode l load\nedge s l mem lat 0 dist 1\nend\n")
+	// Negative latencies must be rejected, not silently replaced.
+	f.Add("loop m\nnode s store\nnode l load\nedge s l mem lat -3\nend\n")
+	f.Add("loop m\nnode x iadd\nnode y iadd\nedge x y lat -1\nend\n")
+	// Labels that collide with synthetic "n<ID>" names.
+	f.Add("loop c\nnode n1 load\nnode n0 store\nedge n1 n0\nend\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		gs, err := ParseText(strings.NewReader(input))
 		if err != nil {
@@ -23,13 +33,28 @@ func FuzzParseText(f *testing.F) {
 			if verr := g.Validate(); verr != nil {
 				t.Fatalf("parser accepted an invalid graph: %v", verr)
 			}
-			text := MarshalText(g)
+			for i := range g.Edges {
+				if g.Edges[i].Lat < 0 {
+					t.Fatalf("parser accepted a negative latency: %+v", g.Edges[i])
+				}
+			}
+			text, err := MarshalText(g)
+			if err != nil {
+				t.Fatalf("parsed graph does not re-encode: %v", err)
+			}
 			g2, err := ParseOne(strings.NewReader(text))
 			if err != nil {
 				t.Fatalf("re-encoded form rejected: %v\n%s", err, text)
 			}
-			if MarshalText(g2) != text {
-				t.Fatalf("re-encode not a fixed point:\n%s\nvs\n%s", text, MarshalText(g2))
+			text2, err := MarshalText(g2)
+			if err != nil {
+				t.Fatalf("re-parse does not re-encode: %v", err)
+			}
+			if text2 != text {
+				t.Fatalf("re-encode not a fixed point:\n%s\nvs\n%s", text, text2)
+			}
+			if g.Fingerprint() != g2.Fingerprint() {
+				t.Fatalf("fingerprint changed across the codec:\n%s", text)
 			}
 		}
 	})

@@ -1,0 +1,121 @@
+package ddg_test
+
+// External test package: the round-trip property runs over the full
+// SPECfp95 workload, and workload imports ddg.
+
+import (
+	"strings"
+	"testing"
+
+	"clusched/internal/ddg"
+	"clusched/internal/workload"
+)
+
+// checkRoundTrip asserts the encode→parse→encode property for one graph:
+// the text form must parse back to a structurally identical graph (same
+// ops, same edges field-for-field, same fingerprint) whose re-encoding is
+// byte-identical.
+func checkRoundTrip(t *testing.T, g *ddg.Graph) {
+	t.Helper()
+	text, err := ddg.MarshalText(g)
+	if err != nil {
+		t.Fatalf("%s: MarshalText: %v", g.Name, err)
+	}
+	g2, err := ddg.ParseOne(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("%s: re-parse failed: %v\n%s", g.Name, err, text)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("%s: size changed: %d/%d nodes, %d/%d edges",
+			g.Name, g.NumNodes(), g2.NumNodes(), g.NumEdges(), g2.NumEdges())
+	}
+	for i := range g.Nodes {
+		if g.Nodes[i].Op != g2.Nodes[i].Op {
+			t.Fatalf("%s: node %d op %v became %v", g.Name, i, g.Nodes[i].Op, g2.Nodes[i].Op)
+		}
+	}
+	for i := range g.Edges {
+		a, b := g.Edges[i], g2.Edges[i]
+		if a.Src != b.Src || a.Dst != b.Dst || a.Dist != b.Dist || a.Kind != b.Kind || a.Lat != b.Lat {
+			t.Fatalf("%s: edge %d diverged: %+v became %+v", g.Name, i, a, b)
+		}
+	}
+	if g.Fingerprint() != g2.Fingerprint() {
+		t.Fatalf("%s: fingerprint changed across the text codec", g.Name)
+	}
+	text2, err := ddg.MarshalText(g2)
+	if err != nil {
+		t.Fatalf("%s: re-encode: %v", g.Name, err)
+	}
+	if text2 != text {
+		t.Fatalf("%s: re-encode not byte-identical:\n%s\nvs\n%s", g.Name, text, text2)
+	}
+}
+
+// TestTextRoundTripSuite runs the round-trip property over every loop of
+// the synthetic SPECfp95 suite — the graphs the service actually ships
+// across the wire.
+func TestTextRoundTripSuite(t *testing.T) {
+	loops := workload.SPECfp95()
+	if len(loops) != workload.TotalLoops {
+		t.Fatalf("suite has %d loops, want %d", len(loops), workload.TotalLoops)
+	}
+	for _, l := range loops {
+		checkRoundTrip(t, l.Graph)
+	}
+}
+
+// TestTextRoundTripMemLatency pins the mem-edge latency encoding: the
+// writer omits "lat" exactly when the latency is the MemEdge default (1),
+// and every other latency survives the trip.
+func TestTextRoundTripMemLatency(t *testing.T) {
+	for _, lat := range []int{0, 1, 2, 5} {
+		b := ddg.NewBuilder("memlat")
+		s := b.Node("s", ddg.OpStore)
+		l := b.Node("l", ddg.OpLoad)
+		b.MemEdgeLat(s, l, 1, lat)
+		g, err := b.Build()
+		if err != nil {
+			t.Fatalf("lat %d: %v", lat, err)
+		}
+		if g.Edges[0].Lat != lat {
+			t.Fatalf("lat %d: builder produced %d", lat, g.Edges[0].Lat)
+		}
+		checkRoundTrip(t, g)
+	}
+}
+
+// TestTextSyntheticLabelCollision: a graph can hold an explicit label that
+// collides with the synthetic name of an unlabeled node ("n<ID>"). The
+// writer must keep the emitted names unique or the text form re-parses
+// into a different graph (or not at all).
+func TestTextSyntheticLabelCollision(t *testing.T) {
+	b := ddg.NewBuilder("collide")
+	x := b.Node("n1", ddg.OpLoad)   // explicit label "n1" on node 0
+	y := b.Node("", ddg.OpFMul)     // unlabeled node 1: synthetic name would be "n1"
+	z := b.Node("n0", ddg.OpStore)  // and "n0" is taken too
+	b.Edge(x, y, 0)
+	b.Edge(y, z, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRoundTrip(t, g)
+}
+
+// TestTextUnencodableLabel: labels with whitespace or '#' cannot survive
+// the whitespace-delimited text format; WriteText must refuse them rather
+// than emit text that parses into a different graph.
+func TestTextUnencodableLabel(t *testing.T) {
+	for _, label := range []string{"two words", "tab\tlabel", "#lead", "new\nline"} {
+		b := ddg.NewBuilder("bad")
+		b.Node(label, ddg.OpIAdd)
+		g, err := b.Build()
+		if err != nil {
+			t.Fatalf("label %q: %v", label, err)
+		}
+		if _, err := ddg.MarshalText(g); err == nil {
+			t.Fatalf("label %q: MarshalText accepted an unencodable label", label)
+		}
+	}
+}

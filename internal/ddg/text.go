@@ -6,6 +6,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"unicode"
 )
 
 // This file implements a line-oriented text format for DDGs, used by the
@@ -19,22 +20,80 @@ import (
 // '#' starts a comment; blank lines are ignored. Multiple loops may appear
 // in one stream.
 
-// WriteText encodes the graph in the text format.
+// encodableName reports whether a name can survive the whitespace-
+// delimited line format: non-empty, no whitespace, and not starting with
+// the comment character.
+func encodableName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "#") {
+		return false
+	}
+	return strings.IndexFunc(s, unicode.IsSpace) < 0
+}
+
+// wireNames returns the node names WriteText emits: explicit labels as-is,
+// synthetic "n<ID>" names for unlabeled nodes — disambiguated (with
+// trailing underscores) when a synthetic name collides with an explicit
+// label elsewhere in the graph, so the emitted names are always unique and
+// the text re-parses into the same structure. It errors on labels the
+// format cannot carry.
+func wireNames(g *Graph) ([]string, error) {
+	names := make([]string, len(g.Nodes))
+	used := make(map[string]bool, len(g.Nodes))
+	for i := range g.Nodes {
+		if l := g.Nodes[i].Label; l != "" {
+			if !encodableName(l) {
+				return nil, fmt.Errorf("ddg: node %d label %q cannot be encoded in the text format", i, l)
+			}
+			names[i] = l
+			used[l] = true
+		}
+	}
+	for i := range g.Nodes {
+		if names[i] != "" {
+			continue
+		}
+		name := fmt.Sprintf("n%d", i)
+		for used[name] {
+			name += "_"
+		}
+		names[i] = name
+		used[name] = true
+	}
+	return names, nil
+}
+
+// memEdgeDefaultLat is the latency Builder.MemEdge assigns and the codec
+// omits: the writer and the parser must agree on this default or mem edges
+// do not round-trip.
+const memEdgeDefaultLat = 1
+
+// WriteText encodes the graph in the text format. The encoding
+// round-trips: parsing it yields a structurally identical graph (same
+// operations, edges and fingerprint) whose re-encoding is byte-identical.
+// Graphs with labels the format cannot carry (whitespace, leading '#') are
+// rejected.
 func WriteText(w io.Writer, g *Graph) error {
+	names, err := wireNames(g)
+	if err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
+	if !encodableName(g.Name) {
+		return fmt.Errorf("ddg: loop name %q cannot be encoded in the text format", g.Name)
+	}
 	fmt.Fprintf(bw, "loop %s\n", g.Name)
 	for i := range g.Nodes {
-		fmt.Fprintf(bw, "node %s %s\n", g.NodeName(i), g.Nodes[i].Op)
+		fmt.Fprintf(bw, "node %s %s\n", names[i], g.Nodes[i].Op)
 	}
 	for i := range g.Edges {
 		e := &g.Edges[i]
-		fmt.Fprintf(bw, "edge %s %s", g.NodeName(e.Src), g.NodeName(e.Dst))
+		fmt.Fprintf(bw, "edge %s %s", names[e.Src], names[e.Dst])
 		if e.Dist != 0 {
 			fmt.Fprintf(bw, " dist %d", e.Dist)
 		}
 		if e.Kind == EdgeMem {
 			fmt.Fprint(bw, " mem")
-			if e.Lat != 1 {
+			if e.Lat != memEdgeDefaultLat {
 				fmt.Fprintf(bw, " lat %d", e.Lat)
 			}
 		} else if e.Lat != g.Nodes[e.Src].Op.Latency() {
@@ -47,12 +106,12 @@ func WriteText(w io.Writer, g *Graph) error {
 }
 
 // MarshalText returns the text encoding of the graph as a string.
-func MarshalText(g *Graph) string {
+func MarshalText(g *Graph) (string, error) {
 	var sb strings.Builder
 	if err := WriteText(&sb, g); err != nil {
-		panic(err) // strings.Builder never errors
+		return "", err
 	}
-	return sb.String()
+	return sb.String(), nil
 }
 
 // ParseText decodes every loop in the stream.
@@ -124,6 +183,12 @@ func ParseText(r io.Reader) ([]*Graph, error) {
 					if fields[i] == "dist" {
 						dist = v
 					} else {
+						// -1 is the "use the default" sentinel below, so a
+						// negative latency would be dropped silently; reject
+						// it instead (Validate forbids it anyway).
+						if v < 0 {
+							return fail("lat wants a non-negative value, got %d", v)
+						}
 						lat = v
 					}
 					i++

@@ -1,0 +1,233 @@
+package driver
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"clusched/internal/pipeline"
+)
+
+// TestCompileAllContextCancelMidFlight cancels a batch partway through and
+// checks the contract: the call returns promptly, every outcome is either
+// a finished compilation or ctx.Err(), the finished ones are identical to
+// a serial reference run, and the aggregate error accounts for every
+// cancelled job.
+func TestCompileAllContextCancelMidFlight(t *testing.T) {
+	jobs := sampleJobs(t, "tomcatv", "swim", "hydro2d")
+
+	// Serial reference outcomes for determinism comparison.
+	ref, err := New(Config{Workers: 1, CacheSize: -1}).CompileAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(Config{Workers: 4, CacheSize: -1, Progress: func(done, total int) {
+		if done == len(jobs)/4 {
+			cancel()
+		}
+	}})
+	start := time.Now()
+	outs, batchErr := c.CompileAllContext(ctx, jobs)
+	elapsed := time.Since(start)
+	cancel()
+
+	if len(outs) != len(jobs) {
+		t.Fatalf("got %d outcomes for %d jobs", len(outs), len(jobs))
+	}
+	// "Promptly": the batch takes seconds when run to completion; after the
+	// cancel at ~25% it must stop within the in-flight stragglers' time.
+	if elapsed > 30*time.Second {
+		t.Fatalf("cancelled batch took %v", elapsed)
+	}
+	completed, cancelled := 0, 0
+	for i, o := range outs {
+		switch {
+		case o.Err == nil:
+			completed++
+			r, rr := o.Result, ref[i].Result
+			if r.II != rr.II || r.Length != rr.Length || r.Comms != rr.Comms || r.IIIncreases != rr.IIIncreases {
+				t.Fatalf("job %d: completed outcome diverges from serial run: II %d/%d", i, r.II, rr.II)
+			}
+		case errors.Is(o.Err, context.Canceled):
+			cancelled++
+			if o.Result != nil {
+				t.Fatalf("job %d: cancelled outcome carries a result", i)
+			}
+		default:
+			t.Fatalf("job %d: unexpected error %v", i, o.Err)
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("cancellation landed after the whole batch completed; nothing was exercised")
+	}
+	if completed == 0 {
+		t.Fatal("no job completed before the cancel, though progress fired")
+	}
+	var be *BatchError
+	if !errors.As(batchErr, &be) {
+		t.Fatalf("batch error = %v, want *BatchError", batchErr)
+	}
+	if len(be.Failed) != cancelled {
+		t.Fatalf("BatchError lists %d failures, want %d cancelled jobs", len(be.Failed), cancelled)
+	}
+}
+
+// TestCompileAllContextPreCancelled: an already-dead context yields a full
+// slate of ctx.Err() outcomes and no compilation work.
+func TestCompileAllContextPreCancelled(t *testing.T) {
+	jobs := sampleJobs(t, "mgrid")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := New(Config{Workers: 2})
+	outs, err := c.CompileAllContext(ctx, jobs)
+	if err == nil {
+		t.Fatal("want a batch error for a cancelled batch")
+	}
+	for i, o := range outs {
+		if !errors.Is(o.Err, context.Canceled) {
+			t.Fatalf("job %d: err = %v, want context.Canceled", i, o.Err)
+		}
+	}
+	if st := c.CacheStats(); st.Misses != 0 || st.Entries != 0 {
+		t.Fatalf("cancelled batch polluted the cache: %+v", st)
+	}
+}
+
+// TestCancelledOutcomesNotCached: a compilation aborted by its context
+// must not poison the cache; a later caller with a live context gets a
+// real result.
+func TestCancelledOutcomesNotCached(t *testing.T) {
+	jobs := sampleJobs(t, "mgrid")
+	j := jobs[0]
+	c := New(Config{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.CompileContext(ctx, j.Graph, j.Machine, j.Opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	res, err := c.Compile(j.Graph, j.Machine, j.Opts)
+	if err != nil || res == nil {
+		t.Fatalf("post-cancel compile failed: %v", err)
+	}
+	st := c.CacheStats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (the real compile)", st.Misses)
+	}
+}
+
+// memStore is an in-memory Store for tests: a map plus access counters.
+type memStore struct {
+	mu    sync.Mutex
+	m     map[string]memEntry
+	loads int
+	saves int
+}
+
+type memEntry struct {
+	res *pipeline.Result
+	err error
+}
+
+func newMemStore() *memStore { return &memStore{m: map[string]memEntry{}} }
+
+func (s *memStore) Load(j Job) (*pipeline.Result, error, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.loads++
+	e, ok := s.m[JobKey(j)]
+	return e.res, e.err, ok
+}
+
+func (s *memStore) Save(j Job, res *pipeline.Result, cerr error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.saves++
+	s.m[JobKey(j)] = memEntry{res: res, err: cerr}
+}
+
+// TestStoreSecondLevel: fresh compilations populate the store, and a new
+// Compiler sharing the store serves them as StoreHits without compiling.
+func TestStoreSecondLevel(t *testing.T) {
+	jobs := sampleJobs(t, "mgrid")
+	store := newMemStore()
+
+	c1 := New(Config{Store: store})
+	if _, err := c1.CompileAll(jobs); err != nil {
+		t.Fatal(err)
+	}
+	st1 := c1.CacheStats()
+	if st1.StoreHits != 0 {
+		t.Fatalf("first run had %d store hits from an empty store", st1.StoreHits)
+	}
+	if store.saves != int(st1.Misses) {
+		t.Fatalf("store saw %d saves for %d compilations", store.saves, st1.Misses)
+	}
+
+	// "Restarted server": a fresh compiler, same store, cold LRU.
+	c2 := New(Config{Store: store})
+	outs, err := c2.CompileAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range outs {
+		if !o.CacheHit {
+			t.Fatalf("job %d: not served from the store after restart", i)
+		}
+	}
+	st2 := c2.CacheStats()
+	if st2.Misses != 0 {
+		t.Fatalf("restarted compiler recompiled %d jobs", st2.Misses)
+	}
+	if st2.StoreHits == 0 {
+		t.Fatal("restarted compiler recorded no store hits")
+	}
+	if st2.HitRate() != 1 {
+		t.Fatalf("hit rate = %v, want 1", st2.HitRate())
+	}
+}
+
+// TestStoreCachesFailures: compile errors ride the store like results.
+func TestStoreCachesFailures(t *testing.T) {
+	store := newMemStore()
+	j := failingJob()
+	c1 := New(Config{Store: store})
+	if _, err := c1.Compile(j.Graph, j.Machine, j.Opts); err == nil {
+		t.Fatal("want a compile failure")
+	}
+	c2 := New(Config{Store: store})
+	_, err := c2.Compile(j.Graph, j.Machine, j.Opts)
+	if err == nil {
+		t.Fatal("stored failure was lost")
+	}
+	if st := c2.CacheStats(); st.StoreHits != 1 || st.Misses != 0 {
+		t.Fatalf("failure not served from the store: %+v", st)
+	}
+}
+
+// TestJobKeyDistinguishesOptions: the persistent key must separate every
+// dimension of the job identity.
+func TestJobKeyDistinguishesOptions(t *testing.T) {
+	jobs := sampleJobs(t, "mgrid")
+	j := jobs[0]
+	base := JobKey(j)
+	j2 := j
+	j2.Opts.ZeroBusLatency = true
+	if JobKey(j2) == base {
+		t.Fatal("options not part of the job key")
+	}
+	j3 := j
+	j3.Machine.Name = "other"
+	if JobKey(j3) == base {
+		t.Fatal("machine not part of the job key")
+	}
+	j4 := j
+	j4.Graph = jobs[1].Graph
+	if JobKey(j4) == base {
+		t.Fatal("graph not part of the job key")
+	}
+}

@@ -13,6 +13,8 @@
 package driver
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -49,6 +51,20 @@ type Progress func(done, total int)
 // evaluation (~30 suite runs of the 678-loop workload).
 const DefaultCacheSize = 1 << 15
 
+// Store is a second-level result cache under the in-memory LRU, the hook
+// the serving layer uses for persistence (internal/service.DiskCache). The
+// Compiler consults Load on every LRU miss and calls Save after every
+// fresh compilation, both outside its lock; implementations must be safe
+// for concurrent use and are encouraged to write behind (Save must not
+// block on I/O). Context cancellation errors are never offered to Save.
+type Store interface {
+	// Load returns the stored outcome for the job (keyed on JobKey): the
+	// result or the compilation error, and whether the key was present.
+	Load(j Job) (res *pipeline.Result, cerr error, ok bool)
+	// Save records a freshly compiled outcome for the job.
+	Save(j Job, res *pipeline.Result, cerr error)
+}
+
 // Config parameterizes a Compiler. The zero value is ready to use:
 // GOMAXPROCS workers and a DefaultCacheSize-entry cache.
 type Config struct {
@@ -60,16 +76,33 @@ type Config struct {
 	// Progress, when non-nil, is called after every completed job of a
 	// CompileAll batch.
 	Progress Progress
+	// Store, when non-nil, is the persistent second-level cache consulted
+	// on LRU misses and populated after fresh compilations. It is ignored
+	// when caching is disabled (CacheSize < 0).
+	Store Store
 }
 
 // CacheStats reports result-cache effectiveness.
 type CacheStats struct {
-	// Hits counts lookups served from the cache or joined onto an
-	// identical in-flight compilation; Misses counts actual compilations.
-	// Both reset with ResetCache.
+	// Hits counts lookups served from the in-memory cache or joined onto
+	// an identical in-flight compilation; Misses counts actual
+	// compilations. Both reset with ResetCache.
 	Hits, Misses uint64
+	// StoreHits counts lookups served from the persistent Store (they are
+	// not included in Hits or Misses).
+	StoreHits uint64
 	// Entries is the current number of cached results.
 	Entries int
+}
+
+// HitRate returns the fraction of lookups served without compiling, in
+// [0, 1]; 0 when nothing has been looked up.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.StoreHits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.StoreHits) / float64(total)
 }
 
 // Compiler is a concurrent batch-compilation engine. It is safe for use by
@@ -79,12 +112,14 @@ type CacheStats struct {
 type Compiler struct {
 	workers  int
 	progress Progress
+	store    Store // nil when no persistent second level is configured
 
-	mu      sync.Mutex
-	cache   *lruCache            // nil when caching is disabled
-	pending map[cacheKey]*flight // in-flight compilations, for deduplication
-	hits    uint64
-	misses  uint64
+	mu        sync.Mutex
+	cache     *lruCache            // nil when caching is disabled
+	pending   map[cacheKey]*flight // in-flight compilations, for deduplication
+	hits      uint64
+	misses    uint64
+	storeHits uint64
 }
 
 // flight is one in-progress compilation that identical concurrent jobs
@@ -108,6 +143,7 @@ func New(cfg Config) *Compiler {
 	if size > 0 {
 		c.cache = newLRU(size)
 		c.pending = make(map[cacheKey]*flight)
+		c.store = cfg.Store
 	}
 	return c
 }
@@ -134,49 +170,109 @@ func keyFor(j Job) cacheKey {
 	return cacheKey{graph: j.Graph.Fingerprint(), machine: machineKey(j.Machine), opts: j.Opts}
 }
 
+// JobKey returns the job's content-addressed cache identity as a string:
+// the graph fingerprint, the canonical machine key and the exact option
+// set. Persistent Stores key their entries on it. The format is stable for
+// a given release but may change when the option set grows — stale store
+// entries then simply miss.
+func JobKey(j Job) string {
+	return fmt.Sprintf("%016x|%s|%+v", j.Graph.Fingerprint(), machineKey(j.Machine), j.Opts)
+}
+
 // Compile compiles one loop through the cache.
 func (c *Compiler) Compile(g *ddg.Graph, m machine.Config, opts pipeline.Options) (*pipeline.Result, error) {
-	out := c.do(Job{Graph: g, Machine: m, Opts: opts})
+	return c.CompileContext(context.Background(), g, m, opts)
+}
+
+// CompileContext is Compile with cancellation: the compilation aborts with
+// ctx.Err() at the next II attempt once the context is done. Aborted
+// outcomes are never cached.
+func (c *Compiler) CompileContext(ctx context.Context, g *ddg.Graph, m machine.Config, opts pipeline.Options) (*pipeline.Result, error) {
+	out := c.do(ctx, Job{Graph: g, Machine: m, Opts: opts})
 	return out.Result, out.Err
+}
+
+// ctxErr reports whether err is a context cancellation or deadline error —
+// an outcome that describes the caller's patience, not the job, and so
+// must never be cached or shared.
+func ctxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // do serves one job, consulting and populating the cache. Failures are
 // cached too: an unschedulable loop costs a full II sweep, the most
 // expensive outcome there is. Identical jobs running concurrently are
 // deduplicated: followers block on the leader's flight and share its
-// outcome (counted as hits) instead of recompiling.
-func (c *Compiler) do(j Job) Outcome {
+// outcome (counted as hits) instead of recompiling. Cancelled
+// compilations are not cached, and a follower whose leader was cancelled
+// retries under its own context instead of inheriting the foreign error.
+func (c *Compiler) do(ctx context.Context, j Job) Outcome {
+	if err := ctx.Err(); err != nil {
+		return Outcome{Job: j, Err: err}
+	}
 	if c.cache == nil {
-		res, err := pipeline.Compile(j.Graph, j.Machine, j.Opts)
+		res, err := pipeline.CompileContext(ctx, j.Graph, j.Machine, j.Opts)
 		return Outcome{Job: j, Result: res, Err: err}
 	}
 
 	key := keyFor(j)
-	c.mu.Lock()
-	if e, ok := c.cache.get(key); ok {
-		c.hits++
+	for {
+		c.mu.Lock()
+		if e, ok := c.cache.get(key); ok {
+			c.hits++
+			c.mu.Unlock()
+			return Outcome{Job: j, Result: e.res, Err: e.err, CacheHit: true}
+		}
+		if f, ok := c.pending[key]; ok {
+			c.hits++
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return Outcome{Job: j, Err: ctx.Err()}
+			}
+			if ctxErr(f.val.err) {
+				// The leader was cancelled under its own context; this
+				// caller is still live, so compete to become the leader.
+				continue
+			}
+			return Outcome{Job: j, Result: f.val.res, Err: f.val.err, CacheHit: true}
+		}
+		f := &flight{done: make(chan struct{})}
+		c.pending[key] = f
 		c.mu.Unlock()
-		return Outcome{Job: j, Result: e.res, Err: e.err, CacheHit: true}
-	}
-	if f, ok := c.pending[key]; ok {
-		c.hits++
-		c.mu.Unlock()
-		<-f.done
-		return Outcome{Job: j, Result: f.val.res, Err: f.val.err, CacheHit: true}
-	}
-	c.misses++
-	f := &flight{done: make(chan struct{})}
-	c.pending[key] = f
-	c.mu.Unlock()
 
-	res, err := pipeline.Compile(j.Graph, j.Machine, j.Opts)
-	f.val = cacheValue{res: res, err: err}
-	c.mu.Lock()
-	c.cache.add(key, f.val)
-	delete(c.pending, key)
-	c.mu.Unlock()
-	close(f.done)
-	return Outcome{Job: j, Result: res, Err: err}
+		// Leader path. Try the persistent store first, then compile.
+		if c.store != nil {
+			if res, cerr, ok := c.store.Load(j); ok {
+				f.val = cacheValue{res: res, err: cerr}
+				c.mu.Lock()
+				c.storeHits++
+				c.cache.add(key, f.val)
+				delete(c.pending, key)
+				c.mu.Unlock()
+				close(f.done)
+				return Outcome{Job: j, Result: res, Err: cerr, CacheHit: true}
+			}
+		}
+		res, err := pipeline.CompileContext(ctx, j.Graph, j.Machine, j.Opts)
+		f.val = cacheValue{res: res, err: err}
+		aborted := err != nil && ctxErr(err)
+		c.mu.Lock()
+		if aborted {
+			delete(c.pending, key) // don't cache the cancellation
+		} else {
+			c.misses++
+			c.cache.add(key, f.val)
+			delete(c.pending, key)
+		}
+		c.mu.Unlock()
+		close(f.done)
+		if !aborted && c.store != nil {
+			c.store.Save(j, res, err)
+		}
+		return Outcome{Job: j, Result: res, Err: err}
+	}
 }
 
 // CompileAll compiles every job on the worker pool. The returned slice is
@@ -185,6 +281,19 @@ func (c *Compiler) do(j Job) Outcome {
 // is nil when every job succeeded, otherwise a *BatchError aggregating
 // every failure; outcomes is complete either way.
 func (c *Compiler) CompileAll(jobs []Job) ([]Outcome, error) {
+	return c.CompileAllContext(context.Background(), jobs)
+}
+
+// CompileAllContext is CompileAll under a context. When the context is
+// cancelled mid-batch the call returns promptly: jobs already completed
+// keep their outcomes (identical to what a serial run would have produced,
+// thanks to per-loop determinism and the cache), every other job's outcome
+// carries ctx.Err(), and the aggregate *BatchError lists the cancelled
+// jobs alongside any real failures. Jobs are dispatched in index order, so
+// the completed outcomes of a cancelled batch form a prefix plus at most
+// Workers in-flight stragglers. Progress callbacks fire only for jobs that
+// actually ran.
+func (c *Compiler) CompileAllContext(ctx context.Context, jobs []Job) ([]Outcome, error) {
 	outcomes := make([]Outcome, len(jobs))
 	if len(jobs) == 0 {
 		return outcomes, nil
@@ -205,8 +314,8 @@ func (c *Compiler) CompileAll(jobs []Job) ([]Outcome, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				outcomes[i] = c.do(jobs[i])
-				if c.progress != nil {
+				outcomes[i] = c.do(ctx, jobs[i])
+				if c.progress != nil && !ctxErr(outcomes[i].Err) {
 					progMu.Lock()
 					done++
 					c.progress(done, len(jobs))
@@ -215,11 +324,24 @@ func (c *Compiler) CompileAll(jobs []Job) ([]Outcome, error) {
 			}
 		}()
 	}
-	for i := range jobs {
-		idx <- i
+	next := 0
+feed:
+	for ; next < len(jobs); next++ {
+		select {
+		case idx <- next:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	// Jobs never handed to a worker still have zero outcomes; stamp them
+	// with the cancellation so the batch is fully accounted for.
+	for i := next; i < len(jobs); i++ {
+		if outcomes[i].Result == nil && outcomes[i].Err == nil {
+			outcomes[i] = Outcome{Job: jobs[i], Err: ctx.Err()}
+		}
+	}
 
 	var failed []JobError
 	for i := range outcomes {
@@ -242,7 +364,7 @@ func (c *Compiler) CompileAll(jobs []Job) ([]Outcome, error) {
 func (c *Compiler) CacheStats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s := CacheStats{Hits: c.hits, Misses: c.misses}
+	s := CacheStats{Hits: c.hits, Misses: c.misses, StoreHits: c.storeHits}
 	if c.cache != nil {
 		s.Entries = c.cache.len()
 	}
@@ -257,7 +379,7 @@ func (c *Compiler) ResetCache() {
 	if c.cache != nil {
 		c.cache = newLRU(c.cache.cap)
 	}
-	c.hits, c.misses = 0, 0
+	c.hits, c.misses, c.storeHits = 0, 0, 0
 }
 
 // JobError records one failed job of a batch.

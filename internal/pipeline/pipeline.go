@@ -12,6 +12,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"clusched/internal/ddg"
@@ -171,6 +172,13 @@ func Compile(g *ddg.Graph, m machine.Config, opts Options) (*Result, error) {
 	return Run(g, m, opts, Chain())
 }
 
+// CompileContext is Compile with cancellation: the II search checks the
+// context before every attempt and aborts with ctx.Err(). A compilation
+// abandoned this way returns no partial Result.
+func CompileContext(ctx context.Context, g *ddg.Graph, m machine.Config, opts Options) (*Result, error) {
+	return RunContext(ctx, g, m, opts, Chain())
+}
+
 // MaxII returns the automatic II search bound for a loop on a machine: any
 // loop fits once the II covers all communications, the longest latency
 // chain and the whole resource footprint.
@@ -183,6 +191,14 @@ func MaxII(g *ddg.Graph, m machine.Config, lower int) int {
 // the first pass to Fail ends the attempt and its cause is tallied. The
 // chain must leave ctx.Schedule and ctx.Placement set on success.
 func Run(g *ddg.Graph, m machine.Config, opts Options, passes []Pass) (*Result, error) {
+	return RunContext(context.Background(), g, m, opts, passes)
+}
+
+// RunContext is Run with cancellation. The II search is the pipeline's
+// only loop of unbounded cost, so the context is checked once per attempt:
+// cancellation latency is one pass-chain execution, and an abandoned
+// compilation returns ctx.Err() unwrapped (errors.Is-compatible).
+func RunContext(cctx context.Context, g *ddg.Graph, m machine.Config, opts Options, passes []Pass) (*Result, error) {
 	res := &Result{Loop: g, Machine: m}
 	res.MII = mii.MII(g, m)
 
@@ -193,6 +209,9 @@ func Run(g *ddg.Graph, m machine.Config, opts Options, passes []Pass) (*Result, 
 
 	ctx := &Context{Graph: g, Machine: m, Opts: opts, MII: res.MII}
 	for ii := res.MII; ii <= maxII; ii++ {
+		if err := cctx.Err(); err != nil {
+			return nil, err
+		}
 		ctx.reset(ii)
 		for _, p := range passes {
 			if err := p.Run(ctx); err != nil {

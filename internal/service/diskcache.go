@@ -1,0 +1,208 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"clusched/internal/driver"
+	"clusched/internal/pipeline"
+	"clusched/internal/wire"
+)
+
+// DiskCache is a persistent, content-addressed result cache implementing
+// driver.Store: entries are wire-encoded outcomes in one JSON file per
+// job key (sha256 of driver.JobKey), written behind a bounded queue so
+// Save never blocks the compile workers on I/O. A restarted server
+// pointed at the same directory serves previously compiled jobs without
+// recompiling them.
+//
+// Load pays a full wire decode — the schedule is rebuilt and re-verified —
+// so a corrupt or stale file can never inject an invalid result; it reads
+// as a miss and is deleted.
+type DiskCache struct {
+	dir string
+
+	writes chan diskEntry
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	closed  bool
+	dropped uint64 // Saves discarded because the write queue was full
+	errs    uint64 // entries that failed to serialize or write
+}
+
+type diskEntry struct {
+	path string
+	blob []byte
+}
+
+// writeQueueDepth bounds the write-behind backlog; beyond it Save drops
+// entries (the cache is best-effort — the result is still served from
+// memory).
+const writeQueueDepth = 256
+
+// OpenDiskCache opens (creating if needed) a disk cache rooted at dir.
+func OpenDiskCache(dir string) (*DiskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: disk cache: %w", err)
+	}
+	c := &DiskCache{dir: dir, writes: make(chan diskEntry, writeQueueDepth)}
+	c.wg.Add(1)
+	go c.writer()
+	return c, nil
+}
+
+// path maps a job key to its content-addressed file.
+func (c *DiskCache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// storedOutcome is the on-disk schema: the full job key guards against
+// hash collisions and makes files self-describing.
+type storedOutcome struct {
+	Key    string       `json:"key"`
+	Result *wire.Result `json:"result,omitempty"`
+	Error  string       `json:"error,omitempty"`
+}
+
+// Load implements driver.Store.
+func (c *DiskCache) Load(j driver.Job) (*pipeline.Result, error, bool) {
+	key := driver.JobKey(j)
+	blob, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, nil, false
+	}
+	var so storedOutcome
+	if err := json.Unmarshal(blob, &so); err != nil || so.Key != key {
+		c.discard(key)
+		return nil, nil, false
+	}
+	if so.Error != "" {
+		return nil, &wire.RemoteError{Msg: so.Error}, true
+	}
+	if so.Result == nil {
+		c.discard(key)
+		return nil, nil, false
+	}
+	res, err := so.Result.Decode()
+	if err != nil {
+		// Corrupt, tampered or schema-drifted entry: a miss, not a wrong
+		// answer.
+		c.discard(key)
+		return nil, nil, false
+	}
+	return res, nil, true
+}
+
+// discard removes an unreadable entry so it is not re-parsed forever.
+func (c *DiskCache) discard(key string) {
+	os.Remove(c.path(key))
+	c.mu.Lock()
+	c.errs++
+	c.mu.Unlock()
+}
+
+// Save implements driver.Store: it enqueues the write and returns
+// immediately. Entries are dropped (and counted) when the backlog is
+// full or the cache is closed.
+func (c *DiskCache) Save(j driver.Job, res *pipeline.Result, cerr error) {
+	key := driver.JobKey(j)
+	so := storedOutcome{Key: key}
+	switch {
+	case cerr != nil:
+		so.Error = cerr.Error()
+	case res != nil:
+		// The wire form embeds the job's options: the decoder needs them
+		// to rebuild the instance graph under the same rules.
+		wr, err := wire.EncodeResult(res, j.Opts)
+		if err != nil {
+			c.mu.Lock()
+			c.errs++
+			c.mu.Unlock()
+			return
+		}
+		so.Result = wr
+	default:
+		return
+	}
+	blob, err := json.Marshal(&so)
+	if err != nil {
+		c.mu.Lock()
+		c.errs++
+		c.mu.Unlock()
+		return
+	}
+
+	// The enqueue happens under the same lock Close takes to close the
+	// channel, so a concurrent Close cannot slip between the closed check
+	// and the send. The send is non-blocking, so holding the lock is cheap.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	select {
+	case c.writes <- diskEntry{path: c.path(key), blob: blob}:
+	default:
+		c.dropped++
+	}
+}
+
+// writer is the write-behind goroutine: atomic tmp+rename per entry.
+func (c *DiskCache) writer() {
+	defer c.wg.Done()
+	for e := range c.writes {
+		tmp := e.path + ".tmp"
+		if err := os.WriteFile(tmp, e.blob, 0o644); err != nil {
+			c.mu.Lock()
+			c.errs++
+			c.mu.Unlock()
+			continue
+		}
+		if err := os.Rename(tmp, e.path); err != nil {
+			os.Remove(tmp)
+			c.mu.Lock()
+			c.errs++
+			c.mu.Unlock()
+		}
+	}
+}
+
+// Close flushes the write-behind queue and stops the writer. The cache
+// must not be used afterwards.
+func (c *DiskCache) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.writes)
+	c.wg.Wait()
+	return nil
+}
+
+// Dropped returns how many Saves were discarded because the write queue
+// was full, and how many entries failed to read or write.
+func (c *DiskCache) Dropped() (dropped, errs uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped, c.errs
+}
+
+// Len returns the number of entries on disk (a directory scan; for tests
+// and diagnostics).
+func (c *DiskCache) Len() int {
+	matches, err := filepath.Glob(filepath.Join(c.dir, "*.json"))
+	if err != nil {
+		return 0
+	}
+	return len(matches)
+}

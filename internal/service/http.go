@@ -1,0 +1,194 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"clusched/internal/driver"
+	"clusched/internal/wire"
+)
+
+// Handler returns the service's HTTP front end:
+//
+//	POST   /compile    one wire.Job → ticket (or the finished status with ?wait=1)
+//	POST   /batch      wire.SubmitRequest → ticket
+//	GET    /jobs/{id}  ticket status, outcomes once finished
+//	DELETE /jobs/{id}  cancel
+//	GET    /stats      wire.ServiceStats
+//	GET    /healthz    200 when serving, 503 while draining
+//
+// Bodies are JSON. Queue-full rejections answer 429 with a Retry-After
+// header and a wire.ErrorResponse carrying the same hint.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /compile", s.handleCompile)
+	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// maxRequestBody bounds request bodies (a 678-loop suite batch is ~2 MB;
+// 64 MB leaves room for much larger loops without accepting unbounded
+// uploads).
+const maxRequestBody = 64 << 20
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, wire.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// submit funnels both endpoints through the same admission path.
+func (s *Server) submitHTTP(w http.ResponseWriter, jobs []driver.Job, timeout time.Duration) (string, bool) {
+	id, err := s.Submit(jobs, SubmitOptions{Timeout: timeout})
+	if err == nil {
+		return id, true
+	}
+	var full *ErrQueueFull
+	switch {
+	case errors.As(err, &full):
+		w.Header().Set("Retry-After", strconv.Itoa(int(full.RetryAfter.Seconds()+1)))
+		writeJSON(w, http.StatusTooManyRequests, wire.ErrorResponse{
+			Error:        err.Error(),
+			RetryAfterMS: full.RetryAfter.Milliseconds(),
+		})
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+	return "", false
+}
+
+func decodeJobs(wjs []wire.Job) ([]driver.Job, error) {
+	jobs := make([]driver.Job, len(wjs))
+	for i, wj := range wjs {
+		j, err := wj.Decode()
+		if err != nil {
+			return nil, fmt.Errorf("job %d: %w", i, err)
+		}
+		jobs[i] = j
+	}
+	return jobs, nil
+}
+
+// handleCompile accepts one wire.Job. With ?wait=1 it blocks until the
+// compilation finishes and answers with the full wire.JobStatus; without
+// it, it answers 202 with the ticket.
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var wj wire.Job
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&wj); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job: %v", err)
+		return
+	}
+	jobs, err := decodeJobs([]wire.Job{wj})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id, ok := s.submitHTTP(w, jobs, 0)
+	if !ok {
+		return
+	}
+	if r.URL.Query().Get("wait") == "" {
+		writeJSON(w, http.StatusAccepted, wire.SubmitResponse{ID: id})
+		return
+	}
+	st, err := s.Wait(r.Context(), id)
+	if err != nil {
+		// The client went away; the ticket keeps running for pollers.
+		writeError(w, http.StatusRequestTimeout, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, statusWire(st))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req wire.SubmitRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad batch: %v", err)
+		return
+	}
+	jobs, err := decodeJobs(req.Jobs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id, ok := s.submitHTTP(w, jobs, time.Duration(req.TimeoutMS)*time.Millisecond)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusAccepted, wire.SubmitResponse{ID: id})
+}
+
+// statusWire converts a ticket snapshot to its wire form, encoding
+// outcomes only for finished tickets.
+func statusWire(st Status) wire.JobStatus {
+	ws := wire.JobStatus{
+		ID:        st.ID,
+		State:     st.State.String(),
+		NumJobs:   st.NumJobs,
+		CreatedMS: st.Created.UnixMilli(),
+	}
+	if !st.Started.IsZero() {
+		ws.StartedMS = st.Started.UnixMilli()
+	}
+	if !st.Finished.IsZero() {
+		ws.FinishedMS = st.Finished.UnixMilli()
+	}
+	if st.Err != nil {
+		ws.Error = st.Err.Error()
+	}
+	if st.State == StateDone || st.State == StateCanceled {
+		ws.Outcomes = make([]wire.Outcome, len(st.Outcomes))
+		for i, o := range st.Outcomes {
+			wo, err := wire.EncodeOutcome(o)
+			if err != nil {
+				wo = wire.Outcome{Error: fmt.Sprintf("encoding outcome: %v", err)}
+			}
+			ws.Outcomes[i] = wo
+		}
+	}
+	return ws
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown ticket %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, statusWire(st))
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	if !s.Cancel(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, "unknown ticket %q", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,490 @@
+// Package service turns the batch-compilation engine into a long-lived
+// compilation server: compilation-as-a-service. A Server wraps one shared
+// driver.Compiler behind an asynchronous ticket API — Submit returns
+// immediately with a ticket, a bounded queue applies admission control
+// (reject-with-retry-after when full), each ticket carries a deadline and
+// can be cancelled, and Shutdown drains gracefully. A persistent on-disk
+// result cache (DiskCache, plugged in under the engine's in-memory LRU via
+// driver.Store) lets a restarted server answer warm traffic without
+// recompiling anything.
+//
+// The HTTP front end over this API lives in http.go (Server.Handler);
+// cmd/clusched-serve binds it to a listener and the root package's Client
+// speaks to it.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"clusched/internal/driver"
+	"clusched/internal/wire"
+)
+
+// Config parameterizes a Server. The zero value is usable: GOMAXPROCS
+// compile workers, one batch runner, a 64-ticket queue, no deadline
+// policy and no persistence.
+type Config struct {
+	// Workers bounds concurrent compilations inside a batch (driver
+	// worker pool); ≤0 means GOMAXPROCS.
+	Workers int
+	// CacheSize bounds the engine's in-memory LRU (0 = driver default).
+	CacheSize int
+	// Runners is the number of batches processed concurrently; ≤0 means 1.
+	// Each running batch fans out over the shared worker pool, so one
+	// runner already saturates the CPU; more runners trade batch latency
+	// fairness for head-of-line blocking.
+	Runners int
+	// QueueDepth bounds the number of queued (not yet running) tickets;
+	// ≤0 means 64. Submits beyond it are rejected with ErrQueueFull.
+	QueueDepth int
+	// DefaultTimeout bounds a ticket's lifetime from submission when the
+	// submitter does not set one; 0 means no deadline.
+	DefaultTimeout time.Duration
+	// Store is the persistent second-level result cache (see DiskCache);
+	// nil disables persistence.
+	Store driver.Store
+}
+
+// ErrShuttingDown rejects submissions during graceful drain.
+var ErrShuttingDown = errors.New("service: shutting down")
+
+// ErrQueueFull rejects submissions when the queue is at QueueDepth.
+type ErrQueueFull struct {
+	// RetryAfter is the server's estimate of when capacity frees up.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *ErrQueueFull) Error() string {
+	return fmt.Sprintf("service: queue full, retry after %v", e.RetryAfter)
+}
+
+// State is a ticket's lifecycle position.
+type State int
+
+// Ticket states, in lifecycle order.
+const (
+	StateQueued State = iota
+	StateRunning
+	StateDone
+	StateCanceled
+)
+
+// String returns the wire name of the state.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return wire.StateQueued
+	case StateRunning:
+		return wire.StateRunning
+	case StateDone:
+		return wire.StateDone
+	case StateCanceled:
+		return wire.StateCanceled
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Status is a snapshot of one ticket.
+type Status struct {
+	ID    string
+	State State
+	// NumJobs is the batch size.
+	NumJobs int
+	// Created, Started and Finished are the lifecycle timestamps (zero
+	// until reached).
+	Created, Started, Finished time.Time
+	// Outcomes is set once the ticket finished (Done, or Canceled after
+	// it started running — completed outcomes survive cancellation),
+	// index-aligned with the submitted jobs.
+	Outcomes []driver.Outcome
+	// Err is the aggregate batch error (nil when every job succeeded);
+	// for canceled tickets it reports the cancellation.
+	Err error
+}
+
+// ticket is the server-side record behind a Status.
+type ticket struct {
+	id      string
+	jobs    []driver.Job
+	ctx     context.Context
+	cancel  context.CancelCauseFunc
+	created time.Time
+
+	mu       sync.Mutex
+	state    State
+	started  time.Time
+	finished time.Time
+	outcomes []driver.Outcome
+	err      error
+	done     chan struct{} // closed when the ticket reaches Done/Canceled
+}
+
+func (t *ticket) snapshot() Status {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Status{
+		ID:       t.id,
+		State:    t.state,
+		NumJobs:  len(t.jobs),
+		Created:  t.created,
+		Started:  t.started,
+		Finished: t.finished,
+		Outcomes: t.outcomes,
+		Err:      t.err,
+	}
+}
+
+// finish moves the ticket to a terminal state exactly once. With
+// requireQueued it succeeds only from StateQueued — the cancellation
+// watcher uses it so it can never clobber a running batch's outcomes.
+func (t *ticket) finish(state State, outcomes []driver.Outcome, err error, requireQueued bool) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state == StateDone || t.state == StateCanceled {
+		return false
+	}
+	if requireQueued && t.state != StateQueued {
+		return false
+	}
+	t.state = state
+	t.outcomes = outcomes
+	t.err = err
+	t.finished = time.Now()
+	close(t.done)
+	return true
+}
+
+// claim atomically moves the ticket from Queued to Running; it fails when
+// the watcher retired the ticket first.
+func (t *ticket) claim() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != StateQueued {
+		return false
+	}
+	t.state = StateRunning
+	t.started = time.Now()
+	return true
+}
+
+// Server is the async compilation service.
+type Server struct {
+	cfg      Config
+	compiler *driver.Compiler
+	queue    chan *ticket
+	start    time.Time
+
+	mu        sync.Mutex
+	tickets   map[string]*ticket
+	doneOrder []string // finished ticket IDs in retirement order, for pruning
+	seq       uint64
+	draining  bool
+	inFlight  int
+
+	// lifecycle counters (guarded by mu)
+	submitted uint64
+	completed uint64
+	canceled  uint64
+	rejected  uint64
+	jobsDone  uint64
+
+	runnerWG sync.WaitGroup
+}
+
+// New starts a Server: the runners come up immediately and wait for work.
+func New(cfg Config) *Server {
+	if cfg.Runners <= 0 {
+		cfg.Runners = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	s := &Server{
+		cfg: cfg,
+		compiler: driver.New(driver.Config{
+			Workers:   cfg.Workers,
+			CacheSize: cfg.CacheSize,
+			Store:     cfg.Store,
+		}),
+		queue:   make(chan *ticket, cfg.QueueDepth),
+		start:   time.Now(),
+		tickets: make(map[string]*ticket),
+	}
+	for i := 0; i < cfg.Runners; i++ {
+		s.runnerWG.Add(1)
+		go s.run()
+	}
+	return s
+}
+
+// errCanceled is the cancellation cause for explicit Cancel calls.
+var errCanceled = errors.New("service: canceled by request")
+
+// SubmitOptions tune one submission.
+type SubmitOptions struct {
+	// Timeout bounds the ticket's lifetime from submission; 0 falls back
+	// to the server's DefaultTimeout.
+	Timeout time.Duration
+}
+
+// Submit enqueues a batch and returns its ticket ID immediately. It
+// rejects with *ErrQueueFull when the queue is at capacity and with
+// ErrShuttingDown during drain. The jobs slice is retained; callers must
+// not mutate it afterwards.
+func (s *Server) Submit(jobs []driver.Job, opts SubmitOptions) (string, error) {
+	if len(jobs) == 0 {
+		return "", errors.New("service: empty batch")
+	}
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.rejected++
+		s.mu.Unlock()
+		return "", ErrShuttingDown
+	}
+	s.seq++
+	t := &ticket{
+		id:      fmt.Sprintf("job-%d", s.seq),
+		jobs:    jobs,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	ctx := context.Background()
+	cancelT := context.CancelFunc(func() {})
+	if timeout > 0 {
+		// The deadline spans queueing and execution: a ticket that waits
+		// out its whole budget in the queue is cancelled, not run late.
+		ctx, cancelT = context.WithTimeout(ctx, timeout)
+	}
+	t.ctx, t.cancel = context.WithCancelCause(ctx)
+
+	select {
+	case s.queue <- t:
+		s.tickets[t.id] = t
+		s.submitted++
+		s.mu.Unlock()
+		// Watcher: a ticket cancelled or expired while still queued is
+		// retired on the spot instead of waiting for a runner to reach it
+		// (claim/finish arbitrate the race with a runner picking it up).
+		go func() {
+			defer cancelT()
+			select {
+			case <-t.ctx.Done():
+				s.retire(t, StateCanceled, nil, cancelCause(t.ctx, t.ctx.Err()), true)
+				<-t.done // a running batch finishes on its own terms
+			case <-t.done:
+			}
+		}()
+		return t.id, nil
+	default:
+		s.rejected++
+		s.mu.Unlock()
+		t.cancel(nil)
+		cancelT()
+		close(t.done)
+		return "", &ErrQueueFull{RetryAfter: s.retryAfter()}
+	}
+}
+
+// retryAfter estimates when queue capacity frees up: proportional to the
+// backlog, floored at a polling-friendly interval.
+func (s *Server) retryAfter() time.Duration {
+	backlog := len(s.queue)
+	d := time.Duration(backlog) * 250 * time.Millisecond / time.Duration(s.cfg.Runners)
+	if d < 500*time.Millisecond {
+		d = 500 * time.Millisecond
+	}
+	return d
+}
+
+// run is one batch runner: it drains the queue until Shutdown closes it.
+func (s *Server) run() {
+	defer s.runnerWG.Done()
+	for t := range s.queue {
+		s.serve(t)
+	}
+}
+
+// serve executes one ticket.
+func (s *Server) serve(t *ticket) {
+	if !t.claim() {
+		// Cancelled or expired while queued; the watcher retired it.
+		return
+	}
+	s.mu.Lock()
+	s.inFlight++
+	s.mu.Unlock()
+
+	outcomes, err := s.compiler.CompileAllContext(t.ctx, t.jobs)
+
+	s.mu.Lock()
+	s.inFlight--
+	s.mu.Unlock()
+	if cerr := t.ctx.Err(); cerr != nil {
+		// Completed outcomes survive; the ticket reports why it stopped.
+		s.retire(t, StateCanceled, outcomes, cancelCause(t.ctx, cerr), false)
+		return
+	}
+	s.retire(t, StateDone, outcomes, err, false)
+}
+
+// cancelCause maps a context error to the most informative cause.
+func cancelCause(ctx context.Context, err error) error {
+	if cause := context.Cause(ctx); cause != nil && !errors.Is(cause, err) {
+		return fmt.Errorf("%w (%v)", cause, err)
+	}
+	return err
+}
+
+// ticketRetention bounds how many finished tickets stay pollable; older
+// finished tickets are forgotten first (live tickets are never pruned).
+const ticketRetention = 1024
+
+// retire finalizes a ticket and updates the lifecycle counters. With
+// requireQueued it only retires tickets that never started running.
+func (s *Server) retire(t *ticket, state State, outcomes []driver.Outcome, err error, requireQueued bool) {
+	if !t.finish(state, outcomes, err, requireQueued) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch state {
+	case StateDone:
+		s.completed++
+		s.jobsDone += uint64(len(outcomes))
+	case StateCanceled:
+		s.canceled++
+		for _, o := range outcomes {
+			if o.Result != nil || (o.Err != nil && !errors.Is(o.Err, context.Canceled) && !errors.Is(o.Err, context.DeadlineExceeded)) {
+				s.jobsDone++
+			}
+		}
+	}
+	s.doneOrder = append(s.doneOrder, t.id)
+	for len(s.doneOrder) > ticketRetention {
+		delete(s.tickets, s.doneOrder[0])
+		s.doneOrder = s.doneOrder[1:]
+	}
+}
+
+// Job returns a snapshot of the ticket, if it exists.
+func (s *Server) Job(id string) (Status, bool) {
+	s.mu.Lock()
+	t, ok := s.tickets[id]
+	s.mu.Unlock()
+	if !ok {
+		return Status{}, false
+	}
+	return t.snapshot(), true
+}
+
+// Wait blocks until the ticket reaches a terminal state or ctx is done.
+func (s *Server) Wait(ctx context.Context, id string) (Status, error) {
+	s.mu.Lock()
+	t, ok := s.tickets[id]
+	s.mu.Unlock()
+	if !ok {
+		return Status{}, fmt.Errorf("service: unknown ticket %q", id)
+	}
+	select {
+	case <-t.done:
+		return t.snapshot(), nil
+	case <-ctx.Done():
+		return Status{}, ctx.Err()
+	}
+}
+
+// Cancel cancels a ticket. Queued tickets are retired on the spot;
+// running tickets stop at the engine's next cancellation point and keep
+// their completed outcomes. Cancel reports whether the ticket exists.
+func (s *Server) Cancel(id string) bool {
+	s.mu.Lock()
+	t, ok := s.tickets[id]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	t.cancel(errCanceled)
+	return true
+}
+
+// Stats reports the service metrics.
+func (s *Server) Stats() wire.ServiceStats {
+	s.mu.Lock()
+	st := wire.ServiceStats{
+		Queued:       len(s.queue),
+		InFlight:     s.inFlight,
+		QueueDepth:   s.cfg.QueueDepth,
+		Submitted:    s.submitted,
+		Completed:    s.completed,
+		Canceled:     s.canceled,
+		Rejected:     s.rejected,
+		JobsCompiled: s.jobsDone,
+		Draining:     s.draining,
+	}
+	s.mu.Unlock()
+	st.UptimeSec = time.Since(s.start).Seconds()
+	if st.UptimeSec > 0 {
+		st.JobsPerSec = float64(st.JobsCompiled) / st.UptimeSec
+	}
+	cs := s.compiler.CacheStats()
+	st.Cache = wire.CacheStats{
+		Hits:      cs.Hits,
+		Misses:    cs.Misses,
+		StoreHits: cs.StoreHits,
+		Entries:   cs.Entries,
+		HitRate:   cs.HitRate(),
+	}
+	return st
+}
+
+// Draining reports whether the server is shutting down.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown drains the server gracefully: no new submissions are accepted,
+// queued and running tickets finish, then Shutdown returns. If ctx
+// expires first, every outstanding ticket is cancelled and Shutdown
+// returns ctx.Err() once the runners stop. Shutdown is idempotent; only
+// the first call closes the queue.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	var pending []*ticket
+	for _, t := range s.tickets {
+		pending = append(pending, t)
+	}
+	if !already {
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.runnerWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		for _, t := range pending {
+			t.cancel(ErrShuttingDown)
+		}
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,87 @@
+package wire
+
+// HTTP request/response bodies of the compilation service. They live in
+// the codec package so the server (internal/service) and the client (the
+// root package) share one vocabulary without importing each other.
+
+// SubmitRequest asks the service to compile a batch. POST /batch accepts
+// any batch size; POST /compile is the single-job convenience form and
+// accepts a bare Job instead.
+type SubmitRequest struct {
+	Jobs []Job `json:"jobs"`
+	// TimeoutMS bounds the batch's lifetime from submission (0 = the
+	// server's default policy).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SubmitResponse returns the ticket for an accepted batch.
+type SubmitResponse struct {
+	ID string `json:"id"`
+}
+
+// Job states reported by JobStatus.State.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateCanceled = "canceled"
+)
+
+// JobStatus is the poll answer for one ticket (GET /jobs/{id}).
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// NumJobs is the batch size.
+	NumJobs int `json:"num_jobs"`
+	// CreatedMS / StartedMS / FinishedMS are Unix milliseconds; zero when
+	// the job has not reached that point.
+	CreatedMS  int64 `json:"created_ms,omitempty"`
+	StartedMS  int64 `json:"started_ms,omitempty"`
+	FinishedMS int64 `json:"finished_ms,omitempty"`
+	// Outcomes is present once the job is done (or canceled with partial
+	// completions), index-aligned with the submitted jobs.
+	Outcomes []Outcome `json:"outcomes,omitempty"`
+	// Error summarizes the batch failure, if any (individual failures
+	// stay in their outcomes).
+	Error string `json:"error,omitempty"`
+}
+
+// CacheStats is the wire form of the engine's cache accounting.
+type CacheStats struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	StoreHits uint64  `json:"store_hits"`
+	Entries   int     `json:"entries"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// ServiceStats is the GET /stats answer.
+type ServiceStats struct {
+	// Queued and InFlight describe the moment; QueueDepth is the
+	// admission-control bound.
+	Queued     int `json:"queued"`
+	InFlight   int `json:"in_flight"`
+	QueueDepth int `json:"queue_depth"`
+	// Ticket lifecycle counters.
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Canceled  uint64 `json:"canceled"`
+	Rejected  uint64 `json:"rejected"`
+	// JobsCompiled counts individual loop compilations served (cache hits
+	// included); JobsPerSec is that over the uptime.
+	JobsCompiled uint64  `json:"jobs_compiled"`
+	JobsPerSec   float64 `json:"jobs_per_sec"`
+	UptimeSec    float64 `json:"uptime_sec"`
+	// Cache is the shared engine's cache accounting (in-memory + disk).
+	Cache CacheStats `json:"cache"`
+	// Draining reports a server in graceful shutdown.
+	Draining bool `json:"draining,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx service answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// RetryAfterMS accompanies queue-full rejections (429): when to try
+	// again.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}

@@ -1,0 +1,369 @@
+// Package wire is the serialization codec of the compilation service: it
+// moves jobs and outcomes across process boundaries and onto disk. Loops
+// ride the ddg text format, machines their structured config, and results
+// a JSON form with a compact schedule encoding (the issue-time vector at a
+// fixed II — everything else about a schedule is recomputed and
+// re-verified on decode, so a decoded Result is not merely parsed but
+// proven to round-trip: DecodeResult rebuilds the instance graph from the
+// placement and adopts the times through the scheduler's own validator).
+//
+// The package sits above internal/driver (it encodes driver Jobs and
+// Outcomes) and below internal/service (queue server, persistent cache)
+// and the HTTP client in the root package.
+package wire
+
+import (
+	"fmt"
+	"strings"
+
+	"clusched/internal/ddg"
+	"clusched/internal/driver"
+	"clusched/internal/machine"
+	"clusched/internal/pipeline"
+	"clusched/internal/sched"
+)
+
+// Options mirrors pipeline.Options with stable JSON names.
+type Options struct {
+	Replicate              bool `json:"replicate,omitempty"`
+	LengthReplicate        bool `json:"length_replicate,omitempty"`
+	ZeroBusLatency         bool `json:"zero_bus_latency,omitempty"`
+	UseMacroReplication    bool `json:"macro_replication,omitempty"`
+	MaxII                  int  `json:"max_ii,omitempty"`
+	IgnoreRegisterPressure bool `json:"ignore_register_pressure,omitempty"`
+	VerifySchedules        bool `json:"verify_schedules,omitempty"`
+}
+
+// EncodeOptions converts pipeline options to their wire form.
+func EncodeOptions(o pipeline.Options) Options {
+	return Options{
+		Replicate:              o.Replicate,
+		LengthReplicate:        o.LengthReplicate,
+		ZeroBusLatency:         o.ZeroBusLatency,
+		UseMacroReplication:    o.UseMacroReplication,
+		MaxII:                  o.MaxII,
+		IgnoreRegisterPressure: o.IgnoreRegisterPressure,
+		VerifySchedules:        o.VerifySchedules,
+	}
+}
+
+// Decode converts the wire options back to pipeline options.
+func (o Options) Decode() pipeline.Options {
+	return pipeline.Options{
+		Replicate:              o.Replicate,
+		LengthReplicate:        o.LengthReplicate,
+		ZeroBusLatency:         o.ZeroBusLatency,
+		UseMacroReplication:    o.UseMacroReplication,
+		MaxII:                  o.MaxII,
+		IgnoreRegisterPressure: o.IgnoreRegisterPressure,
+		VerifySchedules:        o.VerifySchedules,
+	}
+}
+
+// Machine is the wire form of a machine configuration. Hand-written
+// requests may carry only Config (a wcxbylzr string or "unified");
+// encoded machines additionally carry the structured fields, which win on
+// decode — they cover the configurations a name alone cannot, such as
+// heterogeneous FU matrices and unified machines with non-default
+// register files.
+type Machine struct {
+	Config string `json:"config"`
+	// Clusters, Buses, BusLatency and RegsPerCluster reconstruct machines
+	// whose name is not a parseable config string.
+	Clusters       int `json:"clusters,omitempty"`
+	Buses          int `json:"buses,omitempty"`
+	BusLatency     int `json:"bus_latency,omitempty"`
+	RegsPerCluster int `json:"regs_per_cluster,omitempty"`
+	// Hetero is the per-cluster FU matrix of heterogeneous machines.
+	Hetero [][ddg.NumClasses]int `json:"hetero,omitempty"`
+}
+
+// EncodeMachine converts a machine config to its wire form.
+func EncodeMachine(m machine.Config) Machine {
+	return Machine{
+		Config:         m.Name,
+		Clusters:       m.Clusters,
+		Buses:          m.Buses,
+		BusLatency:     m.BusLatency,
+		RegsPerCluster: m.Regs,
+		Hetero:         m.Hetero,
+	}
+}
+
+// Decode reconstructs the machine config.
+func (wm Machine) Decode() (machine.Config, error) {
+	switch {
+	case wm.Hetero != nil:
+		return machine.NewHetero(wm.Buses, wm.BusLatency, wm.RegsPerCluster, wm.Hetero)
+	case wm.Clusters == 1:
+		if wm.RegsPerCluster <= 0 {
+			return machine.Config{}, fmt.Errorf("wire: unified machine needs a positive register count")
+		}
+		return machine.Unified(wm.RegsPerCluster), nil
+	case wm.Clusters > 1:
+		return machine.New(wm.Clusters, wm.Buses, wm.BusLatency, wm.RegsPerCluster*wm.Clusters)
+	case wm.Config != "":
+		return machine.Parse(wm.Config)
+	}
+	return machine.Config{}, fmt.Errorf("wire: empty machine")
+}
+
+// Job is one compilation request on the wire.
+type Job struct {
+	// Loop is the loop body in the ddg text format.
+	Loop    string  `json:"loop"`
+	Machine Machine `json:"machine"`
+	Options Options `json:"options"`
+}
+
+// EncodeJob converts a driver job to its wire form.
+func EncodeJob(j driver.Job) (Job, error) {
+	text, err := ddg.MarshalText(j.Graph)
+	if err != nil {
+		return Job{}, err
+	}
+	return Job{Loop: text, Machine: EncodeMachine(j.Machine), Options: EncodeOptions(j.Opts)}, nil
+}
+
+// Decode reconstructs the driver job, validating the loop.
+func (wj Job) Decode() (driver.Job, error) {
+	g, err := ddg.ParseOne(strings.NewReader(wj.Loop))
+	if err != nil {
+		return driver.Job{}, err
+	}
+	m, err := wj.Machine.Decode()
+	if err != nil {
+		return driver.Job{}, err
+	}
+	return driver.Job{Graph: g, Machine: m, Opts: wj.Options.Decode()}, nil
+}
+
+// ReplicationStats is the per-class replication accounting of a result
+// (Result.Replicated / Removed / ReplicationSteps flattened to named
+// fields).
+type ReplicationStats struct {
+	ReplicatedInt int `json:"replicated_int,omitempty"`
+	ReplicatedFP  int `json:"replicated_fp,omitempty"`
+	ReplicatedMem int `json:"replicated_mem,omitempty"`
+	Removed       int `json:"removed,omitempty"`
+	Steps         int `json:"steps,omitempty"`
+}
+
+// IIIncreases is the Fig. 1 cause tally of a result.
+type IIIncreases struct {
+	Bus         int `json:"bus,omitempty"`
+	Recurrences int `json:"recurrences,omitempty"`
+	Registers   int `json:"registers,omitempty"`
+}
+
+// Placement is the wire form of a sched.Placement: per-node home clusters
+// and replica cluster sets (bitmasks).
+type Placement struct {
+	Home     []int    `json:"home"`
+	Replicas []uint32 `json:"replicas"`
+}
+
+// Schedule is the compact wire form of a modulo schedule: the II and the
+// issue-time vector over the placement's instance enumeration (original
+// instances in node order, then copy instances in node order — the order
+// sched.BuildIGraph materializes). Length, stage count and register
+// pressure are recomputed on decode; the times are re-verified against
+// the rebuilt instance graph.
+type Schedule struct {
+	II   int   `json:"ii"`
+	Time []int `json:"time"`
+}
+
+// Result is a compiled loop on the wire.
+type Result struct {
+	// Loop is the loop body in the ddg text format; Name its identifier.
+	Loop    string  `json:"loop"`
+	Machine Machine `json:"machine"`
+	// Options records the pipeline variant that produced the result; the
+	// decoder needs it to rebuild the schedule under the same rules.
+	Options     Options          `json:"options"`
+	MII         int              `json:"mii"`
+	II          int              `json:"ii"`
+	Length      int              `json:"length"`
+	SC          int              `json:"sc"`
+	CommsBefore int              `json:"comms_before_replication"`
+	Comms       int              `json:"comms"`
+	Replication ReplicationStats `json:"replication"`
+	IIIncreases IIIncreases      `json:"ii_increases"`
+	Placement   *Placement       `json:"placement,omitempty"`
+	Schedule    *Schedule        `json:"schedule,omitempty"`
+}
+
+// EncodeResult converts a compilation result to its wire form. opts must
+// be the options the result was compiled under (a Result does not carry
+// them; driver Outcomes do, via their Job).
+func EncodeResult(r *pipeline.Result, opts pipeline.Options) (*Result, error) {
+	text, err := ddg.MarshalText(r.Loop)
+	if err != nil {
+		return nil, err
+	}
+	wr := &Result{
+		Loop:        text,
+		Machine:     EncodeMachine(r.Machine),
+		Options:     EncodeOptions(opts),
+		MII:         r.MII,
+		II:          r.II,
+		Length:      r.Length,
+		SC:          r.SC,
+		CommsBefore: r.CommsBeforeReplication,
+		Comms:       r.Comms,
+		Replication: ReplicationStats{
+			ReplicatedInt: r.Replicated[ddg.ClassInt],
+			ReplicatedFP:  r.Replicated[ddg.ClassFP],
+			ReplicatedMem: r.Replicated[ddg.ClassMem],
+			Removed:       r.Removed,
+			Steps:         r.ReplicationSteps,
+		},
+		IIIncreases: IIIncreases{
+			Bus:         r.IIIncreases[pipeline.CauseBus],
+			Recurrences: r.IIIncreases[pipeline.CauseRecurrence],
+			Registers:   r.IIIncreases[pipeline.CauseRegisters],
+		},
+	}
+	if r.Placement != nil {
+		wr.Placement = &Placement{
+			Home:     append([]int(nil), r.Placement.Home...),
+			Replicas: make([]uint32, len(r.Placement.Replicas)),
+		}
+		for i, s := range r.Placement.Replicas {
+			wr.Placement.Replicas[i] = uint32(s)
+		}
+	}
+	if r.Schedule != nil {
+		wr.Schedule = &Schedule{II: r.Schedule.II, Time: append([]int(nil), r.Schedule.Time...)}
+	}
+	return wr, nil
+}
+
+// Decode reconstructs the full compilation result. The schedule is not
+// trusted: the decoder rebuilds the instance graph from the placement and
+// adopts the issue times through sched.Adopt, which re-verifies every
+// dependence and resource constraint and recomputes length, stage count
+// and register pressure. A Result that decodes without error is therefore
+// a valid schedule, not just valid JSON.
+func (wr *Result) Decode() (*pipeline.Result, error) {
+	g, err := ddg.ParseOne(strings.NewReader(wr.Loop))
+	if err != nil {
+		return nil, fmt.Errorf("wire: result loop: %w", err)
+	}
+	m, err := wr.Machine.Decode()
+	if err != nil {
+		return nil, fmt.Errorf("wire: result machine: %w", err)
+	}
+	res := &pipeline.Result{
+		Loop:                   g,
+		Machine:                m,
+		MII:                    wr.MII,
+		II:                     wr.II,
+		Length:                 wr.Length,
+		SC:                     wr.SC,
+		CommsBeforeReplication: wr.CommsBefore,
+		Comms:                  wr.Comms,
+		Removed:                wr.Replication.Removed,
+		ReplicationSteps:       wr.Replication.Steps,
+	}
+	res.Replicated[ddg.ClassInt] = wr.Replication.ReplicatedInt
+	res.Replicated[ddg.ClassFP] = wr.Replication.ReplicatedFP
+	res.Replicated[ddg.ClassMem] = wr.Replication.ReplicatedMem
+	res.IIIncreases[pipeline.CauseBus] = wr.IIIncreases.Bus
+	res.IIIncreases[pipeline.CauseRecurrence] = wr.IIIncreases.Recurrences
+	res.IIIncreases[pipeline.CauseRegisters] = wr.IIIncreases.Registers
+
+	if wr.Placement == nil || wr.Schedule == nil {
+		return nil, fmt.Errorf("wire: result for %s lacks placement or schedule", g.Name)
+	}
+	if len(wr.Placement.Home) != g.NumNodes() || len(wr.Placement.Replicas) != g.NumNodes() {
+		return nil, fmt.Errorf("wire: placement size does not match loop %s (%d nodes)", g.Name, g.NumNodes())
+	}
+	p := &sched.Placement{
+		G:        g,
+		K:        m.Clusters,
+		Home:     append([]int(nil), wr.Placement.Home...),
+		Replicas: make([]sched.ClusterSet, g.NumNodes()),
+	}
+	for v, home := range p.Home {
+		if home < 0 || home >= p.K {
+			return nil, fmt.Errorf("wire: node %d home cluster %d out of range", v, home)
+		}
+		if max := uint64(1)<<uint(p.K) - 1; uint64(wr.Placement.Replicas[v])&^max != 0 {
+			return nil, fmt.Errorf("wire: node %d replica set names clusters beyond %d", v, p.K)
+		}
+		p.Replicas[v] = sched.ClusterSet(wr.Placement.Replicas[v])
+	}
+	if wr.Schedule.II < 1 {
+		// Adopt divides by the II before its own guard can run; reject
+		// here so a lying server or corrupt cache entry errors instead of
+		// panicking.
+		return nil, fmt.Errorf("wire: schedule for %s claims II=%d", g.Name, wr.Schedule.II)
+	}
+	opts := wr.Options.Decode()
+	ig, err := sched.BuildIGraph(p, m, opts.ZeroBusLatency)
+	if err != nil {
+		return nil, fmt.Errorf("wire: rebuilding instance graph for %s: %w", g.Name, err)
+	}
+	s, err := sched.Adopt(ig, wr.Schedule.II, wr.Schedule.Time, sched.Options{
+		SkipRegisterCheck: opts.IgnoreRegisterPressure,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("wire: schedule for %s does not verify: %w", g.Name, err)
+	}
+	if s.Length != wr.Length || s.SC != wr.SC {
+		return nil, fmt.Errorf("wire: schedule for %s recomputes to length %d/%d stages against claimed %d/%d",
+			g.Name, s.Length, s.SC, wr.Length, wr.SC)
+	}
+	res.Schedule = s
+	res.Placement = p
+	return res, nil
+}
+
+// Outcome is one driver outcome on the wire: exactly one of Result and
+// Error is set. It does not repeat the job — batch outcomes are
+// index-aligned with their submitted jobs.
+type Outcome struct {
+	Result   *Result `json:"result,omitempty"`
+	Error    string  `json:"error,omitempty"`
+	CacheHit bool    `json:"cache_hit,omitempty"`
+}
+
+// EncodeOutcome converts a driver outcome to its wire form.
+func EncodeOutcome(o driver.Outcome) (Outcome, error) {
+	wo := Outcome{CacheHit: o.CacheHit}
+	if o.Err != nil {
+		wo.Error = o.Err.Error()
+		return wo, nil
+	}
+	wr, err := EncodeResult(o.Result, o.Job.Opts)
+	if err != nil {
+		return Outcome{}, err
+	}
+	wo.Result = wr
+	return wo, nil
+}
+
+// RemoteError is a compilation error reproduced from the wire; the
+// original typed error does not survive serialization.
+type RemoteError struct{ Msg string }
+
+// Error implements error.
+func (e *RemoteError) Error() string { return e.Msg }
+
+// Decode reconstructs a driver outcome (with a zero Job — callers align
+// outcomes with the jobs they submitted).
+func (wo Outcome) Decode() (driver.Outcome, error) {
+	if wo.Error != "" {
+		return driver.Outcome{Err: &RemoteError{Msg: wo.Error}, CacheHit: wo.CacheHit}, nil
+	}
+	if wo.Result == nil {
+		return driver.Outcome{}, fmt.Errorf("wire: outcome carries neither result nor error")
+	}
+	res, err := wo.Result.Decode()
+	if err != nil {
+		return driver.Outcome{}, err
+	}
+	return driver.Outcome{Result: res, CacheHit: wo.CacheHit}, nil
+}

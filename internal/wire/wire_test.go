@@ -1,0 +1,244 @@
+package wire
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"clusched/internal/ddg"
+	"clusched/internal/driver"
+	"clusched/internal/machine"
+	"clusched/internal/pipeline"
+	"clusched/internal/workload"
+)
+
+// compileSample compiles a slice of real workload loops for one machine
+// and option set.
+func compileSample(t *testing.T, bench string, n int, m machine.Config, opts pipeline.Options) []driver.Outcome {
+	t.Helper()
+	loops := workload.LoopsFor(bench)
+	if len(loops) < n {
+		n = len(loops)
+	}
+	jobs := make([]driver.Job, n)
+	for i := 0; i < n; i++ {
+		jobs[i] = driver.Job{Graph: loops[i].Graph, Machine: m, Opts: opts}
+	}
+	outs, err := driver.New(driver.Config{}).CompileAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outs
+}
+
+// checkResultRoundTrip pushes one result through encode → JSON → decode →
+// re-encode and asserts full fidelity: the re-encoded wire form is
+// structurally identical, and the decoded schedule re-verifies with the
+// same length, stage count and register pressure.
+func checkResultRoundTrip(t *testing.T, res *pipeline.Result, opts pipeline.Options) {
+	t.Helper()
+	wr, err := EncodeResult(res, opts)
+	if err != nil {
+		t.Fatalf("%s: encode: %v", res.Loop.Name, err)
+	}
+	blob, err := json.Marshal(wr)
+	if err != nil {
+		t.Fatalf("%s: marshal: %v", res.Loop.Name, err)
+	}
+	var wr2 Result
+	if err := json.Unmarshal(blob, &wr2); err != nil {
+		t.Fatalf("%s: unmarshal: %v", res.Loop.Name, err)
+	}
+	dec, err := wr2.Decode()
+	if err != nil {
+		t.Fatalf("%s: decode: %v", res.Loop.Name, err)
+	}
+	if dec.II != res.II || dec.MII != res.MII || dec.Length != res.Length || dec.SC != res.SC ||
+		dec.Comms != res.Comms || dec.CommsBeforeReplication != res.CommsBeforeReplication ||
+		dec.Replicated != res.Replicated || dec.Removed != res.Removed ||
+		dec.ReplicationSteps != res.ReplicationSteps || dec.IIIncreases != res.IIIncreases {
+		t.Fatalf("%s: scalar fields diverged across the wire", res.Loop.Name)
+	}
+	if dec.Loop.Fingerprint() != res.Loop.Fingerprint() {
+		t.Fatalf("%s: loop fingerprint changed", res.Loop.Name)
+	}
+	if dec.Machine.Name != res.Machine.Name || dec.Machine.Clusters != res.Machine.Clusters {
+		t.Fatalf("%s: machine changed: %v vs %v", res.Loop.Name, dec.Machine, res.Machine)
+	}
+	if !reflect.DeepEqual(dec.Schedule.MaxLive, res.Schedule.MaxLive) {
+		t.Fatalf("%s: recomputed MaxLive %v differs from original %v",
+			res.Loop.Name, dec.Schedule.MaxLive, res.Schedule.MaxLive)
+	}
+	if !reflect.DeepEqual(dec.Schedule.Time, res.Schedule.Time) {
+		t.Fatalf("%s: issue times changed", res.Loop.Name)
+	}
+	// Round-trip guarantee: re-encoding the decoded result reproduces the
+	// wire form byte-for-byte.
+	wr3, err := EncodeResult(dec, opts)
+	if err != nil {
+		t.Fatalf("%s: re-encode: %v", res.Loop.Name, err)
+	}
+	blob3, err := json.Marshal(wr3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob3) != string(blob) {
+		t.Fatalf("%s: re-encode not a fixed point:\n%s\nvs\n%s", res.Loop.Name, blob, blob3)
+	}
+}
+
+func TestResultRoundTripAcrossModes(t *testing.T) {
+	cases := []struct {
+		bench string
+		m     machine.Config
+		opts  pipeline.Options
+	}{
+		{"tomcatv", machine.MustParse("4c2b2l64r"), pipeline.Options{Replicate: true}},
+		{"mgrid", machine.MustParse("2c1b2l64r"), pipeline.Options{}},
+		{"swim", machine.MustParse("4c1b2l64r"), pipeline.Options{Replicate: true, LengthReplicate: true}},
+		{"hydro2d", machine.MustParse("4c2b4l64r"), pipeline.Options{Replicate: true, ZeroBusLatency: true}},
+		{"apsi", machine.Unified(64), pipeline.Options{}},
+	}
+	for _, c := range cases {
+		for _, o := range compileSample(t, c.bench, 6, c.m, c.opts) {
+			checkResultRoundTrip(t, o.Result, c.opts)
+		}
+	}
+}
+
+func TestResultRoundTripHeteroMachine(t *testing.T) {
+	m, err := machine.NewHetero(2, 2, 32, [][ddg.NumClasses]int{{2, 2, 2}, {2, 2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range compileSample(t, "turb3d", 4, m, pipeline.Options{Replicate: true}) {
+		checkResultRoundTrip(t, o.Result, pipeline.Options{Replicate: true})
+	}
+}
+
+func TestJobRoundTrip(t *testing.T) {
+	loops := workload.LoopsFor("wave5")
+	j := driver.Job{
+		Graph:   loops[0].Graph,
+		Machine: machine.MustParse("4c2b2l64r"),
+		Opts:    pipeline.Options{Replicate: true, MaxII: 40},
+	}
+	wj, err := EncodeJob(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(wj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wj2 Job
+	if err := json.Unmarshal(blob, &wj2); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := wj2.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Graph.Fingerprint() != j.Graph.Fingerprint() {
+		t.Fatal("graph changed across the wire")
+	}
+	if j2.Machine.Name != j.Machine.Name || j2.Opts != j.Opts {
+		t.Fatalf("job identity changed: %v %+v", j2.Machine.Name, j2.Opts)
+	}
+	// The wire identity must agree with the driver's cache identity.
+	if driver.JobKey(j2) != driver.JobKey(j) {
+		t.Fatal("decoded job has a different cache key")
+	}
+}
+
+// TestMachineDecodeFromBareConfig: hand-written requests carry only the
+// config string.
+func TestMachineDecodeFromBareConfig(t *testing.T) {
+	m, err := Machine{Config: "4c2b2l64r"}.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Clusters != 4 || m.Buses != 2 || m.Regs != 16 {
+		t.Fatalf("bare config decoded to %+v", m)
+	}
+	if _, err := (Machine{}).Decode(); err == nil {
+		t.Fatal("empty machine accepted")
+	}
+	if _, err := (Machine{Config: "bogus"}).Decode(); err == nil {
+		t.Fatal("bogus config accepted")
+	}
+}
+
+// TestUnifiedNonDefaultRegsRoundTrip: "unified" names every register
+// budget, so the structured fields must carry it.
+func TestUnifiedNonDefaultRegsRoundTrip(t *testing.T) {
+	m := machine.Unified(128)
+	m2, err := EncodeMachine(m).Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Regs != 128 {
+		t.Fatalf("unified 128r decoded to %d regs", m2.Regs)
+	}
+}
+
+func TestOutcomeRoundTripError(t *testing.T) {
+	wo, err := EncodeOutcome(driver.Outcome{Err: &RemoteError{Msg: "loop does not schedule"}, CacheHit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := wo.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Err == nil || o.Err.Error() != "loop does not schedule" || !o.CacheHit {
+		t.Fatalf("error outcome mangled: %+v", o)
+	}
+	if _, err := (Outcome{}).Decode(); err == nil {
+		t.Fatal("empty outcome accepted")
+	}
+}
+
+// TestDecodeRejectsTamperedSchedule: a schedule whose times violate a
+// dependence must not decode — the codec re-verifies, it does not trust.
+func TestDecodeRejectsTamperedSchedule(t *testing.T) {
+	outs := compileSample(t, "mgrid", 1, machine.MustParse("4c1b2l64r"), pipeline.Options{Replicate: true})
+	wr, err := EncodeResult(outs[0].Result, pipeline.Options{Replicate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := *wr
+	tampered.Schedule = &Schedule{II: wr.Schedule.II, Time: append([]int(nil), wr.Schedule.Time...)}
+	// Push every instance to cycle 0: dependences and resources collapse.
+	for i := range tampered.Schedule.Time {
+		tampered.Schedule.Time[i] = 0
+	}
+	if _, err := tampered.Decode(); err == nil {
+		t.Fatal("tampered schedule decoded cleanly")
+	}
+
+	truncated := *wr
+	truncated.Schedule = &Schedule{II: wr.Schedule.II, Time: wr.Schedule.Time[:1]}
+	if _, err := truncated.Decode(); err == nil {
+		t.Fatal("truncated time vector decoded cleanly")
+	}
+
+	misplaced := *wr
+	misplaced.Placement = &Placement{
+		Home:     append([]int(nil), wr.Placement.Home...),
+		Replicas: append([]uint32(nil), wr.Placement.Replicas...),
+	}
+	misplaced.Placement.Home[0] = 99
+	if _, err := misplaced.Decode(); err == nil {
+		t.Fatal("out-of-range home cluster decoded cleanly")
+	}
+
+	// A non-positive II must error, not panic (Adopt divides by it).
+	for _, ii := range []int{0, -1} {
+		bad := *wr
+		bad.Schedule = &Schedule{II: ii, Time: append([]int(nil), wr.Schedule.Time...)}
+		if _, err := bad.Decode(); err == nil {
+			t.Fatalf("II=%d decoded cleanly", ii)
+		}
+	}
+}

@@ -29,8 +29,10 @@ func TestSuiteIsDeterministic(t *testing.T) {
 		a := GenerateBench(p)
 		b := GenerateBench(p)
 		for i := range a {
-			if ddg.MarshalText(a[i].Graph) != ddg.MarshalText(b[i].Graph) {
-				t.Fatalf("%s loop %d differs between generations", p.Name, i)
+			at, aerr := ddg.MarshalText(a[i].Graph)
+			bt, berr := ddg.MarshalText(b[i].Graph)
+			if aerr != nil || berr != nil || at != bt {
+				t.Fatalf("%s loop %d differs between generations (%v, %v)", p.Name, i, aerr, berr)
 			}
 			if a[i].Visits != b[i].Visits || a[i].AvgIters != b[i].AvgIters {
 				t.Fatalf("%s loop %d profile differs", p.Name, i)
