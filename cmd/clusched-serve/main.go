@@ -8,6 +8,7 @@
 //
 //	clusched-serve -addr :8357 -cache-dir /var/cache/clusched
 //	clusched-serve -workers 8 -queue 128 -timeout 5m
+//	clusched-serve -pprof localhost:6060   # expose net/http/pprof
 //
 // Endpoints:
 //
@@ -19,6 +20,13 @@
 //	GET    /healthz    200 while serving, 503 while draining
 //
 // SIGINT/SIGTERM triggers a graceful drain bounded by -drain-timeout.
+//
+// -pprof serves Go's net/http/pprof profiles (CPU, heap, goroutines, …) on
+// a separate listener, so production performance questions — is the engine
+// allocation-bound, where do compile cycles go — can be answered against
+// the live server with `go tool pprof`. It is opt-in and should stay on a
+// loopback or otherwise private address: the profile endpoints expose
+// internals and are not meant for untrusted clients.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,7 +53,23 @@ func main() {
 	cacheSize := flag.Int("cache-size", 0, "in-memory result-cache entries (default: engine default)")
 	timeout := flag.Duration("timeout", 0, "default per-ticket deadline (0 = none)")
 	drain := flag.Duration("drain-timeout", time.Minute, "graceful-shutdown bound")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			fmt.Fprintf(os.Stderr, "clusched-serve: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "clusched-serve: pprof: %v\n", err)
+			}
+		}()
+	}
 
 	cfg := service.Config{
 		Workers:        *workers,

@@ -15,11 +15,13 @@
 //	paperbench -json bench.json # machine-readable per-figure numbers + engine stats
 //
 // -json writes the typed per-figure rows (the same data the text report
-// renders) plus the engine's CacheStats as one JSON document, the format
-// of the BENCH_*.json perf-trajectory files. It composes with -fig: only
-// the selected experiment's section is populated. The suite results are
-// memoized in the engine, so emitting JSON alongside the text report does
-// not recompile anything.
+// renders), a timing section (the full suite compiled from scratch and
+// timed, serial and parallel, with allocation counts — the perf-trajectory
+// datapoint documented in EXPERIMENTS.md) and the engine's CacheStats as
+// one JSON document, the format of the BENCH_*.json files. It composes
+// with -fig: only the selected experiment's section is populated. The
+// suite results are memoized in the engine, so emitting JSON alongside the
+// text report does not recompile anything beyond the timed run.
 //
 // Every pipeline-level experiment drives the shared batch-compilation
 // engine (internal/driver): -j bounds its worker pool and -progress
@@ -50,7 +52,10 @@ type jsonReport struct {
 	CommStats []experiments.CommStatsRow `json:"comm_stats,omitempty"`
 	Macro     []experiments.MacroRow     `json:"macro,omitempty"`
 	RegSweep  []experiments.RegSweepRow  `json:"reg_sweep,omitempty"`
-	Engine    driver.CacheStats          `json:"engine"`
+	// Timing is the compile-throughput datapoint of the perf trajectory
+	// (see EXPERIMENTS.md): the suite compiled from scratch, timed.
+	Timing experiments.ThroughputRow `json:"timing"`
+	Engine driver.CacheStats         `json:"engine"`
 }
 
 // collectJSON gathers the typed rows for the selected experiment ("" =
@@ -86,6 +91,9 @@ func collectJSON(fig string) jsonReport {
 	if fig == "regs" { // not part of the full report; only when selected
 		r.RegSweep = experiments.RegSweep()
 	}
+	// The timed run uses its own cache-disabled engine, so it neither
+	// benefits from nor pollutes the shared engine's memoized suites.
+	r.Timing = experiments.MeasureThroughput()
 	r.Engine = experiments.EngineStats()
 	return r
 }

@@ -9,23 +9,32 @@ package ddg
 // distance-0 edges. Graphs are validated to have an acyclic distance-0
 // subgraph, so the order always exists.
 func (g *Graph) TopoOrder() []int {
-	indeg := make([]int, len(g.Nodes))
+	n := len(g.Nodes)
+	return g.topoOrderInto(make([]int, 0, n), make([]int, n))
+}
+
+// topoOrderInto is TopoOrder into caller-owned buffers: order (cleared,
+// appended to and returned; it doubles as the BFS queue, which preserves
+// the FIFO visit order) and indeg (overwritten, len ≥ NumNodes).
+func (g *Graph) topoOrderInto(order, indeg []int) []int {
+	n := len(g.Nodes)
+	indeg = indeg[:n]
+	for i := range indeg {
+		indeg[i] = 0
+	}
 	for i := range g.Edges {
 		if g.Edges[i].Dist == 0 {
 			indeg[g.Edges[i].Dst]++
 		}
 	}
-	order := make([]int, 0, len(g.Nodes))
-	queue := make([]int, 0, len(g.Nodes))
+	order = order[:0]
 	for v := range g.Nodes {
 		if indeg[v] == 0 {
-			queue = append(queue, v)
+			order = append(order, v)
 		}
 	}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		order = append(order, v)
+	for head := 0; head < len(order); head++ {
+		v := order[head]
 		for _, eid := range g.out[v] {
 			e := &g.Edges[eid]
 			if e.Dist != 0 {
@@ -33,11 +42,160 @@ func (g *Graph) TopoOrder() []int {
 			}
 			indeg[e.Dst]--
 			if indeg[e.Dst] == 0 {
-				queue = append(queue, e.Dst)
+				order = append(order, e.Dst)
 			}
 		}
 	}
 	return order
+}
+
+// TimingScratch is the reusable state of ComputeTimingScratch: a Timing
+// plus the topological-order buffers, recycled across the many timing
+// computations of an II search. The zero value is ready; not safe for
+// concurrent use.
+type TimingScratch struct {
+	t     Timing
+	order []int
+	indeg []int
+}
+
+// ComputeTimingScratch is ComputeTiming into the scratch: the returned
+// Timing aliases it and is valid until its next use.
+func (g *Graph) ComputeTimingScratch(ii int, sc *TimingScratch) *Timing {
+	n := len(g.Nodes)
+	if cap(sc.indeg) < n {
+		sc.indeg = make([]int, n)
+		sc.order = make([]int, 0, n)
+		sc.t.ASAP = make([]int, n)
+		sc.t.ALAP = make([]int, n)
+	}
+	sc.order = g.topoOrderInto(sc.order, sc.indeg)
+	t := &sc.t
+	t.ASAP = t.ASAP[:n]
+	t.ALAP = t.ALAP[:n]
+	for i := 0; i < n; i++ {
+		t.ASAP[i] = 0
+	}
+	t.Length = 0
+	g.fillTiming(ii, t, sc.order)
+	return t
+}
+
+// SCCScratch is the reusable state of SCCsFlat: callers computing SCCs for
+// many graphs (the MII bound of every compilation) recycle one scratch
+// instead of reallocating the Tarjan state per graph. The zero value is
+// ready; not safe for concurrent use.
+type SCCScratch struct {
+	index, lowlink []int
+	onStack        []bool
+	stack          []int
+	frames         []sccFrame
+	flat           []int
+	off            []int
+}
+
+type sccFrame struct {
+	v, ei int
+}
+
+// SCCsFlat is SCCs with arena storage: component i is flat[off[i]:off[i+1]]
+// with len(off) = count+1, in reverse topological order of the
+// condensation. The slices alias the scratch and are valid until its next
+// use.
+func (g *Graph) SCCsFlat(sc *SCCScratch) (flat []int, off []int) {
+	n := len(g.Nodes)
+	index := growInts(sc.index, n)
+	sc.index = index
+	lowlink := growInts(sc.lowlink, n)
+	sc.lowlink = lowlink
+	onStack := growBools(sc.onStack, n)
+	sc.onStack = onStack
+	for i := 0; i < n; i++ {
+		index[i] = -1
+		onStack[i] = false
+	}
+	stack := sc.stack[:0]
+	callStack := sc.frames[:0]
+	flat = sc.flat[:0]
+	off = append(sc.off[:0], 0)
+	next := 0
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		callStack = append(callStack[:0], sccFrame{v: root})
+		index[root] = next
+		lowlink[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			recursed := false
+			for f.ei < len(g.out[f.v]) {
+				e := &g.Edges[g.out[f.v][f.ei]]
+				f.ei++
+				w := e.Dst
+				if index[w] == -1 {
+					index[w] = next
+					lowlink[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, sccFrame{v: w})
+					recursed = true
+					break
+				} else if onStack[w] && index[w] < lowlink[f.v] {
+					lowlink[f.v] = index[w]
+				}
+			}
+			if recursed {
+				continue
+			}
+			v := f.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := &callStack[len(callStack)-1]
+				if lowlink[v] < lowlink[parent.v] {
+					lowlink[parent.v] = lowlink[v]
+				}
+			}
+			if lowlink[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					flat = append(flat, w)
+					if w == v {
+						break
+					}
+				}
+				off = append(off, len(flat))
+			}
+		}
+	}
+	sc.stack = stack
+	sc.frames = callStack
+	sc.flat = flat
+	sc.off = off
+	return flat, off
+}
+
+// growInts and growBools resize a buffer in place (contents unspecified);
+// local equivalents of internal/arena's Grown, kept here so ddg stays
+// dependency-free.
+func growInts(buf []int, n int) []int {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]int, n)
+}
+
+func growBools(buf []bool, n int) []bool {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]bool, n)
 }
 
 // SCCs returns the strongly connected components of the graph considering
@@ -154,7 +312,13 @@ type Timing struct {
 func (g *Graph) ComputeTiming(ii int) *Timing {
 	n := len(g.Nodes)
 	t := &Timing{ASAP: make([]int, n), ALAP: make([]int, n)}
-	order := g.TopoOrder()
+	g.fillTiming(ii, t, g.TopoOrder())
+	return t
+}
+
+// fillTiming computes ASAP/ALAP/Length into t (ASAP must be zeroed) over a
+// precomputed topological order.
+func (g *Graph) fillTiming(ii int, t *Timing, order []int) {
 	// ASAP forward pass over distance-0 edges; loop-carried edges with
 	// positive effective latency are rare at II ≥ RecMII and are folded in
 	// with an iterative relaxation afterwards (bounded passes).
@@ -212,7 +376,6 @@ func (g *Graph) ComputeTiming(ii int) *Timing {
 			}
 		}
 	}
-	return t
 }
 
 // Slack returns the scheduling freedom of edge e under timing t at the given

@@ -114,6 +114,12 @@ type Compiler struct {
 	progress Progress
 	store    Store // nil when no persistent second level is configured
 
+	// arenas recycles pipeline scratch arenas across compilations: each
+	// worker (or single-shot Compile call) borrows one for the duration of
+	// a compilation, so steady-state batch compilation allocates almost
+	// nothing per II attempt.
+	arenas sync.Pool
+
 	mu        sync.Mutex
 	cache     *lruCache            // nil when caching is disabled
 	pending   map[cacheKey]*flight // in-flight compilations, for deduplication
@@ -136,6 +142,7 @@ func New(cfg Config) *Compiler {
 		w = runtime.GOMAXPROCS(0)
 	}
 	c := &Compiler{workers: w, progress: cfg.Progress}
+	c.arenas.New = func() any { return pipeline.NewArena() }
 	size := cfg.CacheSize
 	if size == 0 {
 		size = DefaultCacheSize
@@ -211,7 +218,7 @@ func (c *Compiler) do(ctx context.Context, j Job) Outcome {
 		return Outcome{Job: j, Err: err}
 	}
 	if c.cache == nil {
-		res, err := pipeline.CompileContext(ctx, j.Graph, j.Machine, j.Opts)
+		res, err := c.compile(ctx, j)
 		return Outcome{Job: j, Result: res, Err: err}
 	}
 
@@ -255,7 +262,7 @@ func (c *Compiler) do(ctx context.Context, j Job) Outcome {
 				return Outcome{Job: j, Result: res, Err: cerr, CacheHit: true}
 			}
 		}
-		res, err := pipeline.CompileContext(ctx, j.Graph, j.Machine, j.Opts)
+		res, err := c.compile(ctx, j)
 		f.val = cacheValue{res: res, err: err}
 		aborted := err != nil && ctxErr(err)
 		c.mu.Lock()
@@ -273,6 +280,14 @@ func (c *Compiler) do(ctx context.Context, j Job) Outcome {
 		}
 		return Outcome{Job: j, Result: res, Err: err}
 	}
+}
+
+// compile runs one real compilation on a recycled scratch arena.
+func (c *Compiler) compile(ctx context.Context, j Job) (*pipeline.Result, error) {
+	arena := c.arenas.Get().(*pipeline.Arena)
+	res, err := pipeline.CompileContextArena(ctx, j.Graph, j.Machine, j.Opts, arena)
+	c.arenas.Put(arena)
+	return res, err
 }
 
 // CompileAll compiles every job on the worker pool. The returned slice is

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"clusched/internal/driver"
+	"clusched/internal/machine"
+	"clusched/internal/workload"
+)
+
+// ThroughputRow is the compile-throughput measurement of the performance
+// trajectory (the BENCH_*.json files): the full SPECfp95 suite compiled from
+// scratch — caching disabled, so every loop does real work — once serially
+// and once on the full worker pool. It mirrors BenchmarkCompileAll, so the
+// committed trajectory and `go test -bench CompileAll` measure the same
+// workload.
+type ThroughputRow struct {
+	// Config and Mode identify the measured workload (the
+	// BenchmarkCompileAll configuration).
+	Config string `json:"config"`
+	Mode   string `json:"mode"`
+	// Loops is the suite size.
+	Loops int `json:"loops"`
+	// SerialMs is the wall time of a one-worker suite compilation;
+	// SerialLoopsPerSec the corresponding throughput.
+	SerialMs          float64 `json:"serial_ms"`
+	SerialLoopsPerSec float64 `json:"serial_loops_per_sec"`
+	// Workers is the pool size of the parallel measurement (GOMAXPROCS);
+	// ParallelMs and ParallelLoopsPerSec its wall time and throughput.
+	Workers             int     `json:"workers"`
+	ParallelMs          float64 `json:"parallel_ms"`
+	ParallelLoopsPerSec float64 `json:"parallel_loops_per_sec"`
+	// AllocsPerLoop and BytesPerLoop are the serial run's heap allocation
+	// count and volume divided by the suite size.
+	AllocsPerLoop float64 `json:"allocs_per_loop"`
+	BytesPerLoop  float64 `json:"bytes_per_loop"`
+}
+
+// MeasureThroughput compiles the suite with caching disabled and times it:
+// the datapoint one BENCH_*.json file contributes to the perf trajectory.
+func MeasureThroughput() ThroughputRow {
+	loops := workload.SPECfp95()
+	m := machine.MustParse("4c2b2l64r")
+	jobs := make([]driver.Job, len(loops))
+	for i, l := range loops {
+		jobs[i] = driver.Job{Graph: l.Graph, Machine: m, Opts: Replication.options()}
+	}
+	row := ThroughputRow{
+		Config:  m.Name,
+		Mode:    Replication.String(),
+		Loops:   len(loops),
+		Workers: runtime.GOMAXPROCS(0),
+	}
+
+	run := func(workers int) (elapsed time.Duration, allocs, bytes uint64) {
+		eng := driver.New(driver.Config{Workers: workers, CacheSize: -1})
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		// Per-job failures are already measured work; the aggregate error
+		// adds nothing to a throughput number.
+		eng.CompileAll(jobs)
+		elapsed = time.Since(start)
+		runtime.ReadMemStats(&after)
+		return elapsed, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc
+	}
+
+	serial, allocs, bytes := run(1)
+	row.SerialMs = float64(serial.Nanoseconds()) / 1e6
+	row.SerialLoopsPerSec = float64(len(loops)) / serial.Seconds()
+	row.AllocsPerLoop = float64(allocs) / float64(len(loops))
+	row.BytesPerLoop = float64(bytes) / float64(len(loops))
+
+	parallel, _, _ := run(row.Workers)
+	row.ParallelMs = float64(parallel.Nanoseconds()) / 1e6
+	row.ParallelLoopsPerSec = float64(len(loops)) / parallel.Seconds()
+	return row
+}

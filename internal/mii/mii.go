@@ -5,6 +5,7 @@
 package mii
 
 import (
+	"clusched/internal/arena"
 	"clusched/internal/ddg"
 	"clusched/internal/machine"
 )
@@ -56,35 +57,56 @@ func ClusterResIIAt(counts [ddg.NumClasses]int, m machine.Config, cluster int) i
 	return res
 }
 
+// Scratch is the reusable state of the MII computation: the SCC arena, the
+// component-membership marks and the Bellman-Ford distance buffer. One
+// Scratch serves one computation at a time; the pipeline reuses one per
+// compilation worker. The zero value is ready.
+type Scratch struct {
+	sccs   ddg.SCCScratch
+	inComp arena.Marks
+	dist   []int64
+}
+
+// NewScratch returns an empty arena; buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
 // RecMII returns the recurrence-constrained lower bound: the maximum over
 // all dependence cycles of ceil(totalLatency / totalDistance). It is
 // computed by binary-searching the smallest II for which the constraint
 // graph with edge weights lat − II·dist has no positive-weight cycle.
 func RecMII(g *ddg.Graph) int {
+	return RecMIIScratch(g, NewScratch())
+}
+
+// RecMIIScratch is RecMII over a caller-owned scratch arena.
+func RecMIIScratch(g *ddg.Graph, sc *Scratch) int {
 	lo, hi := 1, 1
 	hasCycle := false
-	for _, comp := range g.SCCs() {
-		if g.IsRecurrence(comp) {
-			hasCycle = true
-			// Any single edge lat with dist d implies II ≥ ceil(lat/d) might
-			// be insufficient for multi-edge cycles; use the sum of
-			// latencies in the component as a safe upper bound.
-			sum := 0
-			inComp := make(map[int]bool, len(comp))
-			for _, v := range comp {
-				inComp[v] = true
-			}
-			for _, v := range comp {
-				for _, eid := range g.Out(v) {
-					e := &g.Edges[eid]
-					if inComp[e.Dst] {
-						sum += e.Lat
-					}
+	flat, off := g.SCCsFlat(&sc.sccs)
+	for i := 0; i+1 < len(off); i++ {
+		comp := flat[off[i]:off[i+1]]
+		if !isRecurrence(g, comp) {
+			continue
+		}
+		hasCycle = true
+		// Any single edge lat with dist d implies II ≥ ceil(lat/d) might
+		// be insufficient for multi-edge cycles; use the sum of
+		// latencies in the component as a safe upper bound.
+		sum := 0
+		sc.inComp.Reset(g.NumNodes())
+		for _, v := range comp {
+			sc.inComp.Set(int32(v))
+		}
+		for _, v := range comp {
+			for _, eid := range g.Out(v) {
+				e := &g.Edges[eid]
+				if sc.inComp.Has(int32(e.Dst)) {
+					sum += e.Lat
 				}
 			}
-			if sum > hi {
-				hi = sum
-			}
+		}
+		if sum > hi {
+			hi = sum
 		}
 	}
 	if !hasCycle {
@@ -92,7 +114,7 @@ func RecMII(g *ddg.Graph) int {
 	}
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if feasibleII(g, mid) {
+		if feasibleII(g, mid, sc) {
 			hi = mid
 		} else {
 			lo = mid + 1
@@ -101,10 +123,30 @@ func RecMII(g *ddg.Graph) int {
 	return lo
 }
 
+// isRecurrence mirrors ddg.IsRecurrence over a flat component view.
+func isRecurrence(g *ddg.Graph, comp []int) bool {
+	if len(comp) > 1 {
+		return true
+	}
+	v := comp[0]
+	for _, eid := range g.Out(v) {
+		if g.Edges[eid].Dst == v {
+			return true
+		}
+	}
+	return false
+}
+
 // MII returns max(ResMII, RecMII).
 func MII(g *ddg.Graph, m machine.Config) int {
+	return MIIScratch(g, m, NewScratch())
+}
+
+// MIIScratch is MII over a caller-owned scratch arena; the driver's workers
+// reuse one across jobs.
+func MIIScratch(g *ddg.Graph, m machine.Config, sc *Scratch) int {
 	r := ResMII(g, m)
-	if rec := RecMII(g); rec > r {
+	if rec := RecMIIScratch(g, sc); rec > r {
 		return rec
 	}
 	return r
@@ -114,9 +156,10 @@ func MII(g *ddg.Graph, m machine.Config) int {
 // i.e. the graph with edge weights lat − II·dist has no positive cycle.
 // Bellman-Ford style relaxation on longest paths: if after n passes values
 // still increase, a positive cycle exists.
-func feasibleII(g *ddg.Graph, ii int) bool {
+func feasibleII(g *ddg.Graph, ii int, sc *Scratch) bool {
 	n := g.NumNodes()
-	dist := make([]int64, n)
+	dist := arena.Zeroed(sc.dist, n)
+	sc.dist = dist
 	for pass := 0; pass < n; pass++ {
 		changed := false
 		for i := range g.Edges {

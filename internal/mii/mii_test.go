@@ -220,10 +220,10 @@ func TestFeasibleIIExactBoundary(t *testing.T) {
 	b.Edge(m, a, 0)
 	b.Edge(a, m, 3)
 	g := b.MustBuild()
-	if feasibleII(g, 2) {
+	if feasibleII(g, 2, NewScratch()) {
 		t.Error("II=2 reported feasible for a 9/3 cycle")
 	}
-	if !feasibleII(g, 3) {
+	if !feasibleII(g, 3, NewScratch()) {
 		t.Error("II=3 reported infeasible for a 9/3 cycle")
 	}
 }

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"slices"
 	"sort"
 
 	"clusched/internal/ddg"
@@ -12,9 +13,10 @@ import (
 // whose slack cannot absorb the bus latency are critical and get high
 // weight; loop-carried and memory edges get low weight (memory edges never
 // cost a communication at all).
-func edgeWeights(g *ddg.Graph, m machine.Config, ii int) []int {
-	w := make([]int, g.NumEdges())
-	tm := g.ComputeTiming(ii)
+func edgeWeights(g *ddg.Graph, m machine.Config, ii int, sc *Scratch) []int {
+	w := grown(sc.w, g.NumEdges())
+	sc.w = w
+	tm := g.ComputeTimingScratch(ii, &sc.timing)
 	for i := range g.Edges {
 		e := &g.Edges[i]
 		if e.Kind == ddg.EdgeMem {
@@ -34,11 +36,25 @@ func edgeWeights(g *ddg.Graph, m machine.Config, ii int) []int {
 	return w
 }
 
-// macroNode is a group of original nodes treated as one unit during
-// coarsening.
-type macroNode struct {
-	members []int
-	counts  [ddg.NumClasses]int
+// macroSet is the result of coarsening: nodes grouped into macro-nodes,
+// stored without per-macro slices so the whole set lives in the arena.
+// Macro ids are compact, assigned in increasing order of the original
+// representative node.
+type macroSet struct {
+	n int // number of macros
+	// macroOf[v] is v's macro id.
+	macroOf []int
+	// counts[m] are the per-class operation counts of macro m; size[m] its
+	// node count.
+	counts [][ddg.NumClasses]int
+	size   []int
+	// Members of macro m are memFlat[memOff[m]:memOff[m+1]], ascending.
+	memFlat, memOff []int
+}
+
+// macroPair is a candidate merge during coarsening.
+type macroPair struct {
+	a, b, w int
 }
 
 // coarsen groups nodes into at most... as few macro-nodes as matching
@@ -46,7 +62,7 @@ type macroNode struct {
 // matching over the macro graph. Merges that would overflow a single
 // cluster's capacity at the given ii are rejected, so a macro always fits in
 // one cluster.
-func coarsen(g *ddg.Graph, m machine.Config, ii int, w []int) []macroNode {
+func coarsen(g *ddg.Graph, m machine.Config, ii int, w []int, sc *Scratch) *macroSet {
 	// Coarsening cap: a macro must fit in at least one cluster, so use the
 	// largest per-class capacity across clusters at this ii.
 	var cap [ddg.NumClasses]int
@@ -58,21 +74,27 @@ func coarsen(g *ddg.Graph, m machine.Config, ii int, w []int) []macroNode {
 		}
 	}
 
-	macros := make([]macroNode, g.NumNodes())
-	macroOf := make([]int, g.NumNodes())
+	n := g.NumNodes()
+	// Working macro ids are original node ids; dead macros have size 0.
+	macroOf := grown(sc.macroOf, n)
+	sc.macroOf = macroOf
+	counts := zeroed(sc.mcounts, n)
+	sc.mcounts = counts
+	size := grown(sc.msize, n)
+	sc.msize = size
 	for v := range g.Nodes {
-		macros[v] = macroNode{members: []int{v}}
-		macros[v].counts[g.Nodes[v].Op.Class()]++
 		macroOf[v] = v
+		counts[v][g.Nodes[v].Op.Class()]++
+		size[v] = 1
 	}
-	alive := g.NumNodes()
+	alive := n
 
-	type pair struct {
-		a, b, w int
+	if sc.agg == nil {
+		sc.agg = make(map[[2]int]int)
 	}
 	for alive > m.Clusters {
 		// Accumulate inter-macro edge weights.
-		agg := make(map[[2]int]int)
+		clear(sc.agg)
 		for i := range g.Edges {
 			e := &g.Edges[i]
 			ma, mb := macroOf[e.Src], macroOf[e.Dst]
@@ -82,23 +104,25 @@ func coarsen(g *ddg.Graph, m machine.Config, ii int, w []int) []macroNode {
 			if ma > mb {
 				ma, mb = mb, ma
 			}
-			agg[[2]int{ma, mb}] += w[i]
+			sc.agg[[2]int{ma, mb}] += w[i]
 		}
-		pairs := make([]pair, 0, len(agg))
-		for k, ww := range agg {
-			pairs = append(pairs, pair{a: k[0], b: k[1], w: ww})
+		pairs := sc.pairs[:0]
+		for k, ww := range sc.agg {
+			pairs = append(pairs, macroPair{a: k[0], b: k[1], w: ww})
 		}
+		sc.pairs = pairs
 		// Deterministic order: weight desc, then IDs.
-		sort.Slice(pairs, func(i, j int) bool {
-			if pairs[i].w != pairs[j].w {
-				return pairs[i].w > pairs[j].w
+		slices.SortFunc(pairs, func(x, y macroPair) int {
+			if x.w != y.w {
+				return y.w - x.w
 			}
-			if pairs[i].a != pairs[j].a {
-				return pairs[i].a < pairs[j].a
+			if x.a != y.a {
+				return x.a - y.a
 			}
-			return pairs[i].b < pairs[j].b
+			return x.b - y.b
 		})
-		matched := make(map[int]bool)
+		matched := zeroed(sc.matched, n)
+		sc.matched = matched
 		merges := 0
 		for _, p := range pairs {
 			if alive-merges <= m.Clusters {
@@ -107,83 +131,114 @@ func coarsen(g *ddg.Graph, m machine.Config, ii int, w []int) []macroNode {
 			if matched[p.a] || matched[p.b] {
 				continue
 			}
-			if !fitsTogether(&macros[p.a], &macros[p.b], cap) {
+			if !fitsTogether(&counts[p.a], &counts[p.b], cap) {
 				continue
 			}
-			mergeMacros(macros, macroOf, p.a, p.b)
+			mergeMacros(macroOf, counts, size, p.a, p.b)
 			matched[p.a], matched[p.b] = true, true
 			merges++
 		}
 		if merges == 0 {
 			// Matching stuck (disconnected graph or capacity limits): merge
 			// smallest compatible pairs regardless of connectivity, else stop.
-			if !forceMerge(macros, macroOf, cap, alive, m.Clusters) {
+			if !forceMerge(macroOf, counts, size, cap, sc) {
 				break
 			}
-			merges = 1 // forceMerge merged at least one pair
-			alive = countAlive(macros)
+			alive--
 			continue
 		}
 		alive -= merges
 	}
 
-	// Compact: return only live macros.
-	out := make([]macroNode, 0, m.Clusters)
-	for i := range macros {
-		if macros[i].members != nil {
-			out = append(out, macros[i])
+	// Compact: renumber live macros in increasing representative order. The
+	// counts/size/macroOf arrays are rewritten in place (the write index
+	// never passes the read index).
+	ms := &sc.ms
+	ms.n = 0
+	ms.macroOf = macroOf
+	compact := grown(sc.compact, n)
+	sc.compact = compact
+	for i := 0; i < n; i++ {
+		if size[i] > 0 {
+			compact[i] = ms.n
+			counts[ms.n] = counts[i]
+			size[ms.n] = size[i]
+			ms.n++
 		}
 	}
-	return out
-}
-
-func countAlive(macros []macroNode) int {
-	n := 0
-	for i := range macros {
-		if macros[i].members != nil {
-			n++
-		}
+	ms.counts = counts[:ms.n]
+	ms.size = size[:ms.n]
+	for v := 0; v < n; v++ {
+		ms.macroOf[v] = compact[macroOf[v]]
 	}
-	return n
+	// Bucket members by macro (counting sort keeps them ascending).
+	ms.memOff = zeroed(sc.memOff, ms.n+1)
+	sc.memOff = ms.memOff
+	ms.memFlat = grown(sc.memFlat, n)
+	sc.memFlat = ms.memFlat
+	for v := 0; v < n; v++ {
+		ms.memOff[ms.macroOf[v]+1]++
+	}
+	for i := 0; i < ms.n; i++ {
+		ms.memOff[i+1] += ms.memOff[i]
+	}
+	for v := 0; v < n; v++ {
+		mi := ms.macroOf[v]
+		ms.memFlat[ms.memOff[mi]] = v
+		ms.memOff[mi]++
+	}
+	copy(ms.memOff[1:ms.n+1], ms.memOff[:ms.n])
+	ms.memOff[0] = 0
+	return ms
 }
 
-func fitsTogether(a, b *macroNode, cap [ddg.NumClasses]int) bool {
+// members returns the node list of macro mi.
+func (ms *macroSet) members(mi int) []int { return ms.memFlat[ms.memOff[mi]:ms.memOff[mi+1]] }
+
+func fitsTogether(a, b *[ddg.NumClasses]int, cap [ddg.NumClasses]int) bool {
 	for cl := range cap {
-		if a.counts[cl]+b.counts[cl] > cap[cl] {
+		if a[cl]+b[cl] > cap[cl] {
 			return false
 		}
 	}
 	return true
 }
 
-// mergeMacros folds macro b into macro a; b becomes dead.
-func mergeMacros(macros []macroNode, macroOf []int, a, b int) {
-	for _, v := range macros[b].members {
-		macroOf[v] = a
+// mergeMacros folds macro b into macro a; b becomes dead (size 0). Every
+// node is repointed by scanning macroOf — node counts are small, so the
+// scan is cheaper than maintaining per-macro member lists.
+func mergeMacros(macroOf []int, counts [][ddg.NumClasses]int, size []int, a, b int) {
+	for v := range macroOf {
+		if macroOf[v] == b {
+			macroOf[v] = a
+		}
 	}
-	macros[a].members = append(macros[a].members, macros[b].members...)
-	for cl := range macros[a].counts {
-		macros[a].counts[cl] += macros[b].counts[cl]
+	for cl := range counts[a] {
+		counts[a][cl] += counts[b][cl]
 	}
-	macros[b] = macroNode{}
+	size[a] += size[b]
+	size[b] = 0
+	counts[b] = [ddg.NumClasses]int{}
 }
 
 // forceMerge merges the two smallest capacity-compatible macros; returns
 // false when no pair fits (coarsening must stop).
-func forceMerge(macros []macroNode, macroOf []int, cap [ddg.NumClasses]int, alive, want int) bool {
-	live := make([]int, 0, alive)
-	for i := range macros {
-		if macros[i].members != nil {
+func forceMerge(macroOf []int, counts [][ddg.NumClasses]int, size []int, cap [ddg.NumClasses]int, sc *Scratch) bool {
+	live := sc.live[:0]
+	for i := range size {
+		if size[i] > 0 {
 			live = append(live, i)
 		}
 	}
-	sort.Slice(live, func(i, j int) bool {
-		return len(macros[live[i]].members) < len(macros[live[j]].members)
-	})
+	sc.live = live
+	// sort.Slice (not slices.SortFunc) deliberately: size ties must keep
+	// the exact order the original implementation produced, so partitions
+	// stay bit-identical.
+	sort.Slice(live, func(i, j int) bool { return size[live[i]] < size[live[j]] })
 	for i := 0; i < len(live); i++ {
 		for j := i + 1; j < len(live); j++ {
-			if fitsTogether(&macros[live[i]], &macros[live[j]], cap) {
-				mergeMacros(macros, macroOf, live[i], live[j])
+			if fitsTogether(&counts[live[i]], &counts[live[j]], cap) {
+				mergeMacros(macroOf, counts, size, live[i], live[j])
 				return true
 			}
 		}
@@ -194,37 +249,34 @@ func forceMerge(macros []macroNode, macroOf []int, cap [ddg.NumClasses]int, aliv
 // assignMacros places macro-nodes onto clusters: largest first, each to a
 // cluster with spare capacity at the given ii, preferring connectivity to
 // already-placed neighbors and per-class balance.
-func assignMacros(g *ddg.Graph, m machine.Config, ii int, macros []macroNode, w []int) *Assignment {
-	capacity := make([][ddg.NumClasses]int, m.Clusters)
+func assignMacros(g *ddg.Graph, m machine.Config, ii int, ms *macroSet, w []int, sc *Scratch) *Assignment {
+	capacity := grown(sc.capacity, m.Clusters)
+	sc.capacity = capacity
 	for c := 0; c < m.Clusters; c++ {
 		for cl := range capacity[c] {
 			capacity[c][cl] = m.FUAt(c, ddg.Class(cl)) * ii
 		}
 	}
 	a := &Assignment{Cluster: make([]int, g.NumNodes()), K: m.Clusters}
-	macroOf := make([]int, g.NumNodes())
-	for mi := range macros {
-		for _, v := range macros[mi].members {
-			macroOf[v] = mi
-		}
-	}
-	order := make([]int, len(macros))
+	order := grown(sc.order, ms.n)
+	sc.order = order
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(i, j int) bool {
-		li, lj := len(macros[order[i]].members), len(macros[order[j]].members)
-		if li != lj {
-			return li > lj
+	slices.SortFunc(order, func(x, y int) int {
+		if ms.size[x] != ms.size[y] {
+			return ms.size[y] - ms.size[x]
 		}
-		return order[i] < order[j]
+		return x - y
 	})
 
-	clusterOf := make([]int, len(macros))
+	clusterOf := grown(sc.clusterOf, ms.n)
+	sc.clusterOf = clusterOf
 	for i := range clusterOf {
 		clusterOf[i] = -1
 	}
-	loads := make([][ddg.NumClasses]int, m.Clusters)
+	loads := zeroed(sc.loads, m.Clusters)
+	sc.loads = loads
 
 	for _, mi := range order {
 		bestC := 0
@@ -234,7 +286,7 @@ func assignMacros(g *ddg.Graph, m machine.Config, ii int, macros []macroNode, w 
 			overflow := 0
 			load := 0
 			for cl := range loads[c] {
-				after := loads[c][cl] + macros[mi].counts[cl]
+				after := loads[c][cl] + ms.counts[mi][cl]
 				if ex := after - capacity[c][cl]; ex > 0 {
 					overflow += ex
 				}
@@ -247,16 +299,16 @@ func assignMacros(g *ddg.Graph, m machine.Config, ii int, macros []macroNode, w 
 			}
 			// Connectivity to macros already in c.
 			conn := 0
-			for _, v := range macros[mi].members {
+			for _, v := range ms.members(mi) {
 				for _, eid := range g.Out(v) {
 					e := &g.Edges[eid]
-					if other := macroOf[e.Dst]; other != mi && clusterOf[other] == c {
+					if other := ms.macroOf[e.Dst]; other != mi && clusterOf[other] == c {
 						conn += w[eid]
 					}
 				}
 				for _, eid := range g.In(v) {
 					e := &g.Edges[eid]
-					if other := macroOf[e.Src]; other != mi && clusterOf[other] == c {
+					if other := ms.macroOf[e.Src]; other != mi && clusterOf[other] == c {
 						conn += w[eid]
 					}
 				}
@@ -272,9 +324,9 @@ func assignMacros(g *ddg.Graph, m machine.Config, ii int, macros []macroNode, w 
 		}
 		clusterOf[mi] = bestC
 		for cl := range loads[bestC] {
-			loads[bestC][cl] += macros[mi].counts[cl]
+			loads[bestC][cl] += ms.counts[mi][cl]
 		}
-		for _, v := range macros[mi].members {
+		for _, v := range ms.members(mi) {
 			a.Cluster[v] = bestC
 		}
 	}

@@ -21,7 +21,7 @@ func TestEdgeWeightsCriticalEdgesHeavier(t *testing.T) {
 	b.Edge(short, join, 0)
 	g := b.MustBuild()
 	m := machine.MustParse("2c1b2l64r")
-	w := edgeWeights(g, m, 4)
+	w := edgeWeights(g, m, 4, NewScratch())
 	var wLong, wShort int
 	for i := range g.Edges {
 		switch g.Edges[i].Dst {
@@ -48,7 +48,7 @@ func TestEdgeWeightsMemEdgesZero(t *testing.T) {
 	b.Edge(x, s, 0)
 	g := b.MustBuild()
 	m := machine.MustParse("2c1b2l64r")
-	w := edgeWeights(g, m, 4)
+	w := edgeWeights(g, m, 4, NewScratch())
 	for i := range g.Edges {
 		if g.Edges[i].Kind == ddg.EdgeMem && w[i] != 0 {
 			t.Errorf("memory edge has weight %d, want 0 (never costs a communication)", w[i])
@@ -70,16 +70,16 @@ func TestCoarsenRespectsCapacity(t *testing.T) {
 	}
 	g := b.MustBuild()
 	m := machine.MustParse("2c1b2l64r")
-	w := edgeWeights(g, m, 4)
-	macros := coarsen(g, m, 4, w)
-	for _, mac := range macros {
-		if mac.counts[ddg.ClassFP] > 8 {
-			t.Errorf("macro with %d fp ops exceeds cluster capacity 8", mac.counts[ddg.ClassFP])
+	w := edgeWeights(g, m, 4, NewScratch())
+	ms := coarsen(g, m, 4, w, NewScratch())
+	for mi := 0; mi < ms.n; mi++ {
+		if ms.counts[mi][ddg.ClassFP] > 8 {
+			t.Errorf("macro with %d fp ops exceeds cluster capacity 8", ms.counts[mi][ddg.ClassFP])
 		}
 	}
 	total := 0
-	for _, mac := range macros {
-		total += len(mac.members)
+	for mi := 0; mi < ms.n; mi++ {
+		total += len(ms.members(mi))
 	}
 	if total != g.NumNodes() {
 		t.Errorf("macros cover %d of %d nodes", total, g.NumNodes())
@@ -97,16 +97,16 @@ func TestCoarsenDisconnectedComponents(t *testing.T) {
 	}
 	g := b.MustBuild()
 	m := machine.MustParse("2c1b2l64r")
-	w := edgeWeights(g, m, 8)
-	macros := coarsen(g, m, 8, w)
+	w := edgeWeights(g, m, 8, NewScratch())
+	ms := coarsen(g, m, 8, w, NewScratch())
 	total := 0
-	for _, mac := range macros {
-		total += len(mac.members)
+	for mi := 0; mi < ms.n; mi++ {
+		total += len(ms.members(mi))
 	}
 	if total != g.NumNodes() {
 		t.Fatalf("macros cover %d of %d nodes", total, g.NumNodes())
 	}
-	if len(macros) > 7 {
-		t.Errorf("no coarsening happened: %d macros", len(macros))
+	if ms.n > 7 {
+		t.Errorf("no coarsening happened: %d macros", ms.n)
 	}
 }

@@ -88,13 +88,20 @@ func Unified(g *ddg.Graph) *Assignment {
 // using the multilevel strategy: coarsen by maximum-weight matching, assign
 // macro-nodes to clusters, then refine.
 func Initial(g *ddg.Graph, m machine.Config, ii int) *Assignment {
+	return InitialScratch(g, m, ii, NewScratch())
+}
+
+// InitialScratch is Initial over a caller-owned scratch arena; the II
+// search reuses one arena across all its partitioning calls.
+func InitialScratch(g *ddg.Graph, m machine.Config, ii int, sc *Scratch) *Assignment {
 	if !m.Clustered() {
+		sc.converged = true
 		return Unified(g)
 	}
-	w := edgeWeights(g, m, ii)
-	macros := coarsen(g, m, ii, w)
-	a := assignMacros(g, m, ii, macros, w)
-	refine(g, m, ii, a, w)
+	w := edgeWeights(g, m, ii, sc)
+	ms := coarsen(g, m, ii, w, sc)
+	a := assignMacros(g, m, ii, ms, w, sc)
+	sc.converged = refine(g, m, ii, a, w, sc)
 	return a
 }
 
@@ -106,15 +113,16 @@ func InitialUniform(g *ddg.Graph, m machine.Config, ii int) *Assignment {
 	if !m.Clustered() {
 		return Unified(g)
 	}
+	sc := NewScratch()
 	w := make([]int, g.NumEdges())
 	for i := range g.Edges {
 		if g.Edges[i].Kind == ddg.EdgeData {
 			w[i] = 1
 		}
 	}
-	macros := coarsen(g, m, ii, w)
-	a := assignMacros(g, m, ii, macros, w)
-	refine(g, m, ii, a, w)
+	ms := coarsen(g, m, ii, w, sc)
+	a := assignMacros(g, m, ii, ms, w, sc)
+	sc.converged = refine(g, m, ii, a, w, sc)
 	return a
 }
 
@@ -122,12 +130,18 @@ func InitialUniform(g *ddg.Graph, m machine.Config, ii int) *Assignment {
 // returning a new assignment; the input is not modified. This is the
 // "refine partition" step of the paper's Fig. 2 driver loop.
 func Refine(g *ddg.Graph, m machine.Config, ii int, a *Assignment) *Assignment {
+	return RefineScratch(g, m, ii, a, NewScratch())
+}
+
+// RefineScratch is Refine over a caller-owned scratch arena.
+func RefineScratch(g *ddg.Graph, m machine.Config, ii int, a *Assignment, sc *Scratch) *Assignment {
 	if !m.Clustered() {
+		sc.converged = true
 		return Unified(g)
 	}
 	na := a.Clone()
-	w := edgeWeights(g, m, ii)
-	refine(g, m, ii, na, w)
+	w := edgeWeights(g, m, ii, sc)
+	sc.converged = refine(g, m, ii, na, w, sc)
 	return na
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"clusched/internal/ddg"
 	"clusched/internal/machine"
+	"clusched/internal/mii"
 )
 
 // twoChains builds two independent chains of fadds; an ideal 2-cluster
@@ -156,8 +157,10 @@ func TestRefineStateIncrementalConsistency(t *testing.T) {
 	for trial := 0; trial < 50; trial++ {
 		g := randomGraph(rng, 5+rng.Intn(20))
 		a := Initial(g, m, 6).Clone()
-		w := edgeWeights(g, m, 6)
-		st := newRefineState(g, m, a, w)
+		sc := NewScratch()
+		w := append([]int(nil), edgeWeights(g, m, 6, sc)...)
+		targetII := 2 + rng.Intn(6)
+		st := newRefineState(g, m, a, w, targetII, sc)
 		for k := 0; k < 30; k++ {
 			st.move(rng.Intn(g.NumNodes()), rng.Intn(a.K))
 		}
@@ -173,6 +176,23 @@ func TestRefineStateIncrementalConsistency(t *testing.T) {
 		}
 		if st.wcut != wcut {
 			t.Fatalf("trial %d: incremental wcut %d, recomputed %d", trial, st.wcut, wcut)
+		}
+		// The incrementally maintained resource IIs and capacity overflow
+		// must match a from-scratch recomputation.
+		counts := a.ClassCounts(g)
+		over := 0
+		for c := range counts {
+			if got, want := st.resII[c], mii.ClusterResIIAt(counts[c], m, c); got != want {
+				t.Fatalf("trial %d: incremental resII[%d] %d, recomputed %d", trial, c, got, want)
+			}
+			for cl, n := range counts[c] {
+				if ex := n - m.FUAt(c, ddg.Class(cl))*targetII; ex > 0 {
+					over += ex
+				}
+			}
+		}
+		if st.over != over {
+			t.Fatalf("trial %d: incremental overflow %d, recomputed %d", trial, st.over, over)
 		}
 	}
 }

@@ -3,19 +3,20 @@ package partition
 import (
 	"clusched/internal/ddg"
 	"clusched/internal/machine"
-	"clusched/internal/mii"
 )
 
 // refine improves the assignment in place by greedy single-node moves
 // (§2.3.1 step 2). A move is accepted when it strictly improves the score
 // (inducedII, communications, weighted cut) lexicographically. Several
-// passes run until a pass makes no move.
-func refine(g *ddg.Graph, m machine.Config, ii int, a *Assignment, w []int) {
+// passes run until a pass makes no move. It reports whether the result is a
+// fixpoint: the final pass moved nothing (false means the pass budget ran
+// out mid-improvement).
+func refine(g *ddg.Graph, m machine.Config, ii int, a *Assignment, w []int, sc *Scratch) bool {
 	const maxPasses = 8
-	st := newRefineState(g, m, a, w)
-	st.targetII = ii
+	st := newRefineState(g, m, a, w, ii, sc)
+	moved := false
 	for pass := 0; pass < maxPasses; pass++ {
-		moved := false
+		moved = false
 		for v := range g.Nodes {
 			cur := a.Cluster[v]
 			before := st.score()
@@ -39,6 +40,7 @@ func refine(g *ddg.Graph, m machine.Config, ii int, a *Assignment, w []int) {
 			break
 		}
 	}
+	return !moved
 }
 
 // score orders candidate partitions: first by how far any cluster's
@@ -66,7 +68,11 @@ func (s score) less(o score) bool {
 	return s.wcut < o.wcut
 }
 
-// refineState maintains the score incrementally under node moves.
+// refineState maintains the score incrementally under node moves: the
+// per-cluster class counts, resource IIs and total capacity overflow, the
+// communication set and the weighted cut are all updated in O(degree) per
+// move, so evaluating a candidate move is two moves plus an O(K) score
+// read — no full rescan. All buffers live in the Scratch arena.
 type refineState struct {
 	g *ddg.Graph
 	m machine.Config
@@ -75,31 +81,56 @@ type refineState struct {
 
 	targetII int
 	counts   []([ddg.NumClasses]int) // per cluster
-	// consIn[v][c] counts data edges from v to consumers in cluster c.
-	consIn [][]int
+	fu       []int                   // cached m.FUAt, [c*NumClasses + class]
+	classII  []int                   // ceil(count/fu) per [c*NumClasses + class] (1<<20 when unservable)
+	resII    []int                   // per-cluster resource II (mii.ClusterResIIAt)
+	over     int                     // total per-class capacity overflow at targetII
+	// consIn[v*K+c] counts data edges from v to consumers in cluster c.
+	consIn []int32
 	// comm[v] is 1 when v needs a communication.
 	comm    []int8
 	numComs int
 	wcut    int
 }
 
-func newRefineState(g *ddg.Graph, m machine.Config, a *Assignment, w []int) *refineState {
-	st := &refineState{
+func newRefineState(g *ddg.Graph, m machine.Config, a *Assignment, w []int, targetII int, sc *Scratch) *refineState {
+	n := g.NumNodes()
+	st := &sc.st
+	*st = refineState{
 		g: g, m: m, a: a, w: w,
-		counts: make([][ddg.NumClasses]int, a.K),
-		consIn: make([][]int, g.NumNodes()),
-		comm:   make([]int8, g.NumNodes()),
+		targetII: targetII,
+		counts:   zeroed(sc.counts, a.K),
+		fu:       grown(sc.fu, a.K*ddg.NumClasses),
+		classII:  grown(sc.classII, a.K*ddg.NumClasses),
+		resII:    grown(sc.resII, a.K),
+		consIn:   zeroed(sc.consIn, n*a.K),
+		comm:     grown(sc.comm, n),
+	}
+	sc.counts, sc.fu, sc.classII, sc.resII, sc.consIn, sc.comm =
+		st.counts, st.fu, st.classII, st.resII, st.consIn, st.comm
+	for c := 0; c < a.K; c++ {
+		for cl := 0; cl < ddg.NumClasses; cl++ {
+			st.fu[c*ddg.NumClasses+cl] = m.FUAt(c, ddg.Class(cl))
+		}
 	}
 	for v := range g.Nodes {
-		st.consIn[v] = make([]int, a.K)
 		st.counts[a.Cluster[v]][g.Nodes[v].Op.Class()]++
+	}
+	for c := 0; c < a.K; c++ {
+		for cl, n := range st.counts[c] {
+			st.classII[c*ddg.NumClasses+cl] = classCeil(n, st.fu[c*ddg.NumClasses+cl])
+			if ex := n - st.fu[c*ddg.NumClasses+cl]*st.targetII; ex > 0 {
+				st.over += ex
+			}
+		}
+		st.resII[c] = st.clusterResII(c)
 	}
 	for i := range g.Edges {
 		e := &g.Edges[i]
 		if e.Kind != ddg.EdgeData {
 			continue
 		}
-		st.consIn[e.Src][a.Cluster[e.Dst]]++
+		st.consIn[e.Src*a.K+a.Cluster[e.Dst]]++
 		if a.Cluster[e.Src] != a.Cluster[e.Dst] {
 			st.wcut += w[i]
 		}
@@ -111,12 +142,57 @@ func newRefineState(g *ddg.Graph, m machine.Config, a *Assignment, w []int) *ref
 	return st
 }
 
+// classCeil is one class's contribution to a cluster's resource II:
+// ceil(n/fu), or a huge sentinel when the class is unservable there. The
+// floor of 1 is applied by clusterResII, matching mii.ClusterResIIAt.
+func classCeil(n, fu int) int {
+	if fu == 0 {
+		if n > 0 {
+			return 1 << 20
+		}
+		return 0
+	}
+	return (n + fu - 1) / fu
+}
+
+// clusterResII folds the cached per-class ceilings of one cluster: the same
+// value as mii.ClusterResIIAt, without recomputing any division.
+func (st *refineState) clusterResII(c int) int {
+	res := 1
+	for _, b := range st.classII[c*ddg.NumClasses : (c+1)*ddg.NumClasses] {
+		if b > res {
+			res = b
+		}
+	}
+	return res
+}
+
+// bump adjusts counts[c][cl] by d, maintaining the overflow total and the
+// cluster's resource II.
+func (st *refineState) bump(c, cl, d int) {
+	idx := c*ddg.NumClasses + cl
+	fu := st.fu[idx]
+	limit := fu * st.targetII
+	n0 := st.counts[c][cl]
+	n1 := n0 + d
+	st.counts[c][cl] = n1
+	if n0 > limit {
+		st.over -= n0 - limit
+	}
+	if n1 > limit {
+		st.over += n1 - limit
+	}
+	st.classII[idx] = classCeil(n1, fu)
+	st.resII[c] = st.clusterResII(c)
+}
+
 func (st *refineState) commBit(v int) int8 {
 	if st.g.Nodes[v].Op.IsStore() {
 		return 0
 	}
 	home := st.a.Cluster[v]
-	for c, n := range st.consIn[v] {
+	row := st.consIn[v*st.a.K : (v+1)*st.a.K]
+	for c, n := range row {
 		if c != home && n > 0 {
 			return 1
 		}
@@ -130,9 +206,10 @@ func (st *refineState) move(v, c int) {
 	if old == c {
 		return
 	}
-	cl := st.g.Nodes[v].Op.Class()
-	st.counts[old][cl]--
-	st.counts[c][cl]++
+	k := st.a.K
+	cl := int(st.g.Nodes[v].Op.Class())
+	st.bump(old, cl, -1)
+	st.bump(c, cl, +1)
 	st.a.Cluster[v] = c
 
 	// Cut and producer-comm updates for edges incident to v.
@@ -161,8 +238,8 @@ func (st *refineState) move(v, c int) {
 		}
 		p := e.Src
 		pc := st.a.Cluster[p]
-		st.consIn[p][old]--
-		st.consIn[p][c]++
+		st.consIn[p*k+old]--
+		st.consIn[p*k+c]++
 		wasCross := pc != old
 		isCross := pc != c
 		if wasCross != isCross {
@@ -178,8 +255,8 @@ func (st *refineState) move(v, c int) {
 	for _, eid := range st.g.Out(v) {
 		e := &st.g.Edges[eid]
 		if e.Kind == ddg.EdgeData && e.Dst == v {
-			st.consIn[v][old]--
-			st.consIn[v][c]++
+			st.consIn[v*k+old]--
+			st.consIn[v*k+c]++
 		}
 	}
 	st.updateComm(v)
@@ -193,23 +270,14 @@ func (st *refineState) updateComm(v int) {
 
 func (st *refineState) score() score {
 	res := 1
-	over := 0
-	for c := range st.counts {
-		if r := mii.ClusterResIIAt(st.counts[c], st.m, c); r > res {
-			res = r
-		}
-		// Overflow is measured in operation units (not ceil'd II units) so
-		// that every single-node move out of an overfull cluster strictly
-		// improves the score — ceil'd units plateau between moves.
-		for cl, n := range st.counts[c] {
-			if ex := n - st.m.FUAt(c, ddg.Class(cl))*st.targetII; ex > 0 {
-				over += ex
-			}
+	for c := 0; c < st.a.K; c++ {
+		if st.resII[c] > res {
+			res = st.resII[c]
 		}
 	}
 	induced := res
 	if b := st.m.MinBusII(st.numComs); b > induced {
 		induced = b
 	}
-	return score{resOverflow: over, inducedII: induced, coms: st.numComs, wcut: st.wcut}
+	return score{resOverflow: st.over, inducedII: induced, coms: st.numComs, wcut: st.wcut}
 }

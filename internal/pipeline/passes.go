@@ -33,11 +33,13 @@ func (PartitionPass) Name() string { return "partition" }
 
 // Run implements Pass.
 func (PartitionPass) Run(ctx *Context) error {
+	sc := ctx.partScratch()
 	if ctx.Assign == nil {
-		ctx.Assign = partition.Initial(ctx.Graph, ctx.Machine, ctx.II)
+		ctx.Assign = partition.InitialScratch(ctx.Graph, ctx.Machine, ctx.II, sc)
 	} else {
-		ctx.Assign = partition.Refine(ctx.Graph, ctx.Machine, ctx.II, ctx.Assign)
+		ctx.Assign = partition.RefineScratch(ctx.Graph, ctx.Machine, ctx.II, ctx.Assign, sc)
 	}
+	ctx.PartitionConverged = sc.Converged()
 	ctx.Placement = sched.NewPlacement(ctx.Graph, ctx.Assign)
 	ctx.CommsBeforeReplication = ctx.Placement.Comms()
 	return nil
@@ -60,14 +62,17 @@ func (ReplicationPass) Run(ctx *Context) error {
 		return nil
 	}
 	if !ctx.Opts.Replicate {
+		ctx.BusCheckFailed = true
 		ctx.Fail(CauseBus)
 		return nil
 	}
-	run := replic.Run
+	var stats replic.Stats
+	var ok bool
 	if ctx.Opts.UseMacroReplication {
-		run = replic.RunMacro
+		stats, ok = replic.RunMacro(ctx.Placement, m, ctx.II)
+	} else {
+		stats, ok = replic.RunScratch(ctx.Placement, m, ctx.II, ctx.replScratch())
 	}
-	stats, ok := run(ctx.Placement, m, ctx.II)
 	ctx.ReplStats = stats
 	if !ok {
 		ctx.Fail(CauseBus)
@@ -101,8 +106,8 @@ func (SchedulePass) Name() string { return "schedule" }
 
 // Run implements Pass.
 func (SchedulePass) Run(ctx *Context) error {
-	s, err := sched.ScheduleLoop(ctx.Placement, ctx.Machine, ctx.II, ctx.Opts.ZeroBusLatency,
-		sched.Options{SkipRegisterCheck: ctx.Opts.IgnoreRegisterPressure})
+	s, err := sched.ScheduleLoopScratch(ctx.Placement, ctx.Machine, ctx.II, ctx.Opts.ZeroBusLatency,
+		sched.Options{SkipRegisterCheck: ctx.Opts.IgnoreRegisterPressure}, ctx.schedScratch())
 	if err != nil {
 		ctx.Fail(ClassifyFailure(err))
 		return nil

@@ -106,6 +106,32 @@ func (r *Result) Speedup(other *Result, iterations float64) float64 {
 	return other.Schedule.CyclesFor(iterations) / r.Schedule.CyclesFor(iterations)
 }
 
+// Arena aggregates the reusable scratch allocators of the packages the
+// pass chain drives. The II search carries one Arena across every attempt
+// of a compilation — the reservation table, instance graph, ordering and
+// liveness buffers are resized in place instead of reallocated per II —
+// and the driver's workers reuse one Arena across all their jobs, so
+// steady-state compilation allocates almost nothing. An Arena is not safe
+// for concurrent use.
+type Arena struct {
+	// Sched is the modulo scheduler's arena; Part the partitioner's; Repl
+	// the replication pass's; MII the bound computation's.
+	Sched *sched.Scratch
+	Part  *partition.Scratch
+	Repl  *replic.Scratch
+	MII   *mii.Scratch
+}
+
+// NewArena returns an empty arena; buffers grow on first use.
+func NewArena() *Arena {
+	return &Arena{
+		Sched: sched.NewScratch(),
+		Part:  partition.NewScratch(),
+		Repl:  replic.NewScratch(),
+		MII:   mii.NewScratch(),
+	}
+}
+
 // Context is the compilation state shared by the passes of one II attempt.
 // The driver resets the per-attempt fields before each attempt; Assign
 // persists across attempts so the partitioner can refine its previous
@@ -133,6 +159,21 @@ type Context struct {
 	// Schedule is set by the scheduling pass on success.
 	Schedule *sched.Schedule
 
+	// BusCheckFailed records that the attempt failed the §3.1 bus-capacity
+	// precheck (comms > BusComs(II)) with replication disabled — the
+	// failure shape the II skip-ahead can bound (see skipahead.go).
+	BusCheckFailed bool
+	// PartitionConverged records whether this attempt's partition
+	// refinement reached a fixpoint (skip-ahead condition 1).
+	PartitionConverged bool
+
+	// arena holds the scratch allocators shared by all attempts of this
+	// compilation (and, under the driver, by all jobs of a worker).
+	arena *Arena
+	// wStableII caches skipahead.go's weight-stability threshold for the
+	// whole II search (0 = not yet computed).
+	wStableII int
+
 	failCause Cause
 	failed    bool
 }
@@ -145,6 +186,42 @@ func (c *Context) Fail(cause Cause) { c.failed, c.failCause = true, cause }
 // Failed reports whether the current attempt has been abandoned, and why.
 func (c *Context) Failed() (Cause, bool) { return c.failCause, c.failed }
 
+// schedScratch returns the compilation's scheduler arena, creating it on
+// first use (contexts driven outside Run start empty).
+func (c *Context) schedScratch() *sched.Scratch {
+	if c.arena == nil {
+		c.arena = NewArena()
+	}
+	if c.arena.Sched == nil {
+		c.arena.Sched = sched.NewScratch()
+	}
+	return c.arena.Sched
+}
+
+// partScratch returns the compilation's partitioner arena, creating it on
+// first use.
+func (c *Context) partScratch() *partition.Scratch {
+	if c.arena == nil {
+		c.arena = NewArena()
+	}
+	if c.arena.Part == nil {
+		c.arena.Part = partition.NewScratch()
+	}
+	return c.arena.Part
+}
+
+// replScratch returns the compilation's replication arena, creating it on
+// first use.
+func (c *Context) replScratch() *replic.Scratch {
+	if c.arena == nil {
+		c.arena = NewArena()
+	}
+	if c.arena.Repl == nil {
+		c.arena.Repl = replic.NewScratch()
+	}
+	return c.arena.Repl
+}
+
 // reset clears the per-attempt state for a new II attempt.
 func (c *Context) reset(ii int) {
 	c.II = ii
@@ -152,6 +229,8 @@ func (c *Context) reset(ii int) {
 	c.CommsBeforeReplication = 0
 	c.ReplStats = replic.Stats{}
 	c.Schedule = nil
+	c.BusCheckFailed = false
+	c.PartitionConverged = false
 	c.failed = false
 }
 
@@ -179,6 +258,20 @@ func CompileContext(ctx context.Context, g *ddg.Graph, m machine.Config, opts Op
 	return RunContext(ctx, g, m, opts, Chain())
 }
 
+// CompileContextArena is CompileContext over a caller-owned scratch arena
+// (see Arena); the driver's workers use it to recycle allocations across
+// jobs.
+func CompileContextArena(ctx context.Context, g *ddg.Graph, m machine.Config, opts Options, arena *Arena) (*Result, error) {
+	return RunContextArena(ctx, g, m, opts, Chain(), arena)
+}
+
+// CompileLinear is Compile over the reference linear II search (no
+// skip-ahead). It exists for differential tests proving search parity; it
+// is never the fast path.
+func CompileLinear(g *ddg.Graph, m machine.Config, opts Options) (*Result, error) {
+	return RunContextLinear(context.Background(), g, m, opts, Chain())
+}
+
 // MaxII returns the automatic II search bound for a loop on a machine: any
 // loop fits once the II covers all communications, the longest latency
 // chain and the whole resource footprint.
@@ -199,15 +292,42 @@ func Run(g *ddg.Graph, m machine.Config, opts Options, passes []Pass) (*Result, 
 // cancellation latency is one pass-chain execution, and an abandoned
 // compilation returns ctx.Err() unwrapped (errors.Is-compatible).
 func RunContext(cctx context.Context, g *ddg.Graph, m machine.Config, opts Options, passes []Pass) (*Result, error) {
+	return RunContextArena(cctx, g, m, opts, passes, NewArena())
+}
+
+// RunContextArena is RunContext over a caller-owned scratch arena: the II
+// attempts recycle its buffers, and a caller compiling many loops in
+// sequence (the driver's workers) shares one arena across all of them.
+//
+// The search skips ahead past provably doomed intervals (see skipahead.go);
+// the result is bit-identical to the plain II+1 search, which
+// RunContextLinear keeps available as the differential-testing reference.
+func RunContextArena(cctx context.Context, g *ddg.Graph, m machine.Config, opts Options, passes []Pass, arena *Arena) (*Result, error) {
+	return runSearch(cctx, g, m, opts, passes, arena, true)
+}
+
+// RunContextLinear is the reference linear II search: one attempt per
+// interval, no skip-ahead. It exists so tests can prove the skip-ahead
+// search returns bit-identical Results; production callers use RunContext.
+func RunContextLinear(cctx context.Context, g *ddg.Graph, m machine.Config, opts Options, passes []Pass) (*Result, error) {
+	return runSearch(cctx, g, m, opts, passes, nil, false)
+}
+
+func runSearch(cctx context.Context, g *ddg.Graph, m machine.Config, opts Options, passes []Pass, arena *Arena, skip bool) (*Result, error) {
+	if arena == nil {
+		arena = NewArena()
+	}
+	if arena.MII == nil {
+		arena.MII = mii.NewScratch()
+	}
 	res := &Result{Loop: g, Machine: m}
-	res.MII = mii.MII(g, m)
+	res.MII = mii.MIIScratch(g, m, arena.MII)
 
 	maxII := opts.MaxII
 	if maxII == 0 {
 		maxII = MaxII(g, m, res.MII)
 	}
-
-	ctx := &Context{Graph: g, Machine: m, Opts: opts, MII: res.MII}
+	ctx := &Context{Graph: g, Machine: m, Opts: opts, MII: res.MII, arena: arena}
 	for ii := res.MII; ii <= maxII; ii++ {
 		if err := cctx.Err(); err != nil {
 			return nil, err
@@ -223,6 +343,17 @@ func RunContext(cctx context.Context, g *ddg.Graph, m machine.Config, opts Optio
 		}
 		if cause, failed := ctx.Failed(); failed {
 			res.IIIncreases[cause]++
+			if skip {
+				// Every interval in [ii+1, next) is proven to fail exactly
+				// as this one did; tally those failures and jump. The
+				// tallied range is capped at maxII, matching the linear
+				// search's final attempt before it gives up.
+				if next := ctx.skipTarget(); next > ii+1 {
+					skipped := min(next, maxII+1) - (ii + 1)
+					res.IIIncreases[cause] += skipped
+					ii += skipped
+				}
+			}
 			continue // II++
 		}
 		if ctx.Schedule == nil || ctx.Placement == nil {

@@ -1,0 +1,136 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"clusched/internal/machine"
+	"clusched/internal/workload"
+)
+
+// The II skip-ahead (skipahead.go) must be invisible in every observable
+// output: these tests run the production search and the reference linear
+// search side by side and require bit-identical Results — the acceptance
+// bar for the optimization.
+
+// requireSameResult fails unless both searches produced identical Result
+// fields (or identical failure).
+func requireSameResult(t *testing.T, label string, skip, lin *Result, skipErr, linErr error) {
+	t.Helper()
+	if (skipErr == nil) != (linErr == nil) {
+		t.Fatalf("%s: skip err=%v, linear err=%v", label, skipErr, linErr)
+	}
+	if skipErr != nil {
+		if skipErr.Error() != linErr.Error() {
+			t.Fatalf("%s: differing errors:\n  skip:   %v\n  linear: %v", label, skipErr, linErr)
+		}
+		return
+	}
+	if skip.MII != lin.MII || skip.II != lin.II {
+		t.Fatalf("%s: II mismatch: skip MII=%d II=%d, linear MII=%d II=%d",
+			label, skip.MII, skip.II, lin.MII, lin.II)
+	}
+	if skip.Length != lin.Length || skip.SC != lin.SC {
+		t.Fatalf("%s: shape mismatch: skip Length=%d SC=%d, linear Length=%d SC=%d",
+			label, skip.Length, skip.SC, lin.Length, lin.SC)
+	}
+	if skip.IIIncreases != lin.IIIncreases {
+		t.Fatalf("%s: cause tallies mismatch: skip %v, linear %v",
+			label, skip.IIIncreases, lin.IIIncreases)
+	}
+	if skip.Comms != lin.Comms || skip.CommsBeforeReplication != lin.CommsBeforeReplication {
+		t.Fatalf("%s: comms mismatch: skip %d/%d, linear %d/%d",
+			label, skip.CommsBeforeReplication, skip.Comms, lin.CommsBeforeReplication, lin.Comms)
+	}
+	if skip.Replicated != lin.Replicated || skip.Removed != lin.Removed {
+		t.Fatalf("%s: replication mismatch: skip %v/%d, linear %v/%d",
+			label, skip.Replicated, skip.Removed, lin.Replicated, lin.Removed)
+	}
+}
+
+// TestSkipAheadMatchesLinearOnSuite is the suite-wide golden comparison:
+// every SPECfp95 loop on every paper configuration, with and without
+// replication, must compile to the same Result under both searches. Short
+// mode samples one configuration; the full run covers all six.
+func TestSkipAheadMatchesLinearOnSuite(t *testing.T) {
+	configs := machine.PaperConfigs()
+	if testing.Short() {
+		configs = configs[2:3] // 4c1b2l64r: the most search-bound config
+	}
+	loops := workload.SPECfp95()
+	for _, m := range configs {
+		for _, opts := range []Options{{}, {Replicate: true}} {
+			for _, l := range loops {
+				skip, skipErr := Compile(l.Graph, m, opts)
+				lin, linErr := CompileLinear(l.Graph, m, opts)
+				label := l.Graph.Name + " on " + m.Name
+				if opts.Replicate {
+					label += " (replicate)"
+				}
+				requireSameResult(t, label, skip, lin, skipErr, linErr)
+			}
+		}
+	}
+}
+
+// TestSkipAheadMatchesLinearOnRandomLoops is the property test: random
+// loops of every workload shape, random paper machines, both modes.
+func TestSkipAheadMatchesLinearOnRandomLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260729))
+	configs := machine.PaperConfigs()
+	trials := 300
+	if testing.Short() {
+		trials = 60
+	}
+	shapes := []workload.Shape{workload.ShapeBroadcast, workload.ShapeParallel, workload.ShapeReduction, workload.ShapeWide}
+	for trial := 0; trial < trials; trial++ {
+		shape := shapes[rng.Intn(len(shapes))]
+		// Sizes below the generators' structural minimum produce invalid
+		// graphs (the suite profiles never go that small).
+		size := 10 + rng.Intn(40)
+		g := workload.Generate(shape, "rnd", rng, size, workload.DefaultParams())
+		m := configs[rng.Intn(len(configs))]
+		opts := Options{Replicate: rng.Intn(2) == 0}
+		skip, skipErr := Compile(g, m, opts)
+		lin, linErr := CompileLinear(g, m, opts)
+		requireSameResult(t, g.Name+" on "+m.Name, skip, lin, skipErr, linErr)
+	}
+}
+
+// countingPass wraps a pass and counts how often it runs: the proof that
+// skip-ahead actually skips work, not just that it is harmless.
+type countingPass struct {
+	inner Pass
+	n     *int
+}
+
+func (p countingPass) Name() string { return p.inner.Name() }
+func (p countingPass) Run(ctx *Context) error {
+	*p.n++
+	return p.inner.Run(ctx)
+}
+
+// TestSkipAheadSkipsAttempts verifies the jump fires on a bus-bound
+// compilation: the production search must run strictly fewer partition
+// passes than the linear search while producing the same result.
+func TestSkipAheadSkipsAttempts(t *testing.T) {
+	m := machine.MustParse("4c1b2l64r")
+	rng := rand.New(rand.NewSource(7))
+	fired := false
+	for trial := 0; trial < 50 && !fired; trial++ {
+		g := workload.Generate(workload.ShapeWide, "wide", rng, 24+rng.Intn(24), workload.DefaultParams())
+		chain := func(n *int) []Pass {
+			return []Pass{countingPass{PartitionPass{}, n}, ReplicationPass{}, LengthReplicationPass{}, SchedulePass{}, VerifyPass{}}
+		}
+		var nSkip, nLin int
+		skip, skipErr := Run(g, m, Options{}, chain(&nSkip))
+		lin, linErr := RunContextLinear(t.Context(), g, m, Options{}, chain(&nLin))
+		requireSameResult(t, g.Name, skip, lin, skipErr, linErr)
+		if nSkip < nLin {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatal("skip-ahead never skipped an attempt on 50 bus-bound loops")
+	}
+}

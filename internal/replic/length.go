@@ -16,9 +16,10 @@ func LengthReplicate(p *sched.Placement, m machine.Config, ii, maxSteps int) int
 	if !m.Clustered() {
 		return 0
 	}
+	sc := NewScratch()
 	steps := 0
 	for ; steps < maxSteps; steps++ {
-		if !lengthStep(p, m, ii) {
+		if !lengthStep(p, m, ii, sc) {
 			break
 		}
 	}
@@ -27,7 +28,7 @@ func LengthReplicate(p *sched.Placement, m machine.Config, ii, maxSteps int) int
 
 // lengthStep finds one profitable critical-edge replication; returns false
 // when none exists.
-func lengthStep(p *sched.Placement, m machine.Config, ii int) bool {
+func lengthStep(p *sched.Placement, m machine.Config, ii int, sc *Scratch) bool {
 	ig, err := sched.BuildIGraph(p, m, false)
 	if err != nil {
 		return false
@@ -58,9 +59,10 @@ func lengthStep(p *sched.Placement, m machine.Config, ii int) bool {
 		if target.Minus(p.Replicas[o.com]).Empty() {
 			continue
 		}
-		sub, addTo := subgraphOf(p, o.com, target)
+		sc.subFlat, sc.addFlat = sc.subFlat[:0], sc.addFlat[:0]
+		sub, addTo := subgraphOf(p, o.com, target, sc)
 		cand := &Candidate{Com: o.com, Targets: target, Subgraph: sub, AddTo: addTo}
-		if !feasible(p, m, ii, cand) {
+		if !feasible(p, m, ii, cand, sc) {
 			continue
 		}
 		trial := p.Clone()

@@ -15,6 +15,7 @@ import (
 // reproduces that conclusion by comparing added-instruction counts against
 // Run.
 func RunMacro(p *sched.Placement, m machine.Config, ii int) (Stats, bool) {
+	sc := NewScratch()
 	var st Stats
 	st.CommsBefore = p.Comms()
 	st.CommsAfter = st.CommsBefore
@@ -28,7 +29,7 @@ func RunMacro(p *sched.Placement, m machine.Config, ii int) (Stats, bool) {
 		if extra <= 0 {
 			return st, true
 		}
-		cands := Candidates(p, m, ii)
+		cands := candidates(p, m, ii, sc)
 		sort.SliceStable(cands, func(i, j int) bool {
 			if cands[i].Weight != cands[j].Weight {
 				return cands[i].Weight < cands[j].Weight
@@ -38,7 +39,7 @@ func RunMacro(p *sched.Placement, m machine.Config, ii int) (Stats, bool) {
 		// Build the macro batch around the cheapest feasible candidate.
 		var batch []*Candidate
 		for _, seed := range cands {
-			if !feasible(p, m, ii, seed) {
+			if !feasible(p, m, ii, seed, sc) {
 				continue
 			}
 			batch = append(batch, seed)
@@ -57,7 +58,7 @@ func RunMacro(p *sched.Placement, m machine.Config, ii int) (Stats, bool) {
 						break
 					}
 				}
-				if overlaps && feasible(p, m, ii, other) {
+				if overlaps && feasible(p, m, ii, other, sc) {
 					batch = append(batch, other)
 				}
 			}
@@ -75,7 +76,7 @@ func RunMacro(p *sched.Placement, m machine.Config, ii int) (Stats, bool) {
 			if p.CommTargets(cand.Com).Empty() {
 				continue // already satisfied by an earlier batch member
 			}
-			if !feasible(p, m, ii, cand) {
+			if !feasible(p, m, ii, cand, sc) {
 				continue
 			}
 			for i := range cand.Subgraph {

@@ -11,7 +11,7 @@
 package replic
 
 import (
-	"sort"
+	"slices"
 
 	"clusched/internal/ddg"
 	"clusched/internal/machine"
@@ -41,17 +41,20 @@ type Candidate struct {
 // subgraphOf computes the replication subgraph of com (Fig. 4): the upward
 // closure over data parents, cutting at nodes whose own value is already
 // communicated (available everywhere via the broadcast bus) and at nodes
-// already replicated in every target cluster.
-func subgraphOf(p *sched.Placement, com int, targets sched.ClusterSet) ([]int, []sched.ClusterSet) {
+// already replicated in every target cluster. The returned slices are
+// appended to the arena's flat candidate backing.
+func subgraphOf(p *sched.Placement, com int, targets sched.ClusterSet, sc *Scratch) ([]int, []sched.ClusterSet) {
 	g := p.G
-	inSub := map[int]bool{com: true}
-	subgraph := []int{com}
-	var candidates []int
+	sc.mark.Reset(g.NumNodes())
+	sc.mark.Set(int32(com))
+	start := len(sc.subFlat)
+	sc.subFlat = append(sc.subFlat, com)
+	candidates := sc.stack[:0]
 	candidates = g.DataPreds(com, candidates)
 	for len(candidates) > 0 {
 		v := candidates[len(candidates)-1]
 		candidates = candidates[:len(candidates)-1]
-		if inSub[v] || p.NeedsComm(v) {
+		if sc.mark.Has(int32(v)) || p.NeedsComm(v) {
 			continue
 		}
 		if targets.Minus(p.Replicas[v]).Empty() {
@@ -59,16 +62,18 @@ func subgraphOf(p *sched.Placement, com int, targets sched.ClusterSet) ([]int, [
 			// wired up wherever it lives.
 			continue
 		}
-		inSub[v] = true
-		subgraph = append(subgraph, v)
+		sc.mark.Set(int32(v))
+		sc.subFlat = append(sc.subFlat, v)
 		candidates = g.DataPreds(v, candidates)
 	}
-	sort.Ints(subgraph)
-	addTo := make([]sched.ClusterSet, len(subgraph))
-	for i, v := range subgraph {
-		addTo[i] = targets.Minus(p.Replicas[v])
+	sc.stack = candidates[:0]
+	subgraph := sc.subFlat[start:]
+	slices.Sort(subgraph)
+	addStart := len(sc.addFlat)
+	for _, v := range subgraph {
+		sc.addFlat = append(sc.addFlat, targets.Minus(p.Replicas[v]))
 	}
-	return subgraph, addTo
+	return subgraph, sc.addFlat[addStart:]
 }
 
 // removableOf computes the instructions that can be removed from com's home
@@ -76,17 +81,20 @@ func subgraphOf(p *sched.Placement, com int, targets sched.ClusterSet) ([]int, [
 // com itself if it has no surviving local consumer, then transitively its
 // same-cluster parents whose local consumers all died. Nodes that still
 // communicate their own value cannot be removed (they feed the bus; they
-// belong to a different replication subgraph).
-func removableOf(p *sched.Placement, com int) []int {
+// belong to a different replication subgraph). The returned slice is
+// appended to the arena's flat backing.
+func removableOf(p *sched.Placement, com int, sc *Scratch) []int {
 	g := p.G
 	home := p.Home[com]
-	removable := map[int]bool{}
-	candidates := []int{com}
-	var succs, preds []int
+	sc.mark.Reset(g.NumNodes())
+	start := len(sc.remFlat)
+	candidates := sc.stack[:0]
+	candidates = append(candidates, com)
+	succs, preds := sc.succs, sc.preds
 	for len(candidates) > 0 {
 		v := candidates[len(candidates)-1]
 		candidates = candidates[:len(candidates)-1]
-		if removable[v] {
+		if sc.mark.Has(int32(v)) {
 			continue
 		}
 		if v != com && p.NeedsComm(v) {
@@ -98,7 +106,7 @@ func removableOf(p *sched.Placement, com int) []int {
 			if w == v {
 				continue
 			}
-			if p.Replicas[w].Has(home) && !removable[w] {
+			if p.Replicas[w].Has(home) && !sc.mark.Has(int32(w)) {
 				blocked = true
 				break
 			}
@@ -106,7 +114,8 @@ func removableOf(p *sched.Placement, com int) []int {
 		if blocked {
 			continue
 		}
-		removable[v] = true
+		sc.mark.Set(int32(v))
+		sc.remFlat = append(sc.remFlat, v)
 		preds = g.DataPreds(v, preds[:0])
 		for _, u := range preds {
 			if u != v && p.Home[u] == home && p.Replicas[u].Has(home) {
@@ -114,11 +123,10 @@ func removableOf(p *sched.Placement, com int) []int {
 			}
 		}
 	}
-	out := make([]int, 0, len(removable))
-	for v := range removable {
-		out = append(out, v)
-	}
-	sort.Ints(out)
+	sc.stack = candidates[:0]
+	sc.succs, sc.preds = succs, preds
+	out := sc.remFlat[start:]
+	slices.Sort(out)
 	return out
 }
 
@@ -126,21 +134,22 @@ func removableOf(p *sched.Placement, com int) []int {
 // replication adds, (usage + extra_ops)/(available·II), divided by the
 // number of candidate subgraphs that benefit from that same copy; minus
 // 1/(available·II) for every instruction the replication kills. usage/extra
-// are resolved per functional-unit class.
-func weigh(p *sched.Placement, m machine.Config, ii int, cand *Candidate, all []*Candidate) float64 {
-	counts := p.ClassCounts()
+// are resolved per functional-unit class. counts are the placement's
+// per-cluster class counts, shared by every candidate of one round.
+func weigh(p *sched.Placement, m machine.Config, ii int, cand *Candidate, all []*Candidate, counts [][ddg.NumClasses]int) float64 {
 	// extraOps[class][cluster] for this subgraph.
 	var extraOps [ddg.NumClasses][32]int
 	for i, v := range cand.Subgraph {
 		cl := p.G.Nodes[v].Op.Class()
-		for _, c := range cand.AddTo[i].Clusters() {
-			extraOps[cl][c]++
+		for rs := cand.AddTo[i]; rs != 0; rs = rs.DropLowest() {
+			extraOps[cl][rs.Lowest()]++
 		}
 	}
 	w := 0.0
 	for i, v := range cand.Subgraph {
 		cl := p.G.Nodes[v].Op.Class()
-		for _, c := range cand.AddTo[i].Clusters() {
+		for rs := cand.AddTo[i]; rs != 0; rs = rs.DropLowest() {
+			c := rs.Lowest()
 			avail := float64(m.FUAt(c, cl) * ii)
 			if avail == 0 {
 				return 1e18
@@ -182,33 +191,59 @@ func (c *Candidate) sharesCopy(v, cluster int) bool {
 // Candidates computes the full candidate set for the current placement:
 // one per communicated value, with subgraphs, removable sets and weights.
 func Candidates(p *sched.Placement, m machine.Config, ii int) []*Candidate {
-	var cands []*Candidate
-	for _, com := range p.CommNodes() {
+	return candidates(p, m, ii, NewScratch())
+}
+
+// candidates is Candidates into the arena: the candidate records and their
+// node lists are valid until the arena's next round.
+func candidates(p *sched.Placement, m machine.Config, ii int, sc *Scratch) []*Candidate {
+	comms := sc.commBuf[:0]
+	for v := range p.G.Nodes {
+		if p.NeedsComm(v) {
+			comms = append(comms, v)
+		}
+	}
+	sc.commBuf = comms
+
+	// Size the candidate array up front: pointers into it are taken below,
+	// so it must not reallocate while being filled.
+	cands := grown(sc.cands, len(comms))
+	sc.cands = cands
+	sc.subFlat = sc.subFlat[:0]
+	sc.addFlat = sc.addFlat[:0]
+	sc.remFlat = sc.remFlat[:0]
+	ptrs := grown(sc.candPtrs, len(comms))
+	sc.candPtrs = ptrs
+	for i, com := range comms {
 		targets := p.CommTargets(com)
-		sub, addTo := subgraphOf(p, com, targets)
-		cands = append(cands, &Candidate{
+		sub, addTo := subgraphOf(p, com, targets, sc)
+		cands[i] = Candidate{
 			Com:       com,
 			Targets:   targets,
 			Subgraph:  sub,
 			AddTo:     addTo,
-			Removable: removableOf(p, com),
-		})
+			Removable: removableOf(p, com, sc),
+		}
+		ptrs[i] = &cands[i]
 	}
-	for _, c := range cands {
-		c.Weight = weigh(p, m, ii, c, cands)
+	counts := p.ClassCountsInto(grown(sc.counts, p.K))
+	sc.counts = counts
+	for _, c := range ptrs {
+		c.Weight = weigh(p, m, ii, c, ptrs, counts)
 	}
-	return cands
+	return ptrs
 }
 
 // feasible reports whether replicating the candidate keeps every target
 // cluster's per-class resource II within ii (the no-over-replication guard:
 // replication must never be the reason the II grows, §3).
-func feasible(p *sched.Placement, m machine.Config, ii int, cand *Candidate) bool {
-	counts := p.ClassCounts()
+func feasible(p *sched.Placement, m machine.Config, ii int, cand *Candidate, sc *Scratch) bool {
+	counts := p.ClassCountsInto(grown(sc.counts, p.K))
+	sc.counts = counts
 	for i, v := range cand.Subgraph {
 		cl := p.G.Nodes[v].Op.Class()
-		for _, c := range cand.AddTo[i].Clusters() {
-			counts[c][cl]++
+		for rs := cand.AddTo[i]; rs != 0; rs = rs.DropLowest() {
+			counts[rs.Lowest()][cl]++
 		}
 	}
 	home := p.Home[cand.Com]
@@ -277,6 +312,12 @@ func (s Stats) TotalReplicated() int {
 // resolved; the placement is mutated in place. When it returns false the
 // caller must increase the II (and should discard the placement).
 func Run(p *sched.Placement, m machine.Config, ii int) (Stats, bool) {
+	return RunScratch(p, m, ii, NewScratch())
+}
+
+// RunScratch is Run over a caller-owned scratch arena; the pipeline reuses
+// one across the II attempts of a compilation.
+func RunScratch(p *sched.Placement, m machine.Config, ii int, sc *Scratch) (Stats, bool) {
 	var st Stats
 	st.CommsBefore = p.Comms()
 	st.CommsAfter = st.CommsBefore
@@ -290,16 +331,22 @@ func Run(p *sched.Placement, m machine.Config, ii int) (Stats, bool) {
 		if extra <= 0 {
 			return st, true
 		}
-		cands := Candidates(p, m, ii)
-		sort.SliceStable(cands, func(i, j int) bool {
-			if cands[i].Weight != cands[j].Weight {
-				return cands[i].Weight < cands[j].Weight
+		cands := candidates(p, m, ii, sc)
+		// The comparator is total (Com breaks weight ties uniquely), so the
+		// sorted order is the same one sort.SliceStable produced here
+		// historically.
+		slices.SortFunc(cands, func(a, b *Candidate) int {
+			if a.Weight != b.Weight {
+				if a.Weight < b.Weight {
+					return -1
+				}
+				return 1
 			}
-			return cands[i].Com < cands[j].Com
+			return a.Com - b.Com
 		})
 		applied := false
 		for _, cand := range cands {
-			if !feasible(p, m, ii, cand) {
+			if !feasible(p, m, ii, cand, sc) {
 				continue
 			}
 			for i := range cand.Subgraph {

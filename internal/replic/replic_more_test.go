@@ -86,7 +86,7 @@ func TestFeasibilityGuardBlocksOversizedSubgraph(t *testing.T) {
 	if len(cands) != 1 {
 		t.Fatalf("%d candidates", len(cands))
 	}
-	if feasible(p, m, 7, cands[0]) {
+	if feasible(p, m, 7, cands[0], NewScratch()) {
 		t.Error("oversized replication reported feasible")
 	}
 	_, ok := Run(p, m, 7)
@@ -105,7 +105,7 @@ func TestRemovableBlockedByLocalStore(t *testing.T) {
 	b.Edge(u, r, 0)
 	g := b.MustBuild()
 	p := sched.NewPlacement(g, &partition.Assignment{Cluster: []int{0, 0, 1}, K: 2})
-	rem := removableOf(p, u)
+	rem := removableOf(p, u, NewScratch())
 	if len(rem) != 0 {
 		t.Errorf("removable = %v, want none (local store consumes u)", rem)
 	}

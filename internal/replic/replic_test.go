@@ -142,7 +142,7 @@ func TestSubgraphCutsAtCommunicatedParents(t *testing.T) {
 	if p.Comms() != 2 {
 		t.Fatalf("comms = %d, want 2", p.Comms())
 	}
-	sub, _ := subgraphOf(p, c, p.CommTargets(c))
+	sub, _ := subgraphOf(p, c, p.CommTargets(c), NewScratch())
 	if !sameSet(namesOf(g, sub), "c", "b") {
 		t.Errorf("subgraph(c) = %v, want {c,b}", namesOf(g, sub))
 	}

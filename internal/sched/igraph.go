@@ -45,7 +45,9 @@ type IEdge struct {
 }
 
 // IGraph is the expanded, per-instance dependence graph the scheduler works
-// on.
+// on. Adjacency is stored in compressed (CSR) form: the edge ids incident
+// to instance i are outIdx[outOff[i]:outOff[i+1]] (and the in* twins), so
+// the whole graph is a handful of flat slices a Scratch can recycle.
 type IGraph struct {
 	// G is the source loop; M the machine.
 	G *ddg.Graph
@@ -58,27 +60,50 @@ type IGraph struct {
 	// CopyIdx[v] is the index of v's copy instance, or -1.
 	CopyIdx []int32
 
-	out, in  [][]int32 // adjacency: edge indices
-	instIdx  []int32   // flattened [node*K + cluster] -> instance index or -1
-	commLat  int       // effective bus latency used for dependence timing
-	busSlots int       // cycles a copy occupies a bus (real latency)
+	outOff, inOff []int32 // CSR offsets, len NumInstances+1
+	outIdx, inIdx []int32 // edge ids grouped by Src / Dst, ascending per node
+	instIdx       []int32 // flattened [node*K + cluster] -> instance index or -1
+	commLat       int     // effective bus latency used for dependence timing
+	busSlots      int     // cycles a copy occupies a bus (real latency)
+
+	// scratch marks a graph whose slices live in a Scratch arena: it is
+	// valid only until the arena's next attempt and must be detached before
+	// being retained (see detach).
+	scratch bool
 }
 
 // BuildIGraph expands a placement into an instance graph. When zeroBusLat
 // is true, copies still occupy the bus for the machine's real latency (so
 // the bus-pressure impact on the II is preserved) but contribute zero
 // dependence latency; this is the Fig. 12 upper-bound mode (§5.1).
+//
+// The returned graph owns its memory. Pipeline-internal callers use
+// Scratch.buildIGraph instead, which recycles one arena across attempts.
 func BuildIGraph(p *Placement, m machine.Config, zeroBusLat bool) (*IGraph, error) {
+	var sc Scratch
+	ig, err := sc.buildIGraph(p, m, zeroBusLat)
+	if err != nil {
+		return nil, err
+	}
+	return ig.detach(), nil
+}
+
+// buildIGraph is BuildIGraph into the arena: the returned graph aliases the
+// scratch buffers and is valid until the arena's next use.
+func (sc *Scratch) buildIGraph(p *Placement, m machine.Config, zeroBusLat bool) (*IGraph, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	g := p.G
-	ig := &IGraph{
+	n := g.NumNodes()
+	ig := &sc.ig
+	*ig = IGraph{
 		G: g, M: m, P: p,
-		CopyIdx:  make([]int32, g.NumNodes()),
-		instIdx:  make([]int32, g.NumNodes()*p.K),
+		CopyIdx:  grown(sc.copyIdx, n),
+		instIdx:  grown(sc.instIdx, n*p.K),
 		commLat:  m.BusLatency,
 		busSlots: m.BusLatency,
+		scratch:  true,
 	}
 	if zeroBusLat {
 		ig.commLat = 0
@@ -86,11 +111,13 @@ func BuildIGraph(p *Placement, m machine.Config, zeroBusLat bool) (*IGraph, erro
 	for i := range ig.instIdx {
 		ig.instIdx[i] = -1
 	}
+	sc.inst = sc.inst[:0]
 	for v := range g.Nodes {
 		ig.CopyIdx[v] = -1
-		for _, c := range p.Replicas[v].Clusters() {
-			ig.instIdx[v*p.K+c] = int32(len(ig.Inst))
-			ig.Inst = append(ig.Inst, Instance{Orig: v, Cluster: c})
+		for rs := p.Replicas[v]; rs != 0; rs = rs.DropLowest() {
+			c := rs.Lowest()
+			ig.instIdx[v*p.K+c] = int32(len(sc.inst))
+			sc.inst = append(sc.inst, Instance{Orig: v, Cluster: c})
 		}
 	}
 	// Copy instances for communicated values, each fed by the home instance.
@@ -98,24 +125,19 @@ func BuildIGraph(p *Placement, m machine.Config, zeroBusLat bool) (*IGraph, erro
 		if !p.NeedsComm(v) {
 			continue
 		}
-		ci := int32(len(ig.Inst))
-		ig.CopyIdx[v] = ci
-		ig.Inst = append(ig.Inst, Instance{Orig: v, Cluster: p.Home[v], IsCopy: true})
+		ig.CopyIdx[v] = int32(len(sc.inst))
+		sc.inst = append(sc.inst, Instance{Orig: v, Cluster: p.Home[v], IsCopy: true})
 	}
-	ig.out = make([][]int32, len(ig.Inst))
-	ig.in = make([][]int32, len(ig.Inst))
 
+	sc.edges = sc.edges[:0]
 	addEdge := func(src, dst int32, lat, orderLat, dist int, data bool) {
-		id := int32(len(ig.Edges))
-		ig.Edges = append(ig.Edges, IEdge{Src: src, Dst: dst, Lat: int32(lat), OrderLat: int32(orderLat), Dist: int32(dist), Data: data})
-		ig.out[src] = append(ig.out[src], id)
-		ig.in[dst] = append(ig.in[dst], id)
+		sc.edges = append(sc.edges, IEdge{Src: src, Dst: dst, Lat: int32(lat), OrderLat: int32(orderLat), Dist: int32(dist), Data: data})
 	}
 
 	// Feed each copy from its home instance.
 	for v := range g.Nodes {
 		if ci := ig.CopyIdx[v]; ci >= 0 {
-			home := ig.InstanceAt(v, p.Home[v])
+			home := ig.instIdx[v*p.K+p.Home[v]]
 			if home < 0 {
 				return nil, fmt.Errorf("sched: communicated node %d lacks home instance", v)
 			}
@@ -127,9 +149,10 @@ func BuildIGraph(p *Placement, m machine.Config, zeroBusLat bool) (*IGraph, erro
 	for i := range g.Edges {
 		e := &g.Edges[i]
 		if e.Kind == ddg.EdgeData {
-			for _, c := range p.Replicas[e.Dst].Clusters() {
-				dst := ig.InstanceAt(e.Dst, c)
-				if src := ig.InstanceAt(e.Src, c); src >= 0 {
+			for rs := p.Replicas[e.Dst]; rs != 0; rs = rs.DropLowest() {
+				c := rs.Lowest()
+				dst := ig.instIdx[e.Dst*p.K+c]
+				if src := ig.instIdx[e.Src*p.K+c]; src >= 0 {
 					addEdge(src, dst, e.Lat, e.Lat, e.Dist, true)
 				} else {
 					ci := ig.CopyIdx[e.Src]
@@ -142,17 +165,80 @@ func BuildIGraph(p *Placement, m machine.Config, zeroBusLat bool) (*IGraph, erro
 			continue
 		}
 		// Memory ordering edges: between every pair of instances.
-		for _, c1 := range p.Replicas[e.Src].Clusters() {
-			src := ig.InstanceAt(e.Src, c1)
-			for _, c2 := range p.Replicas[e.Dst].Clusters() {
+		for r1 := p.Replicas[e.Src]; r1 != 0; r1 = r1.DropLowest() {
+			c1 := r1.Lowest()
+			src := ig.instIdx[e.Src*p.K+c1]
+			for r2 := p.Replicas[e.Dst]; r2 != 0; r2 = r2.DropLowest() {
+				c2 := r2.Lowest()
 				if e.Src == e.Dst && c1 == c2 && e.Dist == 0 {
 					continue
 				}
-				addEdge(src, ig.InstanceAt(e.Dst, c2), e.Lat, e.Lat, e.Dist, false)
+				addEdge(src, ig.instIdx[e.Dst*p.K+c2], e.Lat, e.Lat, e.Dist, false)
 			}
 		}
 	}
+	ig.Inst = sc.inst
+	ig.Edges = sc.edges
+	sc.copyIdx = ig.CopyIdx
+	sc.instIdx = ig.instIdx
+	sc.buildCSR(ig)
 	return ig, nil
+}
+
+// buildCSR computes the adjacency index from ig.Edges. Edge ids stay in
+// ascending order within each node's list, matching the order incremental
+// appends would have produced.
+func (sc *Scratch) buildCSR(ig *IGraph) {
+	n := len(ig.Inst)
+	sc.outOff = zeroed(sc.outOff, n+1)
+	sc.inOff = zeroed(sc.inOff, n+1)
+	for i := range ig.Edges {
+		sc.outOff[ig.Edges[i].Src+1]++
+		sc.inOff[ig.Edges[i].Dst+1]++
+	}
+	for i := 0; i < n; i++ {
+		sc.outOff[i+1] += sc.outOff[i]
+		sc.inOff[i+1] += sc.inOff[i]
+	}
+	ne := len(ig.Edges)
+	sc.outIdx = grown(sc.outIdx, ne)
+	sc.inIdx = grown(sc.inIdx, ne)
+	// Fill positions walk forward; afterwards off[i] has advanced to
+	// off[i+1], so recover the starts by shifting back.
+	for i := range ig.Edges {
+		e := &ig.Edges[i]
+		sc.outIdx[sc.outOff[e.Src]] = int32(i)
+		sc.outOff[e.Src]++
+		sc.inIdx[sc.inOff[e.Dst]] = int32(i)
+		sc.inOff[e.Dst]++
+	}
+	copy(sc.outOff[1:n+1], sc.outOff[:n])
+	sc.outOff[0] = 0
+	copy(sc.inOff[1:n+1], sc.inOff[:n])
+	sc.inOff[0] = 0
+	ig.outOff, ig.outIdx = sc.outOff, sc.outIdx
+	ig.inOff, ig.inIdx = sc.inOff, sc.inIdx
+}
+
+// detach copies the graph out of its scratch arena so it can outlive it; a
+// graph that already owns its memory is returned unchanged. The placement
+// is shared, not copied: it is attempt-local state the pipeline hands over
+// together with the schedule.
+func (ig *IGraph) detach() *IGraph {
+	if !ig.scratch {
+		return ig
+	}
+	out := *ig
+	out.scratch = false
+	out.Inst = append([]Instance(nil), ig.Inst...)
+	out.Edges = append([]IEdge(nil), ig.Edges...)
+	out.CopyIdx = append([]int32(nil), ig.CopyIdx...)
+	out.instIdx = append([]int32(nil), ig.instIdx...)
+	out.outOff = append([]int32(nil), ig.outOff...)
+	out.inOff = append([]int32(nil), ig.inOff...)
+	out.outIdx = append([]int32(nil), ig.outIdx...)
+	out.inIdx = append([]int32(nil), ig.inIdx...)
+	return &out
 }
 
 // InstanceAt returns the instance index of node v in cluster c, or -1.
@@ -183,10 +269,10 @@ func (ig *IGraph) Latency(i int32) int {
 }
 
 // Out and In return edge-index adjacency for instance i.
-func (ig *IGraph) Out(i int32) []int32 { return ig.out[i] }
+func (ig *IGraph) Out(i int32) []int32 { return ig.outIdx[ig.outOff[i]:ig.outOff[i+1]] }
 
 // In returns the incoming edge indices of instance i.
-func (ig *IGraph) In(i int32) []int32 { return ig.in[i] }
+func (ig *IGraph) In(i int32) []int32 { return ig.inIdx[ig.inOff[i]:ig.inOff[i+1]] }
 
 // Name renders a debug name for instance i.
 func (ig *IGraph) Name(i int32) string {

@@ -8,30 +8,28 @@ import (
 // mrt is the modulo reservation table: per cluster and functional-unit
 // class, the number of operations issued in each slot of the II window,
 // plus the bus reservation table. A copy occupies one bus for the full bus
-// latency starting at its issue slot.
+// latency starting at its issue slot. The tables are flat slices resized in
+// place by the Scratch arena, so re-arming the table for a new II attempt
+// allocates nothing once the buffers have grown.
 type mrt struct {
 	ii       int
 	m        machine.Config
-	fu       [][]int16 // [cluster][class*ii + slot]
-	bus      []int16   // [slot]
-	busSlots int       // cycles a copy holds a bus
+	fu       []int16 // [(cluster*NumClasses + class)*ii + slot]
+	bus      []int16 // [slot]
+	busSlots int     // cycles a copy holds a bus
 }
 
-func newMRT(m machine.Config, k, ii int) *mrt {
-	t := &mrt{
-		ii:       ii,
-		m:        m,
-		fu:       make([][]int16, k),
-		bus:      make([]int16, ii),
-		busSlots: m.BusLatency,
-	}
+// reset re-arms the table for a machine, cluster count and II, clearing
+// every reservation.
+func (t *mrt) reset(m machine.Config, k, ii int) {
+	t.ii = ii
+	t.m = m
+	t.fu = zeroed(t.fu, k*ddg.NumClasses*ii)
+	t.bus = zeroed(t.bus, ii)
+	t.busSlots = m.BusLatency
 	if t.busSlots <= 0 {
 		t.busSlots = 1
 	}
-	for c := range t.fu {
-		t.fu[c] = make([]int16, ddg.NumClasses*ii)
-	}
-	return t
 }
 
 func (t *mrt) slot(time int) int {
@@ -57,7 +55,7 @@ func (t *mrt) canPlace(in Instance, op ddg.OpKind, time int) bool {
 		return true
 	}
 	cl := op.Class()
-	return int(t.fu[in.Cluster][int(cl)*t.ii+t.slot(time)]) < t.m.FUAt(in.Cluster, cl)
+	return int(t.fu[(in.Cluster*ddg.NumClasses+int(cl))*t.ii+t.slot(time)]) < t.m.FUAt(in.Cluster, cl)
 }
 
 // place reserves the resources for the instance at the given time.
@@ -68,5 +66,5 @@ func (t *mrt) place(in Instance, op ddg.OpKind, time int) {
 		}
 		return
 	}
-	t.fu[in.Cluster][int(op.Class())*t.ii+t.slot(time)]++
+	t.fu[(in.Cluster*ddg.NumClasses+int(op.Class()))*t.ii+t.slot(time)]++
 }

@@ -1,23 +1,26 @@
 package sched
 
-import "sort"
+import "slices"
 
 // igTiming computes resource-unaware ASAP/ALAP times for the instance graph
 // at a given II, clamping loop-carried edges the same way ddg.ComputeTiming
-// does.
+// does. The slices alias the Scratch arena.
 type igTiming struct {
 	asap, alap []int
 	length     int
 }
 
-func computeIGTiming(ig *IGraph, ii int) *igTiming {
+func computeIGTiming(ig *IGraph, ii int, sc *Scratch) *igTiming {
 	n := ig.NumInstances()
-	t := &igTiming{asap: make([]int, n), alap: make([]int, n)}
-	order := igTopo(ig)
+	t := &sc.timing
+	sc.asap = zeroed(sc.asap, n)
+	sc.alap = zeroed(sc.alap, n)
+	*t = igTiming{asap: sc.asap, alap: sc.alap}
+	order := igTopo(ig, sc)
 	relax := func() bool {
 		changed := false
 		for _, v := range order {
-			for _, eid := range ig.out[v] {
+			for _, eid := range ig.Out(v) {
 				e := &ig.Edges[eid]
 				eff := int(e.OrderLat) - int(e.Dist)*ii
 				if e.Dist != 0 && eff <= 0 {
@@ -46,7 +49,7 @@ func computeIGTiming(ig *IGraph, ii int) *igTiming {
 	}
 	for k := len(order) - 1; k >= 0; k-- {
 		v := order[k]
-		for _, eid := range ig.out[v] {
+		for _, eid := range ig.Out(v) {
 			e := &ig.Edges[eid]
 			if e.Dist != 0 {
 				continue
@@ -61,39 +64,39 @@ func computeIGTiming(ig *IGraph, ii int) *igTiming {
 
 // igTopo returns a topological order over distance-0 edges of the instance
 // graph. Instances on zero-distance cycles (impossible for valid inputs)
-// are appended at the end so the function is total.
-func igTopo(ig *IGraph) []int32 {
+// are appended at the end so the function is total. The slice aliases the
+// Scratch arena; the order buffer doubles as the BFS queue.
+func igTopo(ig *IGraph, sc *Scratch) []int32 {
 	n := ig.NumInstances()
-	indeg := make([]int, n)
+	indeg := zeroed(sc.indeg, n)
+	sc.indeg = indeg
 	for i := range ig.Edges {
 		if ig.Edges[i].Dist == 0 {
 			indeg[ig.Edges[i].Dst]++
 		}
 	}
-	order := make([]int32, 0, n)
-	queue := make([]int32, 0, n)
+	order := sc.topoBuf[:0]
 	for v := 0; v < n; v++ {
 		if indeg[v] == 0 {
-			queue = append(queue, int32(v))
+			order = append(order, int32(v))
 		}
 	}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		order = append(order, v)
-		for _, eid := range ig.out[v] {
+	for head := 0; head < len(order); head++ {
+		v := order[head]
+		for _, eid := range ig.Out(v) {
 			e := &ig.Edges[eid]
 			if e.Dist != 0 {
 				continue
 			}
 			indeg[e.Dst]--
 			if indeg[e.Dst] == 0 {
-				queue = append(queue, e.Dst)
+				order = append(order, e.Dst)
 			}
 		}
 	}
 	if len(order) < n {
-		seen := make([]bool, n)
+		seen := zeroed(sc.topoSeen, n)
+		sc.topoSeen = seen
 		for _, v := range order {
 			seen[v] = true
 		}
@@ -103,6 +106,7 @@ func igTopo(ig *IGraph) []int32 {
 			}
 		}
 	}
+	sc.topoBuf = order
 	return order
 }
 
@@ -114,47 +118,54 @@ func igTopo(ig *IGraph) []int32 {
 // It is the robust last-resort order: the dist-0 topological order can
 // strand nodes between a predecessor chain and a successor that a
 // loop-carried forward edge dragged to an incompatible anchor.
-func igTopoAll(ig *IGraph, tm *igTiming) []int32 {
-	comps := igSCCs(ig) // reverse topological order of the condensation
-	order := make([]int32, 0, ig.NumInstances())
-	for i := len(comps) - 1; i >= 0; i-- {
-		comp := comps[i]
-		sort.Slice(comp, func(a, b int) bool {
-			if tm.asap[comp[a]] != tm.asap[comp[b]] {
-				return tm.asap[comp[a]] < tm.asap[comp[b]]
+func igTopoAll(ig *IGraph, tm *igTiming, sc *Scratch) []int32 {
+	flat, off := igSCCs(ig, sc) // reverse topological order of the condensation
+	order := sc.allOrder[:0]
+	for i := len(off) - 2; i >= 0; i-- {
+		comp := flat[off[i]:off[i+1]]
+		slices.SortFunc(comp, func(a, b int32) int {
+			if tm.asap[a] != tm.asap[b] {
+				return tm.asap[a] - tm.asap[b]
 			}
-			return comp[a] < comp[b]
+			return int(a - b)
 		})
 		order = append(order, comp...)
 	}
+	sc.allOrder = order
 	return order
 }
 
-// igSCCs returns strongly connected components of the instance graph over
-// all edges, used to give recurrence instances scheduling priority.
-func igSCCs(ig *IGraph) [][]int32 {
+// sccFrame is one level of the iterative Tarjan walk.
+type sccFrame struct {
+	v  int32
+	ei int
+}
+
+// igSCCs returns the strongly connected components of the instance graph
+// over all edges, in reverse topological order of the condensation. The
+// components are stored flat in the arena: component i is
+// flat[off[i]:off[i+1]], with len(off) = count+1.
+func igSCCs(ig *IGraph, sc *Scratch) (flat []int32, off []int32) {
 	n := ig.NumInstances()
-	index := make([]int32, n)
-	lowlink := make([]int32, n)
-	onStack := make([]bool, n)
+	index := grown(sc.sccIndex, n)
+	sc.sccIndex = index
+	lowlink := grown(sc.sccLow, n)
+	sc.sccLow = lowlink
+	onStack := zeroed(sc.onStack, n)
+	sc.onStack = onStack
 	for i := range index {
 		index[i] = -1
 	}
-	var (
-		stack []int32
-		comps [][]int32
-		next  int32
-	)
-	type frame struct {
-		v  int32
-		ei int
-	}
-	var callStack []frame
+	stack := sc.sccStack[:0]
+	callStack := sc.sccFrames[:0]
+	flat = sc.compFlat[:0]
+	off = append(sc.compOff[:0], 0)
+	var next int32
 	for root := int32(0); root < int32(n); root++ {
 		if index[root] != -1 {
 			continue
 		}
-		callStack = append(callStack[:0], frame{v: root})
+		callStack = append(callStack[:0], sccFrame{v: root})
 		index[root], lowlink[root] = next, next
 		next++
 		stack = append(stack, root)
@@ -162,15 +173,16 @@ func igSCCs(ig *IGraph) [][]int32 {
 		for len(callStack) > 0 {
 			f := &callStack[len(callStack)-1]
 			recursed := false
-			for f.ei < len(ig.out[f.v]) {
-				w := ig.Edges[ig.out[f.v][f.ei]].Dst
+			out := ig.Out(f.v)
+			for f.ei < len(out) {
+				w := ig.Edges[out[f.ei]].Dst
 				f.ei++
 				if index[w] == -1 {
 					index[w], lowlink[w] = next, next
 					next++
 					stack = append(stack, w)
 					onStack[w] = true
-					callStack = append(callStack, frame{v: w})
+					callStack = append(callStack, sccFrame{v: w})
 					recursed = true
 					break
 				} else if onStack[w] && index[w] < lowlink[f.v] {
@@ -189,21 +201,24 @@ func igSCCs(ig *IGraph) [][]int32 {
 				}
 			}
 			if lowlink[v] == index[v] {
-				var comp []int32
 				for {
 					w := stack[len(stack)-1]
 					stack = stack[:len(stack)-1]
 					onStack[w] = false
-					comp = append(comp, w)
+					flat = append(flat, w)
 					if w == v {
 						break
 					}
 				}
-				comps = append(comps, comp)
+				off = append(off, int32(len(flat)))
 			}
 		}
 	}
-	return comps
+	sc.sccStack = stack
+	sc.sccFrames = callStack
+	sc.compFlat = flat
+	sc.compOff = off
+	return flat, off
 }
 
 // priorityOrder computes an SMS-style scheduling order (after Llosa et al.
@@ -212,27 +227,25 @@ func igSCCs(ig *IGraph) [][]int32 {
 // to previously ordered groups; each group is ordered by alternating
 // top-down and bottom-up sweeps so that, outside recurrences, a node is
 // placed while only its predecessors or only its successors are scheduled.
-func priorityOrder(ig *IGraph, ii int, tm *igTiming) []int32 {
+func priorityOrder(ig *IGraph, ii int, tm *igTiming, sc *Scratch) []int32 {
 	n := ig.NumInstances()
 	if n == 0 {
 		return nil
 	}
 
-	groups := buildGroups(ig)
-	order := make([]int32, 0, n)
-	inOrder := make([]bool, n)
+	groupFlat, groupOff := buildGroups(ig, sc)
+	order := sc.priOrder[:0]
+	inOrder := zeroed(sc.inOrder, n)
+	sc.inOrder = inOrder
 
-	appendNode := func(v int32) {
-		order = append(order, v)
-		inOrder[v] = true
-	}
-
-	for _, group := range groups {
-		inGroup := make([]bool, n)
+	for gi := 0; gi+1 < len(groupOff); gi++ {
+		group := groupFlat[groupOff[gi]:groupOff[gi+1]]
+		inGroup := &sc.inGroup
+		inGroup.Reset(n)
 		remaining := 0
 		for _, v := range group {
 			if !inOrder[v] {
-				inGroup[v] = true
+				inGroup.Set(v)
 				remaining++
 			}
 		}
@@ -241,13 +254,13 @@ func priorityOrder(ig *IGraph, ii int, tm *igTiming) []int32 {
 		}
 		// Candidate seeds: successors/predecessors of the current order.
 		succSeeds := func() []int32 {
-			var r []int32
-			seen := make(map[int32]bool)
+			r := sc.ready[:0]
+			sc.seedMark.Reset(n)
 			for _, v := range order {
-				for _, eid := range ig.out[v] {
+				for _, eid := range ig.Out(v) {
 					w := ig.Edges[eid].Dst
-					if inGroup[w] && !inOrder[w] && !seen[w] {
-						seen[w] = true
+					if inGroup.Has(w) && !inOrder[w] && !sc.seedMark.Has(w) {
+						sc.seedMark.Set(w)
 						r = append(r, w)
 					}
 				}
@@ -255,18 +268,27 @@ func priorityOrder(ig *IGraph, ii int, tm *igTiming) []int32 {
 			return r
 		}
 		predSeeds := func() []int32 {
-			var r []int32
-			seen := make(map[int32]bool)
+			r := sc.ready[:0]
+			sc.seedMark.Reset(n)
 			for _, v := range order {
-				for _, eid := range ig.in[v] {
+				for _, eid := range ig.In(v) {
 					w := ig.Edges[eid].Src
-					if inGroup[w] && !inOrder[w] && !seen[w] {
-						seen[w] = true
+					if inGroup.Has(w) && !inOrder[w] && !sc.seedMark.Has(w) {
+						sc.seedMark.Set(w)
 						r = append(r, w)
 					}
 				}
 			}
 			return r
+		}
+		minASAPSeed := func() []int32 {
+			var best int32 = -1
+			for v := int32(0); v < int32(n); v++ {
+				if inGroup.Has(v) && !inOrder[v] && (best < 0 || tm.asap[v] < tm.asap[best]) {
+					best = v
+				}
+			}
+			return append(sc.ready[:0], best)
 		}
 
 		const (
@@ -280,13 +302,7 @@ func priorityOrder(ig *IGraph, ii int, tm *igTiming) []int32 {
 				dir = bottomUp
 			} else {
 				// Fresh component: start at its minimum-ASAP node, top-down.
-				var best int32 = -1
-				for v := int32(0); v < int32(n); v++ {
-					if inGroup[v] && !inOrder[v] && (best < 0 || tm.asap[v] < tm.asap[best]) {
-						best = v
-					}
-				}
-				ready = []int32{best}
+				ready = minASAPSeed()
 			}
 		}
 
@@ -302,14 +318,8 @@ func priorityOrder(ig *IGraph, ii int, tm *igTiming) []int32 {
 				}
 				if len(ready) == 0 {
 					// Disconnected remainder of the group.
-					var best int32 = -1
-					for v := int32(0); v < int32(n); v++ {
-						if inGroup[v] && !inOrder[v] && (best < 0 || tm.asap[v] < tm.asap[best]) {
-							best = v
-						}
-					}
 					dir = topDown
-					ready = []int32{best}
+					ready = minASAPSeed()
 				}
 			}
 			for len(ready) > 0 {
@@ -346,46 +356,56 @@ func priorityOrder(ig *IGraph, ii int, tm *igTiming) []int32 {
 				if inOrder[v] {
 					continue
 				}
-				appendNode(v)
+				order = append(order, v)
+				inOrder[v] = true
 				remaining--
 				// Extend the frontier in the current direction.
 				if dir == topDown {
-					for _, eid := range ig.out[v] {
+					for _, eid := range ig.Out(v) {
 						w := ig.Edges[eid].Dst
-						if inGroup[w] && !inOrder[w] {
+						if inGroup.Has(w) && !inOrder[w] {
 							ready = append(ready, w)
 						}
 					}
 				} else {
-					for _, eid := range ig.in[v] {
+					for _, eid := range ig.In(v) {
 						w := ig.Edges[eid].Src
-						if inGroup[w] && !inOrder[w] {
+						if inGroup.Has(w) && !inOrder[w] {
 							ready = append(ready, w)
 						}
 					}
 				}
 			}
+			sc.ready = ready[:0]
 		}
 	}
+	sc.priOrder = order
 	return order
+}
+
+// recComp is one recurrence component considered for a priority group.
+type recComp struct {
+	nodes   []int32
+	tension int
 }
 
 // buildGroups partitions the instances into SMS priority groups: one per
 // recurrence component in decreasing tension order, each widened with the
 // nodes on paths connecting it to earlier groups, plus a final group with
-// everything else.
-func buildGroups(ig *IGraph) [][]int32 {
+// everything else. Groups are stored flat in the arena: group i is
+// flat[off[i]:off[i+1]]. Because groups are disjoint and emitted in
+// priority order, the flat prefix before a group is exactly the "prior"
+// node set its path-widening searches from.
+func buildGroups(ig *IGraph, sc *Scratch) (flat []int32, off []int32) {
 	n := ig.NumInstances()
-	type recComp struct {
-		nodes   []int32
-		tension int
-	}
-	var recs []recComp
-	for _, comp := range igSCCs(ig) {
+	compFlat, compOff := igSCCs(ig, sc)
+	recs := sc.recs[:0]
+	for i := 0; i+1 < len(compOff); i++ {
+		comp := compFlat[compOff[i]:compOff[i+1]]
 		if len(comp) == 1 {
 			v := comp[0]
 			self := false
-			for _, eid := range ig.out[v] {
+			for _, eid := range ig.Out(v) {
 				if ig.Edges[eid].Dst == v {
 					self = true
 				}
@@ -394,74 +414,79 @@ func buildGroups(ig *IGraph) [][]int32 {
 				continue
 			}
 		}
-		in := make(map[int32]bool, len(comp))
+		sc.inMark.Reset(n)
 		for _, v := range comp {
-			in[v] = true
+			sc.inMark.Set(v)
 		}
 		tension := 0
 		for _, v := range comp {
-			for _, eid := range ig.out[v] {
-				if e := &ig.Edges[eid]; in[e.Dst] {
+			for _, eid := range ig.Out(v) {
+				if e := &ig.Edges[eid]; sc.inMark.Has(e.Dst) {
 					tension += int(e.Lat)
 				}
 			}
 		}
-		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		slices.Sort(comp)
 		recs = append(recs, recComp{nodes: comp, tension: tension})
 	}
-	sort.SliceStable(recs, func(i, j int) bool { return recs[i].tension > recs[j].tension })
+	sc.recs = recs
+	slices.SortStableFunc(recs, func(a, b recComp) int { return b.tension - a.tension })
 
-	grouped := make([]bool, n)
-	var groups [][]int32
-	var prior []int32
+	grouped := zeroed(sc.grouped, n)
+	sc.grouped = grouped
+	flat = sc.groupFlat[:0]
+	off = append(sc.groupOff[:0], 0)
 	for _, rc := range recs {
-		group := append([]int32(nil), rc.nodes...)
+		prior := flat // the concatenation of all earlier groups
+		start := len(flat)
+		flat = append(flat, rc.nodes...)
 		if len(prior) > 0 {
 			// Nodes on paths between the prior groups and this component.
-			descPrior := reach(ig, prior, false)
-			ancComp := reach(ig, rc.nodes, true)
-			descComp := reach(ig, rc.nodes, false)
-			ancPrior := reach(ig, prior, true)
+			descPrior := reach(ig, prior, false, &sc.reachA, sc)
+			ancComp := reach(ig, rc.nodes, true, &sc.reachB, sc)
+			descComp := reach(ig, rc.nodes, false, &sc.reachC, sc)
+			ancPrior := reach(ig, prior, true, &sc.reachD, sc)
+			sc.inMark.Reset(n)
+			for _, c := range rc.nodes {
+				sc.inMark.Set(c)
+			}
 			for v := int32(0); v < int32(n); v++ {
 				if grouped[v] {
 					continue
 				}
 				onPath := (descPrior[v] && ancComp[v]) || (descComp[v] && ancPrior[v])
-				inComp := false
-				for _, c := range rc.nodes {
-					if c == v {
-						inComp = true
-					}
-				}
-				if onPath && !inComp {
-					group = append(group, v)
+				if onPath && !sc.inMark.Has(v) {
+					flat = append(flat, v)
 				}
 			}
 		}
-		for _, v := range group {
+		for _, v := range flat[start:] {
 			grouped[v] = true
 		}
-		prior = append(prior, group...)
-		groups = append(groups, group)
+		off = append(off, int32(len(flat)))
 	}
-	var rest []int32
+	start := len(flat)
 	for v := int32(0); v < int32(n); v++ {
 		if !grouped[v] {
-			rest = append(rest, v)
+			flat = append(flat, v)
 		}
 	}
-	if len(rest) > 0 {
-		groups = append(groups, rest)
+	if len(flat) > start {
+		off = append(off, int32(len(flat)))
 	}
-	return groups
+	sc.groupFlat = flat
+	sc.groupOff = off
+	return flat, off
 }
 
 // reach returns the set of nodes reachable from seeds following edges
-// forward (backward when up is true), seeds included.
-func reach(ig *IGraph, seeds []int32, up bool) []bool {
+// forward (backward when up is true), seeds included, in the caller's
+// buffer.
+func reach(ig *IGraph, seeds []int32, up bool, buf *[]bool, sc *Scratch) []bool {
 	n := ig.NumInstances()
-	seen := make([]bool, n)
-	queue := make([]int32, 0, len(seeds))
+	seen := zeroed(*buf, n)
+	*buf = seen
+	queue := sc.reachBuf[:0]
 	for _, s := range seeds {
 		if !seen[s] {
 			seen[s] = true
@@ -471,9 +496,9 @@ func reach(ig *IGraph, seeds []int32, up bool) []bool {
 	for len(queue) > 0 {
 		v := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
-		adj := ig.out[v]
+		adj := ig.Out(v)
 		if up {
-			adj = ig.in[v]
+			adj = ig.In(v)
 		}
 		for _, eid := range adj {
 			w := ig.Edges[eid].Dst
@@ -486,5 +511,6 @@ func reach(ig *IGraph, seeds []int32, up bool) []bool {
 			}
 		}
 	}
+	sc.reachBuf = queue[:0]
 	return seen
 }

@@ -41,7 +41,20 @@ func (s ClusterSet) Empty() bool { return s == 0 }
 // Count returns the number of clusters in the set.
 func (s ClusterSet) Count() int { return bits.OnesCount32(uint32(s)) }
 
-// Clusters returns the members in increasing order.
+// Lowest returns the smallest cluster index in the set (undefined for the
+// empty set). Together with DropLowest it iterates a set without
+// allocating:
+//
+//	for s := set; s != 0; s = s.DropLowest() {
+//		c := s.Lowest()
+//	}
+func (s ClusterSet) Lowest() int { return bits.TrailingZeros32(uint32(s)) }
+
+// DropLowest returns the set without its smallest member.
+func (s ClusterSet) DropLowest() ClusterSet { return s & (s - 1) }
+
+// Clusters returns the members in increasing order. It allocates; hot paths
+// iterate with Lowest/DropLowest instead.
 func (s ClusterSet) Clusters() []int {
 	out := make([]int, 0, s.Count())
 	for c := 0; s != 0; c, s = c+1, s>>1 {
@@ -146,13 +159,21 @@ func (p *Placement) CommNodes() []int {
 }
 
 // ClassCounts returns per-cluster, per-class instance counts, counting
-// replicas and excluding removed home instances.
+// replicas and excluding removed home instances. It allocates the result;
+// hot paths use ClassCountsInto.
 func (p *Placement) ClassCounts() [][ddg.NumClasses]int {
-	counts := make([][ddg.NumClasses]int, p.K)
+	return p.ClassCountsInto(make([][ddg.NumClasses]int, p.K))
+}
+
+// ClassCountsInto is ClassCounts into a caller-owned buffer of length K.
+func (p *Placement) ClassCountsInto(counts [][ddg.NumClasses]int) [][ddg.NumClasses]int {
+	for c := range counts {
+		counts[c] = [ddg.NumClasses]int{}
+	}
 	for v := range p.G.Nodes {
 		cl := p.G.Nodes[v].Op.Class()
-		for _, c := range p.Replicas[v].Clusters() {
-			counts[c][cl]++
+		for rs := p.Replicas[v]; rs != 0; rs = rs.DropLowest() {
+			counts[rs.Lowest()][cl]++
 		}
 	}
 	return counts
@@ -188,7 +209,8 @@ func (p *Placement) Validate() error {
 // Machine-facing helpers shared by the scheduler and the replication pass.
 
 // ClusterResIIOf returns the largest per-cluster resource II of the
-// placement on machine m.
+// placement on machine m: the smallest II whose reservation tables have a
+// slot for every instance of every cluster (pigeonhole over FU slots).
 func (p *Placement) ClusterResIIOf(m machine.Config) int {
 	best := 1
 	for c, counts := range p.ClassCounts() {

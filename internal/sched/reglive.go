@@ -6,95 +6,97 @@ package sched
 // folded modulo II; the pressure of a cluster is the maximum number of
 // simultaneously live values across the II slots. Lifetimes longer than II
 // overlap themselves once per started iteration.
-func computeMaxLive(s *Schedule) []int {
-	ig := s.IG
-	ii := s.II
-	pressure := make([][]int, ig.P.K)
-	for c := range pressure {
-		pressure[c] = make([]int, ii)
-	}
+//
+// The result aliases the Scratch arena (sc.maxLive); callers that retain it
+// copy it out.
+func computeMaxLive(ig *IGraph, ii int, time []int, sc *Scratch) []int {
+	k := ig.P.K
+	pressure := zeroed(sc.pressure, k*ii)
+	sc.pressure = pressure
 
-	addInterval := func(cluster, def, lastUse int) {
-		if lastUse < def {
-			lastUse = def
-		}
-		length := lastUse - def + 1
-		wraps := length / ii
-		rem := length % ii
-		if wraps > 0 {
-			for slot := range pressure[cluster] {
-				pressure[cluster][slot] += wraps
-			}
-		}
-		start := def % ii
-		if start < 0 {
-			start += ii
-		}
-		for d := 0; d < rem; d++ {
-			pressure[cluster][(start+d)%ii]++
-		}
-	}
+	// lastUse[c] tracks the last data read of the current value in cluster
+	// c; have is the bitmask of clusters with any read. Machines have at
+	// most 32 clusters (ClusterSet), so a fixed array avoids a per-instance
+	// map.
+	var lastUse [32]int
+	var have uint32
 
 	for i := range ig.Inst {
 		in := ig.Inst[i]
 		if !in.IsCopy && ig.G.Nodes[in.Orig].Op.IsStore() {
 			continue // stores produce no register value
 		}
-		def := s.Time[i] + ig.Latency(int32(i))
+		def := time[i] + ig.Latency(int32(i))
 		// A copy writes the value into every cluster that reads it from the
 		// bus; an ordinary instance writes its own cluster's file. Track the
 		// last use per destination cluster.
-		lastUse := make(map[int]int)
-		for _, eid := range ig.out[i] {
+		have = 0
+		for _, eid := range ig.Out(int32(i)) {
 			e := &ig.Edges[eid]
 			if !e.Data {
 				continue
 			}
-			dst := ig.Inst[e.Dst]
-			use := s.Time[e.Dst] + ii*int(e.Dist)
+			use := time[e.Dst] + ii*int(e.Dist)
 			// The consuming "cluster" for pressure purposes: copies read in
 			// the producer's home cluster.
-			c := dst.Cluster
-			if u, ok := lastUse[c]; !ok || use > u {
+			c := ig.Inst[e.Dst].Cluster
+			if have&(1<<uint(c)) == 0 || use > lastUse[c] {
+				have |= 1 << uint(c)
 				lastUse[c] = use
 			}
 		}
 		if in.IsCopy {
 			// The value occupies a register in each destination cluster from
 			// bus delivery until its last local use.
-			for c, use := range lastUse {
-				addInterval(c, def, use)
+			for h := have; h != 0; h &= h - 1 {
+				c := ClusterSet(h).Lowest()
+				addLiveInterval(pressure[c*ii:(c+1)*ii], ii, def, lastUse[c])
 			}
 			continue
 		}
 		// Ordinary instance: pressure in its own cluster from definition to
 		// the latest local read (consumers in this cluster plus copies,
-		// which read here).
-		last, any := def, false
-		for c, use := range lastUse {
-			if c == in.Cluster {
-				any = true
-				if use > last {
-					last = use
-				}
-			}
+		// which read here). A value produced but never read here (e.g. all
+		// its consumers are fed by a copy chain elsewhere) is held for one
+		// cycle.
+		last := def
+		if have&(1<<uint(in.Cluster)) != 0 && lastUse[in.Cluster] > last {
+			last = lastUse[in.Cluster]
 		}
-		if !any {
-			// Value produced but never read in this cluster (e.g. all its
-			// consumers are fed by a copy chain elsewhere): hold it for one
-			// cycle.
-			last = def
-		}
-		addInterval(in.Cluster, def, last)
+		addLiveInterval(pressure[in.Cluster*ii:(in.Cluster+1)*ii], ii, def, last)
 	}
 
-	maxLive := make([]int, ig.P.K)
-	for c := range pressure {
-		for _, p := range pressure[c] {
-			if p > maxLive[c] {
-				maxLive[c] = p
+	maxLive := zeroed(sc.maxLive, k)
+	sc.maxLive = maxLive
+	for c := 0; c < k; c++ {
+		for _, p := range pressure[c*ii : (c+1)*ii] {
+			if int(p) > maxLive[c] {
+				maxLive[c] = int(p)
 			}
 		}
 	}
 	return maxLive
+}
+
+// addLiveInterval folds the lifetime [def, lastUse] of one value into a
+// cluster's per-slot pressure row, wrapping modulo II.
+func addLiveInterval(row []int32, ii, def, lastUse int) {
+	if lastUse < def {
+		lastUse = def
+	}
+	length := lastUse - def + 1
+	wraps := length / ii
+	rem := length % ii
+	if wraps > 0 {
+		for slot := range row {
+			row[slot] += int32(wraps)
+		}
+	}
+	start := def % ii
+	if start < 0 {
+		start += ii
+	}
+	for d := 0; d < rem; d++ {
+		row[(start+d)%ii]++
+	}
 }

@@ -72,8 +72,9 @@ func TestIGTopoAllRespectsCondensation(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
 		_, p := randomPlacedLoop(rng, m, 6+rng.Intn(20))
 		ig := mustIG(t, p, m)
-		tm := computeIGTiming(ig, 4)
-		order := igTopoAll(ig, tm)
+		sc := NewScratch()
+		tm := computeIGTiming(ig, 4, sc)
+		order := igTopoAll(ig, tm, sc)
 		if len(order) != ig.NumInstances() {
 			t.Fatalf("order covers %d of %d", len(order), ig.NumInstances())
 		}
@@ -82,10 +83,10 @@ func TestIGTopoAllRespectsCondensation(t *testing.T) {
 			pos[v] = i
 		}
 		// Cross-SCC edges must go forward.
-		comps := igSCCs(ig)
+		flat, off := igSCCs(ig, NewScratch())
 		compOf := make([]int, ig.NumInstances())
-		for ci, comp := range comps {
-			for _, v := range comp {
+		for ci := 0; ci+1 < len(off); ci++ {
+			for _, v := range flat[off[ci]:off[ci+1]] {
 				compOf[v] = ci
 			}
 		}

@@ -40,7 +40,9 @@ func (k FailKind) String() string {
 	return fmt.Sprintf("FailKind(%d)", int(k))
 }
 
-// Error reports a failed schedule attempt.
+// Error reports a failed schedule attempt. It carries the raw facts of the
+// failure; the message is rendered on demand, so failed attempts on the II
+// search's hot path pay no formatting cost.
 type Error struct {
 	Kind FailKind
 	// Inst is the instance that could not be placed (copy instances point
@@ -48,11 +50,37 @@ type Error struct {
 	Inst int32
 	// IsCopy records whether the unplaceable instance was a bus copy.
 	IsCopy bool
-	// Detail is a human-readable explanation.
+	// II is the initiation interval of the failed attempt.
+	II int
+	// EStart and LStart bound the closed window of a FailWindow.
+	EStart, LStart int
+	// Cluster, Live and Regs describe a FailRegisters overflow.
+	Cluster, Live, Regs int
+	// Detail optionally carries extra context from cold paths (Adopt).
 	Detail string
 }
 
-func (e *Error) Error() string { return fmt.Sprintf("sched: %s: %s", e.Kind, e.Detail) }
+// Error implements error.
+func (e *Error) Error() string {
+	if e.Detail != "" {
+		return fmt.Sprintf("sched: %s: %s", e.Kind, e.Detail)
+	}
+	switch e.Kind {
+	case FailWindow:
+		if e.Inst < 0 {
+			return fmt.Sprintf("sched: window: infeasible at II=%d", e.II)
+		}
+		return fmt.Sprintf("sched: window: window closed for instance %d: estart=%d > lstart=%d at II=%d",
+			e.Inst, e.EStart, e.LStart, e.II)
+	case FailResource:
+		return fmt.Sprintf("sched: resource: no free slot for instance %d (copy=%v) in its window at II=%d",
+			e.Inst, e.IsCopy, e.II)
+	case FailRegisters:
+		return fmt.Sprintf("sched: registers: cluster %d MaxLive=%d exceeds %d registers at II=%d",
+			e.Cluster, e.Live, e.Regs, e.II)
+	}
+	return fmt.Sprintf("sched: %s at II=%d", e.Kind, e.II)
+}
 
 // Schedule is a modulo schedule of an instance graph at a fixed II.
 type Schedule struct {
@@ -86,39 +114,51 @@ type Options struct {
 // node). On failure the error of the first attempt is returned, as it
 // carries the more meaningful cause.
 func Run(ig *IGraph, ii int, opts Options) (*Schedule, error) {
+	return RunScratch(ig, ii, opts, NewScratch())
+}
+
+// RunScratch is Run with an explicit scratch arena: temporaries are resized
+// in place inside sc instead of reallocated, and only an accepted schedule
+// is copied out of the arena. Callers running many attempts (the II search)
+// share one Scratch across them.
+func RunScratch(ig *IGraph, ii int, opts Options, sc *Scratch) (*Schedule, error) {
 	if ii <= 0 {
-		return nil, &Error{Kind: FailWindow, Inst: -1, Detail: "non-positive II"}
+		return nil, &Error{Kind: FailWindow, Inst: -1, II: ii}
 	}
-	tm := computeIGTiming(ig, ii)
+	tm := computeIGTiming(ig, ii, sc)
 	if opts.ForceTopoOrder {
-		return runWithOrder(ig, ii, igTopoAll(ig, tm), tm, opts)
+		return runWithOrder(ig, ii, igTopoAll(ig, tm, sc), tm, opts, sc)
 	}
-	s, err := runWithOrder(ig, ii, priorityOrder(ig, ii, tm), tm, opts)
+	s, err := runWithOrder(ig, ii, priorityOrder(ig, ii, tm, sc), tm, opts, sc)
 	if err == nil {
 		return s, nil
 	}
 	if e, ok := err.(*Error); ok && e.Kind == FailRegisters {
 		return nil, err // a register failure is definitive for this II
 	}
-	for _, order := range [][]int32{igTopo(ig), igTopoAll(ig, tm)} {
-		if s2, err2 := runWithOrder(ig, ii, order, tm, opts); err2 == nil {
-			return s2, nil
-		}
+	if s2, err2 := runWithOrder(ig, ii, igTopo(ig, sc), tm, opts, sc); err2 == nil {
+		return s2, nil
+	}
+	if s2, err2 := runWithOrder(ig, ii, igTopoAll(ig, tm, sc), tm, opts, sc); err2 == nil {
+		return s2, nil
 	}
 	return nil, err
 }
 
-func runWithOrder(ig *IGraph, ii int, order []int32, tm *igTiming, opts Options) (*Schedule, error) {
+func runWithOrder(ig *IGraph, ii int, order []int32, tm *igTiming, opts Options, sc *Scratch) (*Schedule, error) {
 	const inf = int(^uint(0) >> 1)
-	rt := newMRT(ig.M, ig.P.K, ii)
+	rt := &sc.rt
+	rt.reset(ig.M, ig.P.K, ii)
 	n := ig.NumInstances()
-	time := make([]int, n)
-	placed := make([]bool, n)
+	time := zeroed(sc.time, n)
+	sc.time = time
+	placed := zeroed(sc.placed, n)
+	sc.placed = placed
 
 	for _, v := range order {
 		estart, lstart := -inf, inf
 		hasPred, hasSucc := false, false
-		for _, eid := range ig.in[v] {
+		for _, eid := range ig.In(v) {
 			e := &ig.Edges[eid]
 			if !placed[e.Src] || e.Src == v {
 				continue
@@ -128,7 +168,7 @@ func runWithOrder(ig *IGraph, ii int, order []int32, tm *igTiming, opts Options)
 				estart = t
 			}
 		}
-		for _, eid := range ig.out[v] {
+		for _, eid := range ig.Out(v) {
 			e := &ig.Edges[eid]
 			if !placed[e.Dst] || e.Dst == v {
 				continue
@@ -147,7 +187,7 @@ func runWithOrder(ig *IGraph, ii int, order []int32, tm *igTiming, opts Options)
 		case hasPred && hasSucc:
 			if estart > lstart {
 				return nil, &Error{Kind: FailWindow, Inst: v, IsCopy: inst.IsCopy,
-					Detail: fmt.Sprintf("window closed for %s: estart=%d > lstart=%d at II=%d", ig.Name(v), estart, lstart, ii)}
+					II: ii, EStart: estart, LStart: lstart}
 			}
 			end := lstart
 			if e2 := estart + ii - 1; e2 < end {
@@ -178,8 +218,7 @@ func runWithOrder(ig *IGraph, ii int, order []int32, tm *igTiming, opts Options)
 			}
 		}
 		if !found {
-			return nil, &Error{Kind: FailResource, Inst: v, IsCopy: inst.IsCopy,
-				Detail: fmt.Sprintf("no free slot for %s in its window at II=%d", ig.Name(v), ii)}
+			return nil, &Error{Kind: FailResource, Inst: v, IsCopy: inst.IsCopy, II: ii}
 		}
 		rt.place(inst, op, foundAt)
 		time[v] = foundAt
@@ -202,26 +241,34 @@ func runWithOrder(ig *IGraph, ii int, order []int32, tm *igTiming, opts Options)
 		}
 	}
 
-	s := &Schedule{IG: ig, II: ii, Time: time}
+	length := 0
 	for i := range ig.Inst {
-		if l := time[i] + ig.Latency(int32(i)); l > s.Length {
-			s.Length = l
+		if l := time[i] + ig.Latency(int32(i)); l > length {
+			length = l
 		}
 	}
-	if s.Length == 0 {
-		s.Length = 1
+	if length == 0 {
+		length = 1
 	}
-	s.SC = (s.Length + ii - 1) / ii
-	s.MaxLive = computeMaxLive(s)
+	maxLive := computeMaxLive(ig, ii, time, sc)
 	if !opts.SkipRegisterCheck {
-		for c, live := range s.MaxLive {
+		for c, live := range maxLive {
 			if live > ig.M.Regs {
 				return nil, &Error{Kind: FailRegisters, Inst: -1,
-					Detail: fmt.Sprintf("cluster %d MaxLive=%d exceeds %d registers at II=%d", c, live, ig.M.Regs, ii)}
+					II: ii, Cluster: c, Live: live, Regs: ig.M.Regs}
 			}
 		}
 	}
-	return s, nil
+	// Accepted: copy the schedule out of the arena so it survives the next
+	// attempt (and the arena's reuse by later compilations).
+	return &Schedule{
+		IG:      ig.detach(),
+		II:      ii,
+		Time:    append([]int(nil), time...),
+		Length:  length,
+		SC:      (length + ii - 1) / ii,
+		MaxLive: append([]int(nil), maxLive...),
+	}, nil
 }
 
 // Adopt builds a Schedule for ig from externally produced issue times (for
@@ -230,9 +277,9 @@ func runWithOrder(ig *IGraph, ii int, order []int32, tm *igTiming, opts Options)
 // stage count and register pressure are recomputed.
 func Adopt(ig *IGraph, ii int, times []int, opts Options) (*Schedule, error) {
 	if len(times) != ig.NumInstances() {
-		return nil, &Error{Kind: FailWindow, Inst: -1, Detail: "time vector size mismatch"}
+		return nil, &Error{Kind: FailWindow, Inst: -1, II: ii, Detail: "time vector size mismatch"}
 	}
-	s := &Schedule{IG: ig, II: ii, Time: append([]int(nil), times...)}
+	s := &Schedule{IG: ig.detach(), II: ii, Time: append([]int(nil), times...)}
 	for i := range ig.Inst {
 		if l := s.Time[i] + ig.Latency(int32(i)); l > s.Length {
 			s.Length = l
@@ -241,16 +288,17 @@ func Adopt(ig *IGraph, ii int, times []int, opts Options) (*Schedule, error) {
 	if s.Length == 0 {
 		s.Length = 1
 	}
+	s.MaxLive = computeMaxLive(s.IG, ii, s.Time, NewScratch())
+	s.MaxLive = append([]int(nil), s.MaxLive...)
 	s.SC = (s.Length + ii - 1) / ii
-	s.MaxLive = computeMaxLive(s)
 	if err := Verify(s); err != nil {
-		return nil, &Error{Kind: FailWindow, Inst: -1, Detail: err.Error()}
+		return nil, &Error{Kind: FailWindow, Inst: -1, II: ii, Detail: err.Error()}
 	}
 	if !opts.SkipRegisterCheck {
 		for c, live := range s.MaxLive {
 			if live > ig.M.Regs {
 				return nil, &Error{Kind: FailRegisters, Inst: -1,
-					Detail: fmt.Sprintf("cluster %d MaxLive=%d exceeds %d registers at II=%d", c, live, ig.M.Regs, ii)}
+					II: ii, Cluster: c, Live: live, Regs: ig.M.Regs}
 			}
 		}
 	}
@@ -264,14 +312,26 @@ func Adopt(ig *IGraph, ii int, times []int, opts Options) (*Schedule, error) {
 // adopted instead, so the upper-bound mode never does worse than the real
 // machine.
 func ScheduleLoop(p *Placement, m machine.Config, ii int, zeroBusLat bool, opts Options) (*Schedule, error) {
-	ig, err := BuildIGraph(p, m, zeroBusLat)
+	return ScheduleLoopScratch(p, m, ii, zeroBusLat, opts, NewScratch())
+}
+
+// ScheduleLoopScratch is ScheduleLoop over a shared scratch arena: the
+// pipeline's II search passes the same Scratch to every attempt, so the
+// instance graph, reservation table and every ordering buffer are recycled
+// instead of reallocated per II.
+func ScheduleLoopScratch(p *Placement, m machine.Config, ii int, zeroBusLat bool, opts Options, sc *Scratch) (*Schedule, error) {
+	ig, err := sc.buildIGraph(p, m, zeroBusLat)
 	if err != nil {
 		return nil, err
 	}
-	s, serr := Run(ig, ii, opts)
+	s, serr := RunScratch(ig, ii, opts, sc)
 	if serr == nil || !zeroBusLat {
 		return s, serr
 	}
+	// Fallback for the Fig. 12 upper-bound mode: schedule under real
+	// latencies (a fresh graph — the scratch one would alias the arena the
+	// retry is about to reuse) and adopt those times.
+	zeroIG := sc.ig.detach()
 	realIG, err := BuildIGraph(p, m, false)
 	if err != nil {
 		return nil, serr
@@ -280,7 +340,7 @@ func ScheduleLoop(p *Placement, m machine.Config, ii int, zeroBusLat bool, opts 
 	if rerr != nil {
 		return nil, serr
 	}
-	if as, aerr := Adopt(ig, ii, rs.Time, opts); aerr == nil {
+	if as, aerr := Adopt(zeroIG, ii, rs.Time, opts); aerr == nil {
 		return as, nil
 	}
 	return nil, serr

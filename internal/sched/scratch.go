@@ -1,0 +1,85 @@
+package sched
+
+import "clusched/internal/arena"
+
+// Scratch is the scheduler's reusable allocation arena. Every temporary the
+// scheduler needs — the instance graph under construction, the reservation
+// table, timing and ordering buffers, liveness tables — lives in one Scratch
+// and is resized in place instead of reallocated, so a steady-state schedule
+// attempt allocates (almost) nothing. One Scratch serves one attempt at a
+// time: the pipeline carries one across the II attempts of a compilation
+// and the driver reuses it across all jobs of a worker. A Scratch is not
+// safe for concurrent use; its zero value is ready.
+//
+// Data that outlives the attempt (the accepted Schedule and its IGraph) is
+// detached — copied out of the arena — exactly once, on success.
+type Scratch struct {
+	// buildIGraph
+	ig      IGraph
+	inst    []Instance
+	edges   []IEdge
+	copyIdx []int32
+	instIdx []int32
+	outOff  []int32
+	inOff   []int32
+	outIdx  []int32
+	inIdx   []int32
+
+	// computeIGTiming
+	timing igTiming
+	asap   []int
+	alap   []int
+
+	// igTopo (also used by computeIGTiming)
+	indeg    []int32
+	topoBuf  []int32
+	topoSeen []bool
+
+	// igSCCs: component storage is flat + offsets; views are cut on demand.
+	sccIndex  []int32
+	sccLow    []int32
+	sccStack  []int32
+	sccFrames []sccFrame
+	onStack   []bool
+	compFlat  []int32
+	compOff   []int32
+
+	// igTopoAll
+	allOrder []int32
+
+	// buildGroups / priorityOrder
+	recs      []recComp
+	groupFlat []int32
+	groupOff  []int32
+	grouped   []bool
+	inMark    marks
+	reachA    []bool
+	reachB    []bool
+	reachC    []bool
+	reachD    []bool
+	reachBuf  []int32
+	priOrder  []int32
+	inOrder   []bool
+	inGroup   marks
+	seedMark  marks
+	ready     []int32
+
+	// runWithOrder
+	rt     mrt
+	time   []int
+	placed []bool
+
+	// computeMaxLive
+	pressure []int32
+	maxLive  []int
+}
+
+// NewScratch returns an empty arena; buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// grown and zeroed are the package-local shorthands for the shared arena
+// primitives.
+func grown[T any](buf []T, n int) []T  { return arena.Grown(buf, n) }
+func zeroed[T any](buf []T, n int) []T { return arena.Zeroed(buf, n) }
+
+type marks = arena.Marks
