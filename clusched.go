@@ -124,18 +124,46 @@ const (
 // Schedule is a verified modulo schedule.
 type Schedule = sched.Schedule
 
-// Compile runs the full pipeline on one loop.
+// Compile runs one loop through the scheduling strategy opts.Strategy
+// selects; the zero value selects the paper's algorithm without
+// replication.
 func Compile(g *Graph, m Machine, opts Options) (*Result, error) {
 	return core.Compile(g, m, opts)
 }
 
+// CompileWith compiles under a named scheduling strategy — the one-call
+// form of picking an algorithm. Registered strategies (see Strategies):
+//
+//	paper    multilevel partition + selective replication (the paper)
+//	unified  single-cluster upper bound on the monolithic equivalent
+//	uas      greedy unified assign-and-schedule (no partition pass)
+//	moddist  round-robin modulo distribution (naive baseline)
+func CompileWith(strategy string, g *Graph, m Machine, opts Options) (*Result, error) {
+	return core.CompileWith(strategy, g, m, opts)
+}
+
+// Strategies lists the registered scheduling strategies, sorted by name.
+func Strategies() []string { return core.Strategies() }
+
+// StrategyDescription returns a strategy's one-line description ("" for
+// unknown names).
+func StrategyDescription(name string) string { return core.StrategyDescription(name) }
+
 // CompileBaseline compiles with the state-of-the-art base scheduler
 // (partitioning only, no replication).
+//
+// Deprecated: pick the algorithm through the strategy registry instead —
+// CompileWith("paper", g, m, Options{}) is the same compilation with the
+// choice spelled out. Kept as a thin wrapper for source compatibility.
 func CompileBaseline(g *Graph, m Machine) (*Result, error) {
 	return core.CompileBaseline(g, m)
 }
 
 // CompileReplicated compiles with the paper's replication pass enabled.
+//
+// Deprecated: use CompileWith("paper", g, m, Options{Replicate: true}) so
+// the algorithm choice is explicit. Kept as a thin wrapper for source
+// compatibility.
 func CompileReplicated(g *Graph, m Machine) (*Result, error) {
 	return core.CompileReplicated(g, m)
 }

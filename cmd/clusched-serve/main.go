@@ -12,12 +12,13 @@
 //
 // Endpoints:
 //
-//	POST   /compile    one job (JSON {loop, machine, options}); ?wait=1 blocks
-//	POST   /batch      {jobs: [...], timeout_ms} → {id}
-//	GET    /jobs/{id}  ticket status; outcomes once finished
-//	DELETE /jobs/{id}  cancel
-//	GET    /stats      queue depth, in-flight, throughput, cache hit rate
-//	GET    /healthz    200 while serving, 503 while draining
+//	POST   /compile     one job (JSON {loop, machine, options}); ?wait=1 blocks
+//	POST   /batch       {jobs: [...], timeout_ms} → {id}
+//	GET    /jobs/{id}   ticket status; outcomes once finished
+//	DELETE /jobs/{id}   cancel
+//	GET    /strategies  registered scheduling strategies (options.strategy values)
+//	GET    /stats       queue depth, in-flight, throughput, cache hit rate, per-strategy counts
+//	GET    /healthz     200 while serving, 503 while draining
 //
 // SIGINT/SIGTERM triggers a graceful drain bounded by -drain-timeout.
 //

@@ -13,6 +13,14 @@
 //	paperbench -o report.txt
 //	paperbench -j 4 -progress   # 4 concurrent compilations, progress on stderr
 //	paperbench -json bench.json # machine-readable per-figure numbers + engine stats
+//	paperbench -strategies paper,unified,uas,moddist   # head-to-head strategy comparison
+//
+// -strategies compiles the whole suite under each named scheduling
+// strategy (see the root package's Strategies) on the headline
+// configuration (-strategies-config, default 4c2b2l64r) and appends a
+// per-suite IPC/speedup table to the report; with -json the same rows land
+// in a "strategies" section. Speedups are relative to the first strategy
+// listed.
 //
 // -json writes the typed per-figure rows (the same data the text report
 // renders), a timing section (the full suite compiled from scratch and
@@ -35,9 +43,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"clusched/internal/driver"
 	"clusched/internal/experiments"
+	"clusched/internal/machine"
 )
 
 // jsonReport is the -json document: one optional section per experiment
@@ -52,6 +62,9 @@ type jsonReport struct {
 	CommStats []experiments.CommStatsRow `json:"comm_stats,omitempty"`
 	Macro     []experiments.MacroRow     `json:"macro,omitempty"`
 	RegSweep  []experiments.RegSweepRow  `json:"reg_sweep,omitempty"`
+	// Strategies is the head-to-head scheduling-strategy comparison
+	// (populated by -strategies).
+	Strategies []experiments.StrategyBenchRow `json:"strategies,omitempty"`
 	// Timing is the compile-throughput datapoint of the perf trajectory
 	// (see EXPERIMENTS.md): the suite compiled from scratch, timed.
 	Timing experiments.ThroughputRow `json:"timing"`
@@ -98,13 +111,32 @@ func collectJSON(fig string) jsonReport {
 	return r
 }
 
+// preprocessArgs lets -json appear bare (no file name), meaning "write the
+// JSON document to stdout": the flag package requires a value for string
+// flags, so the bare form is rewritten to -json=- before parsing.
+func preprocessArgs(args []string) []string {
+	out := make([]string, 0, len(args))
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if (a == "-json" || a == "--json") &&
+			(i+1 >= len(args) || (strings.HasPrefix(args[i+1], "-") && args[i+1] != "-")) {
+			out = append(out, a+"=-")
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
 func main() {
 	fig := flag.String("fig", "", "experiment to run: 1, 7, 8, 9, 10, 12, table1, stats, macro, unroll, regs, design (default: all)")
 	out := flag.String("o", "", "write the report to a file instead of stdout")
-	jsonOut := flag.String("json", "", "also write machine-readable per-figure numbers and engine CacheStats to this file")
+	jsonOut := flag.String("json", "", "also write machine-readable per-figure numbers and engine CacheStats to this file (\"-\" or bare flag: stdout, suppressing the text report)")
 	jobs := flag.Int("j", 0, "concurrent compilations (default: GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "report per-suite compilation progress on stderr")
-	flag.Parse()
+	strategies := flag.String("strategies", "", "comma-separated scheduling strategies to compare head-to-head (e.g. paper,unified,uas,moddist)")
+	strategiesConfig := flag.String("strategies-config", "4c2b2l64r", "machine configuration for the -strategies comparison")
+	flag.CommandLine.Parse(preprocessArgs(os.Args[1:]))
 
 	if *jobs != 0 || *progress {
 		cfg := driver.Config{Workers: *jobs}
@@ -154,25 +186,63 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Head-to-head strategy comparison: append the table to the report and
+	// carry the typed rows into the JSON document. The per-loop results are
+	// memoized in the engine, so the rows and the rendered table share one
+	// suite compilation per strategy.
+	var strategyRows []experiments.StrategyBenchRow
+	if *strategies != "" {
+		var names []string
+		for _, name := range strings.Split(*strategies, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				names = append(names, name)
+			}
+		}
+		m, err := machine.Parse(*strategiesConfig)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: -strategies-config: %v\n", err)
+			os.Exit(2)
+		}
+		strategyRows, err = experiments.StrategyComparison(names, m)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: -strategies: %v\n", err)
+			os.Exit(2)
+		}
+		table := experiments.StrategyComparisonReport(strategyRows, names, m)
+		if report != "" {
+			report += "\n"
+		}
+		report += table
+	}
+
 	if *progress {
 		st := experiments.EngineStats()
 		fmt.Fprintf(os.Stderr, "engine cache: %d hits, %d misses, %d entries\n",
 			st.Hits, st.Misses, st.Entries)
 	}
+	jsonToStdout := *jsonOut == "-"
 	if *jsonOut != "" {
-		blob, err := json.MarshalIndent(collectJSON(*fig), "", "  ")
+		doc := collectJSON(*fig)
+		doc.Strategies = strategyRows
+		blob, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
 			os.Exit(1)
 		}
-		if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
-			os.Exit(1)
+		if jsonToStdout {
+			os.Stdout.Write(append(blob, '\n'))
+		} else {
+			if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 	}
 	if *out == "" {
-		fmt.Print(report)
+		if !jsonToStdout {
+			fmt.Print(report)
+		}
 		return
 	}
 	if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {

@@ -7,6 +7,7 @@
 //	replisched -config 4c2b2l64r loop.ddg
 //	loopgen -bench tomcatv -n 1 | replisched -config 4c1b2l64r -kernel -
 //	replisched -remote http://localhost:8357 -config 4c2b2l64r loop.ddg
+//	replisched -strategy uas -config 4c2b2l64r loop.ddg   # rival scheduling strategy
 //
 // Flags select the machine (wcxbylzr or "unified"), the pipeline variant,
 // and whether to print the kernel and the cluster assignment. Inputs with
@@ -39,6 +40,7 @@ import (
 
 func main() {
 	cfg := flag.String("config", "4c2b2l64r", "machine configuration (wcxbylzr or \"unified\")")
+	strategy := flag.String("strategy", "", "scheduling strategy: paper, unified, uas, moddist (default paper; replication flags apply to the paper chain only)")
 	noRepl := flag.Bool("no-replication", false, "disable the replication pass")
 	length := flag.Bool("length", false, "also run the §5.1 schedule-length replication extension")
 	kernel := flag.Bool("kernel", false, "print the kernel of the modulo schedule")
@@ -73,7 +75,12 @@ func main() {
 		fatal(fmt.Errorf("no loops in input"))
 	}
 
-	opts := core.Options{Replicate: !*noRepl, LengthReplicate: *length, VerifySchedules: true}
+	opts := core.Options{Strategy: *strategy, Replicate: !*noRepl, LengthReplicate: *length, VerifySchedules: true}
+	if opts.StrategyName() != "paper" {
+		// The rival chains have no replication pass; their Validate would
+		// (rightly) reject the flags.
+		opts.Replicate, opts.LengthReplicate = false, false
+	}
 	jobs := make([]driver.Job, len(loops))
 	for i, g := range loops {
 		jobs[i] = driver.Job{Graph: g, Machine: m, Opts: opts}
@@ -97,8 +104,14 @@ func main() {
 		if out.CacheHit {
 			cached = " (cached)"
 		}
-		fmt.Printf("loop %s on %s: MII=%d II=%d length=%d stages=%d%s\n",
-			g.Name, m, res.MII, res.II, res.Length, res.SC, cached)
+		strat := ""
+		if opts.StrategyName() != "paper" {
+			strat = " strategy=" + opts.StrategyName()
+		}
+		// res.Machine is the effective machine (the unified strategy
+		// substitutes the monolithic equivalent).
+		fmt.Printf("loop %s on %s: MII=%d II=%d length=%d stages=%d%s%s\n",
+			g.Name, res.Machine, res.MII, res.II, res.Length, res.SC, strat, cached)
 		fmt.Printf("  communications: %d implied by the partition, %d after replication\n",
 			res.CommsBeforeReplication, res.Comms)
 		if res.ReplicationSteps > 0 {
@@ -111,7 +124,7 @@ func main() {
 				res.Replicated[ddg.ClassInt], res.Replicated[ddg.ClassFP], res.Replicated[ddg.ClassMem],
 				res.Removed)
 		}
-		fmt.Printf("  register pressure per cluster: %v (limit %d)\n", res.Schedule.MaxLive, m.Regs)
+		fmt.Printf("  register pressure per cluster: %v (limit %d)\n", res.Schedule.MaxLive, res.Machine.Regs)
 		if *kernel {
 			fmt.Println(res.Schedule.FormatKernel())
 		}

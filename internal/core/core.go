@@ -35,19 +35,42 @@ type Options = pipeline.Options
 // Result is the outcome of compiling one loop for one machine.
 type Result = pipeline.Result
 
-// Compile runs the full pipeline on one loop: the standard pass chain of
-// internal/pipeline over the II search.
+// Compile runs one loop through the scheduling strategy Options.Strategy
+// selects (the paper's pass chain by default) over the II search.
 func Compile(g *ddg.Graph, m machine.Config, opts Options) (*Result, error) {
 	return pipeline.Compile(g, m, opts)
 }
 
+// CompileWith is Compile with the strategy named explicitly: the one-call
+// form of "pick an algorithm". The name must be registered (see
+// Strategies); it overrides any strategy already set in opts.
+func CompileWith(strategy string, g *ddg.Graph, m machine.Config, opts Options) (*Result, error) {
+	opts.Strategy = strategy
+	return pipeline.Compile(g, m, opts)
+}
+
+// Strategies lists the registered scheduling strategies, sorted by name.
+func Strategies() []string { return pipeline.StrategyNames() }
+
+// StrategyDescription returns a strategy's one-line description ("" for
+// unknown names).
+func StrategyDescription(name string) string { return pipeline.StrategyDescription(name) }
+
 // CompileBaseline compiles without replication (the state-of-the-art base
 // scheduler the paper compares against).
+//
+// Deprecated: the strategy registry is the one way to pick an algorithm —
+// use CompileWith(pipeline's "paper", g, m, Options{}) or Compile with a
+// zero Options. Kept as a thin wrapper for source compatibility.
 func CompileBaseline(g *ddg.Graph, m machine.Config) (*Result, error) {
-	return Compile(g, m, Options{})
+	return CompileWith(pipeline.DefaultStrategy, g, m, Options{})
 }
 
 // CompileReplicated compiles with the paper's replication pass enabled.
+//
+// Deprecated: use CompileWith("paper", g, m, Options{Replicate: true}) (or
+// Compile with those options) so the algorithm choice is explicit. Kept as
+// a thin wrapper for source compatibility.
 func CompileReplicated(g *ddg.Graph, m machine.Config) (*Result, error) {
-	return Compile(g, m, Options{Replicate: true})
+	return CompileWith(pipeline.DefaultStrategy, g, m, Options{Replicate: true})
 }

@@ -82,6 +82,13 @@ type Config struct {
 	Store Store
 }
 
+// StrategyStats is the per-strategy slice of the cache accounting.
+type StrategyStats struct {
+	// Hits, Misses and StoreHits mean the same as in CacheStats, restricted
+	// to jobs compiled under one strategy.
+	Hits, Misses, StoreHits uint64
+}
+
 // CacheStats reports result-cache effectiveness.
 type CacheStats struct {
 	// Hits counts lookups served from the in-memory cache or joined onto
@@ -93,6 +100,9 @@ type CacheStats struct {
 	StoreHits uint64
 	// Entries is the current number of cached results.
 	Entries int
+	// Strategies breaks the same counters down by scheduling strategy
+	// (keyed on the canonical strategy name). Nil when caching is disabled.
+	Strategies map[string]StrategyStats
 }
 
 // HitRate returns the fraction of lookups served without compiling, in
@@ -120,12 +130,13 @@ type Compiler struct {
 	// nothing per II attempt.
 	arenas sync.Pool
 
-	mu        sync.Mutex
-	cache     *lruCache            // nil when caching is disabled
-	pending   map[cacheKey]*flight // in-flight compilations, for deduplication
-	hits      uint64
-	misses    uint64
-	storeHits uint64
+	mu          sync.Mutex
+	cache       *lruCache            // nil when caching is disabled
+	pending     map[cacheKey]*flight // in-flight compilations, for deduplication
+	hits        uint64
+	misses      uint64
+	storeHits   uint64
+	perStrategy map[string]*StrategyStats
 }
 
 // flight is one in-progress compilation that identical concurrent jobs
@@ -150,9 +161,22 @@ func New(cfg Config) *Compiler {
 	if size > 0 {
 		c.cache = newLRU(size)
 		c.pending = make(map[cacheKey]*flight)
+		c.perStrategy = make(map[string]*StrategyStats)
 		c.store = cfg.Store
 	}
 	return c
+}
+
+// strat returns (creating on first use) the per-strategy counter bucket of
+// a job. Callers hold c.mu.
+func (c *Compiler) strat(j Job) *StrategyStats {
+	name := j.Opts.StrategyName()
+	s := c.perStrategy[name]
+	if s == nil {
+		s = &StrategyStats{}
+		c.perStrategy[name] = s
+	}
+	return s
 }
 
 // cacheKey identifies a compilation: graph fingerprint, canonical machine
@@ -174,16 +198,37 @@ func machineKey(m machine.Config) string {
 }
 
 func keyFor(j Job) cacheKey {
-	return cacheKey{graph: j.Graph.Fingerprint(), machine: machineKey(j.Machine), opts: j.Opts}
+	opts := j.Opts
+	// Canonicalize the strategy so the default ("") and its explicit name
+	// share one cache/dedup identity, matching JobKey.
+	opts.Strategy = opts.StrategyName()
+	return cacheKey{graph: j.Graph.Fingerprint(), machine: machineKey(j.Machine), opts: opts}
 }
 
+// jobKeyVersion stamps the JobKey format. Bump it when the encoding below
+// changes shape — stale store entries then miss instead of aliasing.
+const jobKeyVersion = "v2"
+
 // JobKey returns the job's content-addressed cache identity as a string:
-// the graph fingerprint, the canonical machine key and the exact option
-// set. Persistent Stores key their entries on it. The format is stable for
-// a given release but may change when the option set grows — stale store
-// entries then simply miss.
+// the format version, the graph fingerprint, the canonical machine key,
+// the strategy, and every Options field encoded explicitly, field by
+// field. The encoding is deliberately not derived from the struct (no
+// reflection, no %+v): renaming or reordering an Options field cannot
+// silently change every key and invalidate the persistent store. Adding a
+// field DOES require extending this function (and the golden-key test
+// pins the format so forgetting fails loudly).
 func JobKey(j Job) string {
-	return fmt.Sprintf("%016x|%s|%+v", j.Graph.Fingerprint(), machineKey(j.Machine), j.Opts)
+	o := j.Opts
+	b := func(v bool) byte {
+		if v {
+			return '1'
+		}
+		return '0'
+	}
+	return fmt.Sprintf("%s|g=%016x|m=%s|strat=%s|rep=%c|lrep=%c|lat0=%c|macro=%c|maxii=%d|noreg=%c|ver=%c",
+		jobKeyVersion, j.Graph.Fingerprint(), machineKey(j.Machine), o.StrategyName(),
+		b(o.Replicate), b(o.LengthReplicate), b(o.ZeroBusLatency), b(o.UseMacroReplication),
+		o.MaxII, b(o.IgnoreRegisterPressure), b(o.VerifySchedules))
 }
 
 // Compile compiles one loop through the cache.
@@ -227,11 +272,13 @@ func (c *Compiler) do(ctx context.Context, j Job) Outcome {
 		c.mu.Lock()
 		if e, ok := c.cache.get(key); ok {
 			c.hits++
+			c.strat(j).Hits++
 			c.mu.Unlock()
 			return Outcome{Job: j, Result: e.res, Err: e.err, CacheHit: true}
 		}
 		if f, ok := c.pending[key]; ok {
 			c.hits++
+			c.strat(j).Hits++
 			c.mu.Unlock()
 			select {
 			case <-f.done:
@@ -255,6 +302,7 @@ func (c *Compiler) do(ctx context.Context, j Job) Outcome {
 				f.val = cacheValue{res: res, err: cerr}
 				c.mu.Lock()
 				c.storeHits++
+				c.strat(j).StoreHits++
 				c.cache.add(key, f.val)
 				delete(c.pending, key)
 				c.mu.Unlock()
@@ -270,6 +318,7 @@ func (c *Compiler) do(ctx context.Context, j Job) Outcome {
 			delete(c.pending, key) // don't cache the cancellation
 		} else {
 			c.misses++
+			c.strat(j).Misses++
 			c.cache.add(key, f.val)
 			delete(c.pending, key)
 		}
@@ -383,6 +432,12 @@ func (c *Compiler) CacheStats() CacheStats {
 	if c.cache != nil {
 		s.Entries = c.cache.len()
 	}
+	if len(c.perStrategy) > 0 {
+		s.Strategies = make(map[string]StrategyStats, len(c.perStrategy))
+		for name, st := range c.perStrategy {
+			s.Strategies[name] = *st
+		}
+	}
 	return s
 }
 
@@ -393,6 +448,7 @@ func (c *Compiler) ResetCache() {
 	defer c.mu.Unlock()
 	if c.cache != nil {
 		c.cache = newLRU(c.cache.cap)
+		c.perStrategy = make(map[string]*StrategyStats)
 	}
 	c.hits, c.misses, c.storeHits = 0, 0, 0
 }

@@ -1,0 +1,119 @@
+package driver
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"clusched/internal/ddg"
+	"clusched/internal/machine"
+	"clusched/internal/pipeline"
+)
+
+// jobKeyLoop builds a fixed tiny loop whose fingerprint is stable by
+// construction: the golden keys below embed it.
+func jobKeyLoop(t *testing.T) *ddg.Graph {
+	t.Helper()
+	b := ddg.NewBuilder("golden")
+	x := b.Node("x", ddg.OpLoad)
+	m := b.Node("m", ddg.OpFMul)
+	s := b.Node("s", ddg.OpStore)
+	b.Edge(x, m, 0)
+	b.Edge(m, s, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestJobKeyGolden pins the exact on-disk cache identity of a job. The
+// persistent DiskCache addresses entries by this string: if this test
+// fails, every existing store entry misses, so the format (and the graph
+// fingerprint behind it) must only change deliberately, with the
+// jobKeyVersion bumped.
+func TestJobKeyGolden(t *testing.T) {
+	g := jobKeyLoop(t)
+	m := machine.MustParse("4c2b2l64r")
+	cases := []struct {
+		opts pipeline.Options
+		want string
+	}{
+		{
+			pipeline.Options{},
+			fmt.Sprintf("v2|g=%016x|m=4c2b2l64r|strat=paper|rep=0|lrep=0|lat0=0|macro=0|maxii=0|noreg=0|ver=0", g.Fingerprint()),
+		},
+		{
+			pipeline.Options{Replicate: true, LengthReplicate: true, MaxII: 17, VerifySchedules: true},
+			fmt.Sprintf("v2|g=%016x|m=4c2b2l64r|strat=paper|rep=1|lrep=1|lat0=0|macro=0|maxii=17|noreg=0|ver=1", g.Fingerprint()),
+		},
+		{
+			pipeline.Options{Strategy: "uas"},
+			fmt.Sprintf("v2|g=%016x|m=4c2b2l64r|strat=uas|rep=0|lrep=0|lat0=0|macro=0|maxii=0|noreg=0|ver=0", g.Fingerprint()),
+		},
+	}
+	for _, tc := range cases {
+		got := JobKey(Job{Graph: g, Machine: m, Opts: tc.opts})
+		if got != tc.want {
+			t.Errorf("JobKey(%+v) =\n  %s\nwant\n  %s", tc.opts, got, tc.want)
+		}
+	}
+
+	// The fingerprint itself is part of the persisted identity: pin it.
+	const goldenFingerprint = "1a00a841905d54e9"
+	if fp := fmt.Sprintf("%016x", g.Fingerprint()); fp != goldenFingerprint {
+		t.Errorf("fingerprint of the golden loop = %s, want %s (a drift here silently invalidates every DiskCache entry)", fp, goldenFingerprint)
+	}
+}
+
+// TestJobKeyDistinguishesStrategy: the same loop under two strategies must
+// occupy distinct store entries — the acceptance path of the strategy-aware
+// cache.
+func TestJobKeyDistinguishesStrategy(t *testing.T) {
+	g := jobKeyLoop(t)
+	m := machine.MustParse("4c2b2l64r")
+	keys := map[string]string{}
+	for _, name := range pipeline.StrategyNames() {
+		k := JobKey(Job{Graph: g, Machine: m, Opts: pipeline.Options{Strategy: name}})
+		for other, ok := range keys {
+			if ok == k {
+				t.Fatalf("strategies %q and %q share the key %s", name, other, k)
+			}
+		}
+		keys[name] = k
+	}
+	// The default (empty) strategy aliases "paper" — by design: one job,
+	// one identity.
+	def := JobKey(Job{Graph: g, Machine: m, Opts: pipeline.Options{}})
+	if def != keys["paper"] {
+		t.Fatalf("default-strategy key %s differs from explicit paper key %s", def, keys["paper"])
+	}
+	for _, k := range keys {
+		if !strings.HasPrefix(k, "v2|") {
+			t.Fatalf("key %s lacks the version prefix", k)
+		}
+	}
+}
+
+// TestCacheAliasesDefaultAndExplicitPaper: the in-memory cache (not just
+// JobKey) must treat the default strategy and the explicit "paper" name
+// as one identity — a legacy "" job followed by an explicit "paper" job
+// is a hit, not a recompilation.
+func TestCacheAliasesDefaultAndExplicitPaper(t *testing.T) {
+	g := jobKeyLoop(t)
+	m := machine.MustParse("4c2b2l64r")
+	c := New(Config{})
+	if _, err := c.Compile(g, m, pipeline.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Compile(g, m, pipeline.Options{Strategy: "paper"}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.CacheStats()
+	if st.Misses != 1 || st.Hits != 1 || st.Entries != 1 {
+		t.Fatalf("default and explicit paper forked the cache: %+v", st)
+	}
+	if ss := st.Strategies["paper"]; ss.Misses != 1 || ss.Hits != 1 {
+		t.Fatalf("per-strategy stats did not merge the canonical name: %+v", st.Strategies)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"clusched/internal/ddg"
 	"clusched/internal/machine"
 	"clusched/internal/metrics"
+	"clusched/internal/workload"
 )
 
 // Fig10Row is one group of bars of the paper's Fig. 10: the percentage of
@@ -30,8 +31,11 @@ func Fig10() []Fig10Row {
 		repl := RunSuite(m, Replication)
 		var added [ddg.NumClasses]float64
 		var useful float64
-		for _, lrs := range repl.ByBench {
-			for _, lr := range lrs {
+		// Deterministic bench order: float summation order must not depend
+		// on map iteration, or the committed BENCH_*.json figures jitter in
+		// the last ulp from run to run.
+		for _, bench := range workload.Benchmarks() {
+			for _, lr := range repl.ByBench[bench] {
 				dyn := lr.Loop.AvgIters * float64(lr.Loop.Visits)
 				useful += float64(lr.Loop.Graph.NumNodes()) * dyn
 				extra := lr.Result.Placement.ExtraInstances()

@@ -6,6 +6,7 @@ import (
 
 	"clusched/internal/machine"
 	"clusched/internal/metrics"
+	"clusched/internal/workload"
 )
 
 // CommStatsRow aggregates the §4 replication statistics for one
@@ -101,8 +102,10 @@ func MacroAblation() []MacroRow {
 
 func addedPct(sr *SuiteResult) float64 {
 	var added, useful float64
-	for _, lrs := range sr.ByBench {
-		for _, lr := range lrs {
+	// Bench order, not map order: float summation must be deterministic so
+	// the committed figures reproduce byte-identically.
+	for _, bench := range workload.Benchmarks() {
+		for _, lr := range sr.ByBench[bench] {
 			dyn := lr.Loop.AvgIters * float64(lr.Loop.Visits)
 			useful += float64(lr.Loop.Graph.NumNodes()) * dyn
 			for _, n := range lr.Result.Placement.ExtraInstances() {

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"testing"
+
+	"clusched/internal/machine"
+	"clusched/internal/workload"
+)
+
+// TestStrategyComparisonShape pins the qualitative outcome of the §6
+// head-to-head on the headline config: the unified upper bound wins,
+// the paper's algorithm is the best clustered strategy, greedy UAS
+// trails it, and naive modulo distribution is last. Every strategy must
+// schedule the entire suite.
+func TestStrategyComparisonShape(t *testing.T) {
+	names := []string{"paper", "unified", "uas", "moddist"}
+	rows, err := StrategyComparison(names, machine.MustParse("4c2b2l64r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := (len(workload.Benchmarks()) + 1) * len(names)
+	if len(rows) != wantRows {
+		t.Fatalf("%d rows, want %d", len(rows), wantRows)
+	}
+	agg := map[string]StrategyBenchRow{}
+	for _, r := range rows {
+		if r.Failed != 0 {
+			t.Errorf("%s under %q: %d loops failed to schedule", r.Bench, r.Strategy, r.Failed)
+		}
+		if r.Bench == StrategyAllBenches {
+			agg[r.Strategy] = r
+		}
+	}
+	if len(agg) != len(names) {
+		t.Fatalf("aggregate rows for %d strategies, want %d", len(agg), len(names))
+	}
+	if !(agg["unified"].IPC > agg["paper"].IPC) {
+		t.Errorf("unified IPC %.3f not above paper %.3f", agg["unified"].IPC, agg["paper"].IPC)
+	}
+	if !(agg["paper"].IPC > agg["uas"].IPC) {
+		t.Errorf("paper IPC %.3f not above uas %.3f", agg["paper"].IPC, agg["uas"].IPC)
+	}
+	if !(agg["uas"].IPC > agg["moddist"].IPC) {
+		t.Errorf("uas IPC %.3f not above moddist %.3f", agg["uas"].IPC, agg["moddist"].IPC)
+	}
+	// Speedups are relative to the first strategy requested (paper).
+	if sp := agg["paper"].Speedup; sp != 1 {
+		t.Errorf("reference strategy's speedup = %v, want 1", sp)
+	}
+	if sp := agg["unified"].Speedup; sp <= 1 {
+		t.Errorf("unified speedup %v not above 1", sp)
+	}
+	if sp := agg["moddist"].Speedup; sp >= 1 {
+		t.Errorf("moddist speedup %v not below 1", sp)
+	}
+
+	if _, err := StrategyComparison([]string{"paper", "warp"}, machine.MustParse("4c2b2l64r")); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if _, err := StrategyComparison(nil, machine.MustParse("4c2b2l64r")); err == nil {
+		t.Error("empty strategy list accepted")
+	}
+}

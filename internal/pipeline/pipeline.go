@@ -53,6 +53,11 @@ func (c Cause) String() string {
 
 // Options selects the pipeline variant.
 type Options struct {
+	// Strategy names the registered scheduling strategy to compile with;
+	// the empty string selects DefaultStrategy ("paper"). The strategy owns
+	// the pass chain: flags below that its chain does not implement are
+	// rejected by its Validate. See strategy.go.
+	Strategy string
 	// Replicate enables the §3 replication pass (the paper's contribution).
 	Replicate bool
 	// LengthReplicate additionally runs the §5.1 schedule-length extension
@@ -245,31 +250,53 @@ type Pass interface {
 	Run(ctx *Context) error
 }
 
-// Compile runs the standard pass chain on one loop: the paper's Fig. 2
-// driver, searching upward from II = MII.
+// Compile compiles one loop under the strategy opts.Strategy selects (the
+// paper's Fig. 2 driver by default), searching upward from II = MII.
 func Compile(g *ddg.Graph, m machine.Config, opts Options) (*Result, error) {
-	return Run(g, m, opts, Chain())
+	return compileStrategy(context.Background(), g, m, opts, nil, false)
 }
 
 // CompileContext is Compile with cancellation: the II search checks the
 // context before every attempt and aborts with ctx.Err(). A compilation
 // abandoned this way returns no partial Result.
 func CompileContext(ctx context.Context, g *ddg.Graph, m machine.Config, opts Options) (*Result, error) {
-	return RunContext(ctx, g, m, opts, Chain())
+	return compileStrategy(ctx, g, m, opts, nil, false)
 }
 
 // CompileContextArena is CompileContext over a caller-owned scratch arena
 // (see Arena); the driver's workers use it to recycle allocations across
 // jobs.
 func CompileContextArena(ctx context.Context, g *ddg.Graph, m machine.Config, opts Options, arena *Arena) (*Result, error) {
-	return RunContextArena(ctx, g, m, opts, Chain(), arena)
+	return compileStrategy(ctx, g, m, opts, arena, false)
 }
 
 // CompileLinear is Compile over the reference linear II search (no
-// skip-ahead). It exists for differential tests proving search parity; it
-// is never the fast path.
+// skip-ahead, regardless of the strategy's capability). It exists for
+// differential tests proving search parity; it is never the fast path.
 func CompileLinear(g *ddg.Graph, m machine.Config, opts Options) (*Result, error) {
-	return RunContextLinear(context.Background(), g, m, opts, Chain())
+	return compileStrategy(context.Background(), g, m, opts, nil, true)
+}
+
+// compileStrategy resolves and validates the strategy, applies its machine
+// rewrite, and drives its pass chain through the II search. The skip-ahead
+// runs only for strategies that declare the capability (and never when the
+// caller forces the linear reference search).
+func compileStrategy(cctx context.Context, g *ddg.Graph, m machine.Config, opts Options, arena *Arena, forceLinear bool) (*Result, error) {
+	s, err := strategyFor(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(opts, m); err != nil {
+		return nil, err
+	}
+	if mr, ok := s.(machineRewriter); ok {
+		m = mr.EffectiveMachine(m)
+	}
+	skip := false
+	if sa, ok := s.(skipAheadCapable); ok && !forceLinear {
+		skip = sa.SkipAhead()
+	}
+	return runSearch(cctx, g, m, opts, s.Chain(), arena, skip)
 }
 
 // MaxII returns the automatic II search bound for a loop on a machine: any

@@ -1,6 +1,9 @@
 package sched
 
-import "clusched/internal/arena"
+import (
+	"clusched/internal/arena"
+	"clusched/internal/ddg"
+)
 
 // Scratch is the scheduler's reusable allocation arena. Every temporary the
 // scheduler needs — the instance graph under construction, the reservation
@@ -72,6 +75,16 @@ type Scratch struct {
 	// computeMaxLive
 	pressure []int32
 	maxLive  []int
+
+	// UASAssignScratch (the uas strategy's greedy sweep)
+	uasTiming  ddg.TimingScratch
+	uasOrder   []int32
+	uasTime    []int
+	uasCluster []int
+	uasPlaced  []bool
+	uasComm    []bool
+	uasLoad    []int
+	uasMark    marks
 }
 
 // NewScratch returns an empty arena; buffers grow on first use.

@@ -9,26 +9,30 @@ import (
 	"time"
 
 	"clusched/internal/driver"
+	"clusched/internal/pipeline"
 	"clusched/internal/wire"
 )
 
 // Handler returns the service's HTTP front end:
 //
-//	POST   /compile    one wire.Job → ticket (or the finished status with ?wait=1)
-//	POST   /batch      wire.SubmitRequest → ticket
-//	GET    /jobs/{id}  ticket status, outcomes once finished
-//	DELETE /jobs/{id}  cancel
-//	GET    /stats      wire.ServiceStats
-//	GET    /healthz    200 when serving, 503 while draining
+//	POST   /compile     one wire.Job → ticket (or the finished status with ?wait=1)
+//	POST   /batch       wire.SubmitRequest → ticket
+//	GET    /jobs/{id}   ticket status, outcomes once finished
+//	DELETE /jobs/{id}   cancel
+//	GET    /strategies  wire.StrategiesResponse: the registered scheduling strategies
+//	GET    /stats       wire.ServiceStats (with per-strategy counters)
+//	GET    /healthz     200 when serving, 503 while draining
 //
 // Bodies are JSON. Queue-full rejections answer 429 with a Retry-After
-// header and a wire.ErrorResponse carrying the same hint.
+// header and a wire.ErrorResponse carrying the same hint. Jobs naming an
+// unregistered strategy are rejected at decode time (400).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /compile", s.handleCompile)
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /strategies", s.handleStrategies)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -182,6 +186,22 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleStrategies lists the scheduling strategies this server's pipeline
+// registers, so clients can discover what a job's options.strategy may
+// name before submitting.
+func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
+	names := pipeline.StrategyNames()
+	resp := wire.StrategiesResponse{Strategies: make([]wire.StrategyInfo, len(names))}
+	for i, name := range names {
+		resp.Strategies[i] = wire.StrategyInfo{
+			Name:        name,
+			Description: pipeline.StrategyDescription(name),
+			Default:     name == pipeline.DefaultStrategy,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -7,9 +7,12 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
+	"clusched/internal/driver"
+	"clusched/internal/pipeline"
 	"clusched/internal/wire"
 )
 
@@ -274,6 +277,125 @@ func TestHTTPQueueFull(t *testing.T) {
 	}
 	if er.RetryAfterMS <= 0 {
 		t.Fatalf("429 body: %+v", er)
+	}
+}
+
+// TestHTTPStrategies covers the strategy surface of the service: GET
+// /strategies lists every registered strategy, a uas job round-trips
+// (POST → poll → decoded verified schedule), it lands in the persistent
+// cache under a key distinct from the same loop's paper entry, and /stats
+// reports per-strategy counts.
+func TestHTTPStrategies(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Close()
+	s := New(Config{Store: cache})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// GET /strategies lists the registry with the default marked.
+	var sr wire.StrategiesResponse
+	if code := getJSON(t, ts.URL+"/strategies", &sr); code != http.StatusOK {
+		t.Fatalf("GET /strategies: %d", code)
+	}
+	names := map[string]bool{}
+	defaultSeen := ""
+	for _, si := range sr.Strategies {
+		names[si.Name] = true
+		if si.Default {
+			defaultSeen = si.Name
+		}
+	}
+	for _, want := range pipeline.StrategyNames() {
+		if !names[want] {
+			t.Fatalf("/strategies misses %q: %+v", want, sr)
+		}
+	}
+	if defaultSeen != pipeline.DefaultStrategy {
+		t.Fatalf("/strategies marks %q as default", defaultSeen)
+	}
+
+	// The same loop under paper and uas: both must round-trip to verified
+	// schedules and occupy distinct persistent-cache entries.
+	job := testJobs(t, "tomcatv", 1)[0]
+	for _, strat := range []string{"paper", "uas"} {
+		j := job
+		j.Opts = pipeline.Options{Strategy: strat}
+		wj, err := wire.EncodeJob(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sub wire.SubmitResponse
+		if code := postJSON(t, ts.URL+"/compile", wj, &sub); code != http.StatusAccepted {
+			t.Fatalf("POST /compile (%s): %d", strat, code)
+		}
+		st := pollDone(t, ts.URL, sub.ID)
+		if st.State != wire.StateDone || len(st.Outcomes) != 1 {
+			t.Fatalf("%s ticket ended %s with %d outcomes (%s)", strat, st.State, len(st.Outcomes), st.Error)
+		}
+		out, err := st.Outcomes[0].Decode()
+		if err != nil {
+			t.Fatalf("%s outcome: %v", strat, err)
+		}
+		if out.Err != nil || out.Result == nil || out.Result.Schedule == nil {
+			t.Fatalf("%s outcome lacks a schedule: %+v", strat, out)
+		}
+		if got := out.Result.Schedule.II; got != out.Result.II {
+			t.Fatalf("%s schedule II %d != result II %d", strat, got, out.Result.II)
+		}
+	}
+	paperKey := driver.JobKey(driver.Job{Graph: job.Graph, Machine: job.Machine, Opts: pipeline.Options{Strategy: "paper"}})
+	uasKey := driver.JobKey(driver.Job{Graph: job.Graph, Machine: job.Machine, Opts: pipeline.Options{Strategy: "uas"}})
+	if paperKey == uasKey {
+		t.Fatalf("paper and uas share the cache key %s", paperKey)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for cache.Len() < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond) // write-behind queue drains
+	}
+	if n := cache.Len(); n < 2 {
+		t.Fatalf("disk cache holds %d entries, want 2 (distinct per-strategy keys)", n)
+	}
+
+	// An unknown strategy is rejected at admission with the typed message.
+	alien := testJobs(t, "tomcatv", 1)[0]
+	alien.Opts = pipeline.Options{}
+	wj, err := wire.EncodeJob(alien)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wj.Options.Strategy = "quantum"
+	var er wire.ErrorResponse
+	if code := postJSON(t, ts.URL+"/compile", wj, &er); code != http.StatusBadRequest {
+		t.Fatalf("unknown strategy answered %d", code)
+	}
+	if er.Error == "" || !strings.Contains(er.Error, "quantum") {
+		t.Fatalf("unknown-strategy error lacks the name: %+v", er)
+	}
+
+	// /stats carries per-strategy counters for both strategies served.
+	var stats wire.ServiceStats
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("GET /stats: %d", code)
+	}
+	for _, strat := range []string{"paper", "uas"} {
+		ss, ok := stats.Strategies[strat]
+		if !ok {
+			t.Fatalf("/stats lacks strategy %q: %+v", strat, stats.Strategies)
+		}
+		if ss.JobsSubmitted == 0 {
+			t.Fatalf("/stats reports zero submitted %q jobs", strat)
+		}
+		if ss.CacheMisses == 0 {
+			t.Fatalf("/stats reports zero %q compilations", strat)
+		}
+	}
+	if _, ok := stats.Strategies["quantum"]; ok {
+		t.Fatal("/stats counts the rejected unknown strategy")
 	}
 }
 

@@ -192,6 +192,8 @@ type Server struct {
 	canceled  uint64
 	rejected  uint64
 	jobsDone  uint64
+	// jobsByStrategy counts accepted jobs per canonical strategy name.
+	jobsByStrategy map[string]uint64
 
 	runnerWG sync.WaitGroup
 }
@@ -211,9 +213,10 @@ func New(cfg Config) *Server {
 			CacheSize: cfg.CacheSize,
 			Store:     cfg.Store,
 		}),
-		queue:   make(chan *ticket, cfg.QueueDepth),
-		start:   time.Now(),
-		tickets: make(map[string]*ticket),
+		queue:          make(chan *ticket, cfg.QueueDepth),
+		start:          time.Now(),
+		tickets:        make(map[string]*ticket),
+		jobsByStrategy: make(map[string]uint64),
 	}
 	for i := 0; i < cfg.Runners; i++ {
 		s.runnerWG.Add(1)
@@ -271,6 +274,9 @@ func (s *Server) Submit(jobs []driver.Job, opts SubmitOptions) (string, error) {
 	case s.queue <- t:
 		s.tickets[t.id] = t
 		s.submitted++
+		for i := range jobs {
+			s.jobsByStrategy[jobs[i].Opts.StrategyName()]++
+		}
 		s.mu.Unlock()
 		// Watcher: a ticket cancelled or expired while still queued is
 		// retired on the spot instead of waiting for a runner to reach it
@@ -431,6 +437,10 @@ func (s *Server) Stats() wire.ServiceStats {
 		JobsCompiled: s.jobsDone,
 		Draining:     s.draining,
 	}
+	submittedByStrategy := make(map[string]uint64, len(s.jobsByStrategy))
+	for name, n := range s.jobsByStrategy {
+		submittedByStrategy[name] = n
+	}
 	s.mu.Unlock()
 	st.UptimeSec = time.Since(s.start).Seconds()
 	if st.UptimeSec > 0 {
@@ -443,6 +453,23 @@ func (s *Server) Stats() wire.ServiceStats {
 		StoreHits: cs.StoreHits,
 		Entries:   cs.Entries,
 		HitRate:   cs.HitRate(),
+	}
+	// Merge the service-side submission counts with the engine's
+	// per-strategy cache accounting into one per-strategy view.
+	if len(submittedByStrategy) > 0 || len(cs.Strategies) > 0 {
+		st.Strategies = make(map[string]wire.StrategyStats, len(submittedByStrategy))
+		for name, n := range submittedByStrategy {
+			ss := st.Strategies[name]
+			ss.JobsSubmitted = n
+			st.Strategies[name] = ss
+		}
+		for name, d := range cs.Strategies {
+			ss := st.Strategies[name]
+			ss.CacheHits = d.Hits
+			ss.CacheMisses = d.Misses
+			ss.StoreHits = d.StoreHits
+			st.Strategies[name] = ss
+		}
 	}
 	return st
 }

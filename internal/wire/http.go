@@ -55,6 +55,33 @@ type CacheStats struct {
 	HitRate   float64 `json:"hit_rate"`
 }
 
+// StrategyInfo describes one registered scheduling strategy (GET
+// /strategies).
+type StrategyInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Default marks the strategy an empty options.strategy selects.
+	Default bool `json:"default,omitempty"`
+}
+
+// StrategiesResponse is the GET /strategies answer, sorted by name.
+type StrategiesResponse struct {
+	Strategies []StrategyInfo `json:"strategies"`
+}
+
+// StrategyStats is the per-strategy slice of the service accounting: how
+// many jobs each scheduling strategy has been asked to compile and how the
+// cache served them.
+type StrategyStats struct {
+	// JobsSubmitted counts jobs accepted into the queue for this strategy.
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	// CacheHits/CacheMisses/StoreHits are the engine's per-strategy cache
+	// counters (see CacheStats for their semantics).
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	StoreHits   uint64 `json:"store_hits"`
+}
+
 // ServiceStats is the GET /stats answer.
 type ServiceStats struct {
 	// Queued and InFlight describe the moment; QueueDepth is the
@@ -74,6 +101,9 @@ type ServiceStats struct {
 	UptimeSec    float64 `json:"uptime_sec"`
 	// Cache is the shared engine's cache accounting (in-memory + disk).
 	Cache CacheStats `json:"cache"`
+	// Strategies breaks the traffic down by scheduling strategy, keyed on
+	// the canonical strategy name.
+	Strategies map[string]StrategyStats `json:"strategies,omitempty"`
 	// Draining reports a server in graceful shutdown.
 	Draining bool `json:"draining,omitempty"`
 }

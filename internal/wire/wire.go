@@ -23,20 +23,44 @@ import (
 	"clusched/internal/sched"
 )
 
+// JobSchemaVersion is the current job wire-schema version. Version 2
+// introduced the schema field itself and the strategy option; version 0
+// (the field absent) is the pre-strategy schema and decodes as the default
+// strategy. Decoders reject schemas newer than they understand with a
+// typed *SchemaError rather than silently dropping fields.
+const JobSchemaVersion = 2
+
+// SchemaError reports a job whose schema version is newer than this build
+// understands.
+type SchemaError struct {
+	// Got is the job's schema version; Max the newest this build decodes.
+	Got, Max int
+}
+
+// Error implements error.
+func (e *SchemaError) Error() string {
+	return fmt.Sprintf("wire: job schema version %d is newer than supported %d", e.Got, e.Max)
+}
+
 // Options mirrors pipeline.Options with stable JSON names.
 type Options struct {
-	Replicate              bool `json:"replicate,omitempty"`
-	LengthReplicate        bool `json:"length_replicate,omitempty"`
-	ZeroBusLatency         bool `json:"zero_bus_latency,omitempty"`
-	UseMacroReplication    bool `json:"macro_replication,omitempty"`
-	MaxII                  int  `json:"max_ii,omitempty"`
-	IgnoreRegisterPressure bool `json:"ignore_register_pressure,omitempty"`
-	VerifySchedules        bool `json:"verify_schedules,omitempty"`
+	// Strategy names the scheduling strategy (empty = the default, "paper").
+	// Decoding rejects names this build has not registered with a typed
+	// *pipeline.UnknownStrategyError.
+	Strategy               string `json:"strategy,omitempty"`
+	Replicate              bool   `json:"replicate,omitempty"`
+	LengthReplicate        bool   `json:"length_replicate,omitempty"`
+	ZeroBusLatency         bool   `json:"zero_bus_latency,omitempty"`
+	UseMacroReplication    bool   `json:"macro_replication,omitempty"`
+	MaxII                  int    `json:"max_ii,omitempty"`
+	IgnoreRegisterPressure bool   `json:"ignore_register_pressure,omitempty"`
+	VerifySchedules        bool   `json:"verify_schedules,omitempty"`
 }
 
 // EncodeOptions converts pipeline options to their wire form.
 func EncodeOptions(o pipeline.Options) Options {
 	return Options{
+		Strategy:               o.Strategy,
 		Replicate:              o.Replicate,
 		LengthReplicate:        o.LengthReplicate,
 		ZeroBusLatency:         o.ZeroBusLatency,
@@ -47,9 +71,12 @@ func EncodeOptions(o pipeline.Options) Options {
 	}
 }
 
-// Decode converts the wire options back to pipeline options.
+// Decode converts the wire options back to pipeline options. It does not
+// validate the strategy; Job.Decode and Result.Decode do, so both request
+// and cache paths reject unknown names with the typed error.
 func (o Options) Decode() pipeline.Options {
 	return pipeline.Options{
+		Strategy:               o.Strategy,
 		Replicate:              o.Replicate,
 		LengthReplicate:        o.LengthReplicate,
 		ZeroBusLatency:         o.ZeroBusLatency,
@@ -58,6 +85,15 @@ func (o Options) Decode() pipeline.Options {
 		IgnoreRegisterPressure: o.IgnoreRegisterPressure,
 		VerifySchedules:        o.VerifySchedules,
 	}
+}
+
+// validateStrategy rejects unregistered strategy names with the pipeline's
+// typed error.
+func (o Options) validateStrategy() error {
+	if !pipeline.KnownStrategy(o.Strategy) {
+		return &pipeline.UnknownStrategyError{Name: o.Strategy}
+	}
+	return nil
 }
 
 // Machine is the wire form of a machine configuration. Hand-written
@@ -110,6 +146,9 @@ func (wm Machine) Decode() (machine.Config, error) {
 
 // Job is one compilation request on the wire.
 type Job struct {
+	// Schema is the job schema version (JobSchemaVersion for encoders;
+	// absent/0 means the pre-strategy legacy schema, which still decodes).
+	Schema int `json:"schema,omitempty"`
 	// Loop is the loop body in the ddg text format.
 	Loop    string  `json:"loop"`
 	Machine Machine `json:"machine"`
@@ -122,11 +161,20 @@ func EncodeJob(j driver.Job) (Job, error) {
 	if err != nil {
 		return Job{}, err
 	}
-	return Job{Loop: text, Machine: EncodeMachine(j.Machine), Options: EncodeOptions(j.Opts)}, nil
+	return Job{Schema: JobSchemaVersion, Loop: text, Machine: EncodeMachine(j.Machine), Options: EncodeOptions(j.Opts)}, nil
 }
 
-// Decode reconstructs the driver job, validating the loop.
+// Decode reconstructs the driver job, validating the schema version, the
+// loop and the strategy. Unknown strategies and too-new schemas fail with
+// typed errors (*pipeline.UnknownStrategyError, *SchemaError), so servers
+// can answer them distinctly from malformed requests.
 func (wj Job) Decode() (driver.Job, error) {
+	if wj.Schema > JobSchemaVersion {
+		return driver.Job{}, &SchemaError{Got: wj.Schema, Max: JobSchemaVersion}
+	}
+	if err := wj.Options.validateStrategy(); err != nil {
+		return driver.Job{}, err
+	}
 	g, err := ddg.ParseOne(strings.NewReader(wj.Loop))
 	if err != nil {
 		return driver.Job{}, err
@@ -247,6 +295,11 @@ func EncodeResult(r *pipeline.Result, opts pipeline.Options) (*Result, error) {
 // and register pressure. A Result that decodes without error is therefore
 // a valid schedule, not just valid JSON.
 func (wr *Result) Decode() (*pipeline.Result, error) {
+	if err := wr.Options.validateStrategy(); err != nil {
+		// A cache entry from a build with strategies this one lacks: reads
+		// as a decode failure (persistent caches treat it as a miss).
+		return nil, err
+	}
 	g, err := ddg.ParseOne(strings.NewReader(wr.Loop))
 	if err != nil {
 		return nil, fmt.Errorf("wire: result loop: %w", err)

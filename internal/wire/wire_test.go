@@ -151,6 +151,114 @@ func TestJobRoundTrip(t *testing.T) {
 	}
 }
 
+// TestJobStrategyRoundTrip: the strategy name survives the wire and lands
+// in the cache identity; the two strategies produce distinct keys for the
+// same loop.
+func TestJobStrategyRoundTrip(t *testing.T) {
+	loops := workload.LoopsFor("wave5")
+	keys := map[string]bool{}
+	for _, strat := range []string{"paper", "uas"} {
+		j := driver.Job{
+			Graph:   loops[0].Graph,
+			Machine: machine.MustParse("4c2b2l64r"),
+			Opts:    pipeline.Options{Strategy: strat},
+		}
+		wj, err := EncodeJob(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wj.Schema != JobSchemaVersion {
+			t.Fatalf("encoded job carries schema %d, want %d", wj.Schema, JobSchemaVersion)
+		}
+		blob, err := json.Marshal(wj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wj2 Job
+		if err := json.Unmarshal(blob, &wj2); err != nil {
+			t.Fatal(err)
+		}
+		j2, err := wj2.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j2.Opts.Strategy != strat {
+			t.Fatalf("strategy %q became %q across the wire", strat, j2.Opts.Strategy)
+		}
+		keys[driver.JobKey(j2)] = true
+	}
+	if len(keys) != 2 {
+		t.Fatalf("paper and uas jobs share a cache key: %v", keys)
+	}
+}
+
+// TestJobDecodeTypedErrors: unknown strategies and too-new schemas must
+// fail with their typed errors; the legacy schema (no schema field) still
+// decodes as the default strategy.
+func TestJobDecodeTypedErrors(t *testing.T) {
+	loops := workload.LoopsFor("wave5")
+	j := driver.Job{Graph: loops[0].Graph, Machine: machine.MustParse("4c2b2l64r")}
+	wj, err := EncodeJob(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	unknown := wj
+	unknown.Options.Strategy = "quantum"
+	if _, err := unknown.Decode(); err == nil {
+		t.Fatal("unknown strategy decoded cleanly")
+	} else if ue, ok := err.(*pipeline.UnknownStrategyError); !ok || ue.Name != "quantum" {
+		t.Fatalf("want *pipeline.UnknownStrategyError{quantum}, got %T: %v", err, err)
+	}
+
+	future := wj
+	future.Schema = JobSchemaVersion + 1
+	if _, err := future.Decode(); err == nil {
+		t.Fatal("future schema decoded cleanly")
+	} else if se, ok := err.(*SchemaError); !ok || se.Got != JobSchemaVersion+1 || se.Max != JobSchemaVersion {
+		t.Fatalf("want *SchemaError, got %T: %v", err, err)
+	}
+
+	legacy := wj
+	legacy.Schema = 0 // a pre-strategy client's request
+	j2, err := legacy.Decode()
+	if err != nil {
+		t.Fatalf("legacy schema rejected: %v", err)
+	}
+	if j2.Opts.StrategyName() != pipeline.DefaultStrategy {
+		t.Fatalf("legacy job resolved to strategy %q", j2.Opts.StrategyName())
+	}
+}
+
+// TestResultDecodeRejectsUnknownStrategy: a persisted result naming a
+// strategy this build lacks reads as a decode failure (a cache miss), not
+// a wrong answer.
+func TestResultDecodeRejectsUnknownStrategy(t *testing.T) {
+	outs := compileSample(t, "mgrid", 1, machine.MustParse("4c1b2l64r"), pipeline.Options{Replicate: true})
+	wr, err := EncodeResult(outs[0].Result, pipeline.Options{Replicate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alien := *wr
+	alien.Options.Strategy = "from-the-future"
+	if _, err := alien.Decode(); err == nil {
+		t.Fatal("alien-strategy result decoded cleanly")
+	} else if _, ok := err.(*pipeline.UnknownStrategyError); !ok {
+		t.Fatalf("want *pipeline.UnknownStrategyError, got %T: %v", err, err)
+	}
+}
+
+// TestResultRoundTripRivalStrategies: results compiled under the rival
+// strategies round-trip with full fidelity like paper-chain ones.
+func TestResultRoundTripRivalStrategies(t *testing.T) {
+	for _, strat := range []string{"uas", "moddist", "unified"} {
+		opts := pipeline.Options{Strategy: strat}
+		for _, o := range compileSample(t, "tomcatv", 3, machine.MustParse("4c2b2l64r"), opts) {
+			checkResultRoundTrip(t, o.Result, opts)
+		}
+	}
+}
+
 // TestMachineDecodeFromBareConfig: hand-written requests carry only the
 // config string.
 func TestMachineDecodeFromBareConfig(t *testing.T) {
