@@ -4,34 +4,79 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"iter"
+	"math/rand/v2"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
-	"clusched/internal/driver"
 	"clusched/internal/wire"
 )
 
-// Client speaks to a clusched-serve compilation service. Results come
-// back through the wire codec, which rebuilds and re-verifies every
-// schedule — a Result obtained remotely is as trustworthy as one compiled
-// in-process, and carries the full Schedule and Placement (so kernels can
-// be printed and pipelines expanded locally).
+// Client speaks to a clusched-serve compilation service; it is the remote
+// implementation of Backend. Results come back through the wire codec,
+// which rebuilds and re-verifies every schedule — a Result obtained
+// remotely is as trustworthy as one compiled in-process, and carries the
+// full Schedule and Placement (so kernels can be printed and pipelines
+// expanded locally).
 //
-// The zero Client is not usable; call NewClient.
+// Stream consumes the service's NDJSON push endpoint
+// (GET /batch/{id}/stream): each outcome arrives the moment the server
+// finishes it, with no polling. The poll loop (WaitBatch) remains as a
+// fallback for older servers and for callers that want the final status in
+// one call; it backs off with jitter instead of hammering a fixed
+// interval.
+//
+// The zero Client is not usable; call NewRemote (or NewClient).
 type Client struct {
 	base string
 	hc   *http.Client
-	// PollInterval paces WaitBatch's GET /jobs/{id} loop (default 250ms).
+	// timeout bounds each unary exchange (see DefaultClientTimeout); the
+	// streaming path is exempt.
+	timeout time.Duration
+	// PollInterval is the initial interval of WaitBatch's fallback poll
+	// loop (default 50ms, growing to pollMaxInterval with jitter).
 	PollInterval time.Duration
 }
 
+// DefaultClientTimeout bounds each unary HTTP exchange (submit, status,
+// stats, blocking compile) when NewClient is not given WithTimeout. It is
+// deliberately generous — a blocking /compile?wait=1 spans a full
+// compilation — while still guaranteeing that a wedged server cannot hang
+// a caller forever. WithTimeout(0) disables the bound.
+const DefaultClientTimeout = 5 * time.Minute
+
+// Fallback poll pacing: the first probe comes quickly (most batches are
+// small), then the interval grows geometrically to a lazy cap, each wait
+// jittered ±25% so a fleet of clients polling one server does not beat on
+// it in lockstep.
+const (
+	pollBaseInterval = 50 * time.Millisecond
+	pollMaxInterval  = 2 * time.Second
+	pollGrowth       = 1.6
+)
+
 // NewClient returns a Client for the service at base (e.g.
-// "http://localhost:8357").
-func NewClient(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+// "http://localhost:8357"). Remote-backend options apply (WithHTTPClient,
+// WithTimeout, WithPollInterval); NewRemote is the same constructor under
+// the v2 naming.
+func NewClient(base string, opts ...Option) *Client {
+	s := applySettings("NewRemote", scopeClient, opts)
+	c := &Client{base: strings.TrimRight(base, "/"), hc: s.client.httpClient, timeout: DefaultClientTimeout}
+	if c.hc == nil {
+		c.hc = &http.Client{}
+	}
+	if s.client.hasTimeout {
+		c.timeout = s.client.timeout
+	}
+	if s.client.pollInterval > 0 {
+		c.PollInterval = s.client.pollInterval
+	}
+	return c
 }
 
 // RemoteStats is the service's /stats answer.
@@ -49,8 +94,14 @@ func (e *QueueFullError) Error() string {
 }
 
 // do sends one JSON request and decodes the JSON answer into out,
-// translating error answers.
+// translating error answers. Unary exchanges are bounded by the client
+// timeout; the streaming path bypasses do.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
 	var rd io.Reader
 	if body != nil {
 		blob, err := json.Marshal(body)
@@ -99,27 +150,257 @@ func (c *Client) Stats(ctx context.Context) (RemoteStats, error) {
 	return st, err
 }
 
-// Compile compiles one loop remotely (POST /compile?wait=1, blocking
-// until the service finishes). cacheHit reports whether the service
-// answered from its cache.
-func (c *Client) Compile(ctx context.Context, g *Graph, m Machine, opts Options) (res *Result, cacheHit bool, err error) {
-	wj, err := wire.EncodeJob(driver.Job{Graph: g, Machine: m, Opts: opts})
+// Compile compiles one job remotely (POST /compile?wait=1, blocking until
+// the service finishes): the unary half of Backend. Callers that care
+// whether the service answered from its cache should use Do.
+func (c *Client) Compile(ctx context.Context, job CompileJob) (*Result, error) {
+	out, err := c.Do(ctx, job)
 	if err != nil {
-		return nil, false, err
+		return nil, err
+	}
+	return out.Result, out.Err
+}
+
+// Do compiles one job remotely and returns the full outcome, including
+// whether the service answered from its cache.
+func (c *Client) Do(ctx context.Context, job CompileJob) (CompileOutcome, error) {
+	wj, err := wire.EncodeJob(job)
+	if err != nil {
+		return CompileOutcome{}, err
 	}
 	var st wire.JobStatus
 	if err := c.do(ctx, http.MethodPost, "/compile?wait=1", wj, &st); err != nil {
-		return nil, false, err
+		return CompileOutcome{}, err
 	}
 	if len(st.Outcomes) != 1 {
-		return nil, false, fmt.Errorf("clusched: service answered %d outcomes for one job (state %s, %s)",
+		return CompileOutcome{}, fmt.Errorf("clusched: service answered %d outcomes for one job (state %s, %s)",
 			len(st.Outcomes), st.State, st.Error)
 	}
 	out, err := st.Outcomes[0].Decode()
 	if err != nil {
-		return nil, false, err
+		return CompileOutcome{}, err
 	}
-	return out.Result, out.CacheHit, out.Err
+	out.Job = job
+	return out, nil
+}
+
+// Stream implements Backend over the service's NDJSON push endpoint: it
+// submits the batch, opens GET /batch/{id}/stream and yields each outcome
+// the moment the server finishes it — true server push, no polling. Every
+// job yields exactly once; submit or transport failures surface as the
+// outcome error of every job the stream had not yet delivered. Against an
+// older server without the stream endpoint, Stream falls back to the
+// jittered poll loop and yields the batch at the end.
+func (c *Client) Stream(ctx context.Context, jobs []CompileJob) iter.Seq2[int, CompileOutcome] {
+	return func(yield func(int, CompileOutcome) bool) {
+		if len(jobs) == 0 {
+			return
+		}
+		delivered := make([]bool, len(jobs))
+		// fail stamps every undelivered job with err; it returns false when
+		// the consumer stopped the iteration.
+		fail := func(err error) bool {
+			for i := range jobs {
+				if !delivered[i] {
+					delivered[i] = true
+					if !yield(i, CompileOutcome{Job: jobs[i], Err: err}) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		id, err := c.SubmitBatch(ctx, jobs, 0)
+		if err != nil {
+			fail(err)
+			return
+		}
+		c.streamTicket(ctx, id, jobs, delivered, yield, fail)
+	}
+}
+
+// errNoStreamEndpoint marks a server without GET /batch/{id}/stream.
+var errNoStreamEndpoint = errors.New("clusched: service has no stream endpoint")
+
+// abandonTicket best-effort cancels a ticket whose consumer walked away,
+// so the server stops compiling work nobody will read. It runs on a
+// detached context: the caller's is typically already cancelled.
+func (c *Client) abandonTicket(id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c.Cancel(ctx, id) // the ticket may already be done; ignore the answer
+}
+
+// streamTicket consumes the NDJSON stream of one submitted ticket.
+func (c *Client) streamTicket(ctx context.Context, id string, jobs []CompileJob, delivered []bool,
+	yield func(int, CompileOutcome) bool, fail func(error) bool) {
+	err := c.readStream(ctx, id, jobs, delivered, yield)
+	switch {
+	case err == nil:
+		return
+	case errors.Is(err, errYieldStopped):
+		// The consumer broke out of the iteration; yield must not be
+		// called again, and the Backend contract says early stop abandons
+		// the remaining work — tell the server so it stops compiling it.
+		c.abandonTicket(id)
+		return
+	case errors.Is(err, errNoStreamEndpoint):
+		// Older server: fall back to the poll loop and deliver the batch
+		// when it finishes.
+		st, werr := c.WaitBatch(ctx, id)
+		if werr != nil {
+			fail(werr)
+			return
+		}
+		if len(st.Outcomes) != len(jobs) {
+			werr := st.Err
+			if werr == nil {
+				werr = fmt.Errorf("clusched: service answered %d outcomes for %d jobs (ticket %s %s)",
+					len(st.Outcomes), len(jobs), id, st.State)
+			}
+			fail(werr)
+			return
+		}
+		for i, out := range st.Outcomes {
+			if delivered[i] {
+				continue
+			}
+			delivered[i] = true
+			out.Job = jobs[i]
+			if !yield(i, out) {
+				return
+			}
+		}
+	default:
+		if ctx.Err() != nil {
+			// The caller cancelled mid-stream; the server is still
+			// compiling the rest of the batch for nobody.
+			c.abandonTicket(id)
+		}
+		fail(err)
+	}
+}
+
+// errYieldStopped signals that the consumer broke out of the iteration —
+// not a failure, just "stop reading".
+var errYieldStopped = errors.New("clusched: stream consumer stopped")
+
+// readStream opens the NDJSON endpoint and yields outcome frames until the
+// done frame. It returns errNoStreamEndpoint for servers predating the
+// endpoint, nil after a complete stream (undelivered jobs have been
+// stamped with the batch's terminal error), or the transport/protocol
+// error that cut the stream short.
+func (c *Client) readStream(ctx context.Context, id string, jobs []CompileJob, delivered []bool,
+	yield func(int, CompileOutcome) bool) error {
+	// No unary timeout here: the stream lives exactly as long as its
+	// batch. ctx still cancels it at any moment.
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/batch/"+id+"/stream", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusMethodNotAllowed {
+		// A modern server answers 404 with a JSON error body for a ticket
+		// it no longer knows (restart, retention pruning) — that is a real
+		// failure, not a missing endpoint. Only a mux-level 404/405 (no
+		// wire error payload) means the server predates streaming.
+		var er wire.ErrorResponse
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er); err == nil && er.Error != "" {
+			return fmt.Errorf("clusched: service: %s", er.Error)
+		}
+		return errNoStreamEndpoint
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("clusched: stream answered %s", resp.Status)
+	}
+
+	// The stream is exempt from the unary timeout as a whole — it lives as
+	// long as its batch — but each inter-frame gap is bounded: a server
+	// that wedges (or a connection that dies without an RST) would
+	// otherwise hang the caller forever. The watchdog closes the body,
+	// which unblocks the decoder with an error we translate below.
+	var (
+		timedOut atomic.Bool
+		idle     *time.Timer
+	)
+	if c.timeout > 0 {
+		idle = time.AfterFunc(c.timeout, func() {
+			timedOut.Store(true)
+			resp.Body.Close()
+		})
+		defer idle.Stop()
+	}
+
+	dec := json.NewDecoder(resp.Body)
+	var batchErr error
+	sawDone := false
+	for !sawDone {
+		var f wire.Frame
+		if err := dec.Decode(&f); err != nil {
+			if timedOut.Load() {
+				return fmt.Errorf("clusched: stream for ticket %s idle for %v, giving up", id, c.timeout)
+			}
+			if errors.Is(err, io.EOF) {
+				return fmt.Errorf("clusched: stream for ticket %s ended before its done frame", id)
+			}
+			return err
+		}
+		if idle != nil {
+			idle.Reset(c.timeout)
+		}
+		// Unknown frame types and too-new hellos fail typed
+		// (*wire.UnknownFrameError, *wire.SchemaError): a newer protocol is
+		// an explicit error, never silently misread.
+		if err := f.Validate(); err != nil {
+			return err
+		}
+		switch f.Type {
+		case wire.FrameHello:
+			if f.Total != len(jobs) {
+				return fmt.Errorf("clusched: stream for ticket %s announces %d jobs, submitted %d", id, f.Total, len(jobs))
+			}
+		case wire.FrameOutcome:
+			if f.Index >= len(jobs) {
+				return fmt.Errorf("clusched: stream outcome for job %d of a %d-job batch", f.Index, len(jobs))
+			}
+			if delivered[f.Index] {
+				return fmt.Errorf("clusched: stream delivered job %d twice", f.Index)
+			}
+			out, derr := f.Outcome.Decode()
+			if derr != nil {
+				out = CompileOutcome{Err: derr}
+			}
+			out.Job = jobs[f.Index]
+			delivered[f.Index] = true
+			if !yield(f.Index, out) {
+				return errYieldStopped
+			}
+		case wire.FrameDone:
+			if f.Error != "" {
+				batchErr = &wire.RemoteError{Msg: f.Error}
+			}
+			sawDone = true
+		}
+	}
+	// Jobs the server never delivered (a batch cancelled while queued, or
+	// retired early) inherit the batch's terminal error.
+	missing := batchErr
+	if missing == nil {
+		missing = errors.New("clusched: stream finished without delivering this job")
+	}
+	for i := range jobs {
+		if !delivered[i] {
+			delivered[i] = true
+			if !yield(i, CompileOutcome{Job: jobs[i], Err: missing}) {
+				return errYieldStopped
+			}
+		}
+	}
+	return nil
 }
 
 // SubmitBatch submits jobs for asynchronous remote compilation and
@@ -161,11 +442,14 @@ func (c *Client) Status(ctx context.Context, id string) (BatchStatus, error) {
 }
 
 // WaitBatch polls a ticket until it finishes (or ctx is done) and returns
-// the final status with decoded outcomes.
+// the final status with decoded outcomes. It is the fallback to Stream:
+// the poll interval starts at PollInterval (default 50ms) and backs off
+// geometrically to a 2s cap, each wait jittered ±25% so synchronized
+// clients spread out instead of hammering the server in lockstep.
 func (c *Client) WaitBatch(ctx context.Context, id string) (BatchStatus, error) {
 	interval := c.PollInterval
 	if interval <= 0 {
-		interval = 250 * time.Millisecond
+		interval = pollBaseInterval
 	}
 	for {
 		st, err := c.Status(ctx, id)
@@ -175,10 +459,17 @@ func (c *Client) WaitBatch(ctx context.Context, id string) (BatchStatus, error) 
 		if st.State == wire.StateDone || st.State == wire.StateCanceled {
 			return st, nil
 		}
+		// ±25% jitter around the current interval.
+		wait := time.Duration(float64(interval) * (0.75 + 0.5*rand.Float64()))
 		select {
-		case <-time.After(interval):
+		case <-time.After(wait):
 		case <-ctx.Done():
 			return BatchStatus{}, ctx.Err()
+		}
+		if next := time.Duration(float64(interval) * pollGrowth); next < pollMaxInterval {
+			interval = next
+		} else {
+			interval = pollMaxInterval
 		}
 	}
 }

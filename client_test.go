@@ -3,7 +3,10 @@ package clusched
 import (
 	"context"
 	"errors"
+	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -40,7 +43,8 @@ func TestClientCompile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, hit, err := c.Compile(ctx, loops[0].Graph, m, opts)
+	job := CompileJob{Graph: loops[0].Graph, Machine: m, Opts: opts}
+	res, err := c.Compile(ctx, job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,13 +58,14 @@ func TestClientCompile(t *testing.T) {
 	if _, err := ExpandPipeline(res.Schedule); err != nil {
 		t.Fatalf("remote schedule does not expand: %v", err)
 	}
-	// Second identical compile hits the service cache.
-	_, hit, err = c.Compile(ctx, loops[0].Graph, m, opts)
+	// Second identical compile hits the service cache (Do exposes the
+	// cache-hit flag the Backend-level Compile elides).
+	out, err := c.Do(ctx, job)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !hit {
-		t.Fatal("second remote compile not served from cache")
+	if out.Err != nil || !out.CacheHit {
+		t.Fatalf("second remote compile not served from cache: %+v", out)
 	}
 
 	st, err := c.Stats(ctx)
@@ -154,4 +159,119 @@ func TestClientQueueFullTyped(t *testing.T) {
 		t.Skip("queue never filled on this machine; admission control is covered by service tests")
 	}
 	_ = s
+}
+
+// TestStreamEarlyBreakCancelsRemoteTicket: walking away from a remote
+// stream must cancel the server-side ticket — the Backend contract says
+// early stop abandons the remaining work, and leaving the server to
+// compile a batch nobody reads would break that remotely.
+func TestStreamEarlyBreakCancelsRemoteTicket(t *testing.T) {
+	loops := BenchmarkLoops("mgrid")
+	m := MustParseMachine("4c2b2l64r")
+	jobs := make([]CompileJob, len(loops))
+	for i, l := range loops {
+		jobs[i] = CompileJob{Graph: l.Graph, Machine: m}
+	}
+	// Gate the second job so the batch is provably still running when the
+	// consumer breaks.
+	gate := newGateStore(jobs[1].Graph.Name)
+	c, s := startService(t, service.Config{Workers: 1, Store: gate})
+
+	for range c.Stream(context.Background(), jobs) {
+		break
+	}
+	gate.release(jobs[1].Graph.Name)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if st := s.Stats(); st.Canceled >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned ticket never cancelled server-side: %+v", s.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStreamIdleTimeoutOnWedgedServer: a server that opens the stream and
+// then goes silent must not hang Stream forever — the inter-frame
+// watchdog (bound to the client timeout) cuts the connection and stamps
+// the undelivered jobs.
+func TestStreamIdleTimeoutOnWedgedServer(t *testing.T) {
+	wedged := make(chan struct{})
+	defer close(wedged)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"t1"}` + "\n"))
+	})
+	mux.HandleFunc("GET /batch/t1/stream", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write([]byte(`{"type":"hello","schema":3,"id":"t1","total":1}` + "\n"))
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		select { // silence: no outcome, no done, no close
+		case <-wedged:
+		case <-r.Context().Done():
+		}
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := NewRemote(ts.URL, WithTimeout(100*time.Millisecond))
+	loops := BenchmarkLoops("tomcatv")[:1]
+	jobs := []CompileJob{{Graph: loops[0].Graph, Machine: MustParseMachine("4c2b2l64r")}}
+	done := make(chan error, 1)
+	go func() {
+		var got error
+		for _, out := range c.Stream(context.Background(), jobs) {
+			got = out.Err
+		}
+		done <- got
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "idle") {
+			t.Fatalf("want an idle-timeout error, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stream hung on a wedged server")
+	}
+}
+
+// TestStreamUnknownTicket404IsNotEndpointFallback: a modern server's JSON
+// 404 for a ticket it no longer knows is a real error, not a cue to fall
+// back to polling the same nonexistent ticket.
+func TestStreamUnknownTicket404IsNotEndpointFallback(t *testing.T) {
+	var polled atomic.Bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"gone"}` + "\n"))
+	})
+	mux.HandleFunc("GET /batch/gone/stream", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":"unknown ticket \"gone\""}` + "\n"))
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		polled.Store(true)
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":"unknown ticket"}` + "\n"))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := NewRemote(ts.URL, WithTimeout(time.Second))
+	loops := BenchmarkLoops("tomcatv")[:1]
+	jobs := []CompileJob{{Graph: loops[0].Graph, Machine: MustParseMachine("4c2b2l64r")}}
+	for _, out := range c.Stream(context.Background(), jobs) {
+		if out.Err == nil || !strings.Contains(out.Err.Error(), "unknown ticket") {
+			t.Fatalf("want the unknown-ticket error, got %v", out.Err)
+		}
+	}
+	if polled.Load() {
+		t.Fatal("client fell back to polling a ticket the server said it does not know")
+	}
 }

@@ -8,11 +8,15 @@
 // (multilevel partitioning with slack-weighted edges), removes excess
 // inter-cluster communications by replicating cheap instruction subgraphs
 // into the consuming clusters, and produces a verified modulo schedule.
-// Batch traffic goes through the concurrent engine (NewCompiler,
-// CompileAll): a bounded worker pool with deterministic result ordering
-// and a shared result cache. For cross-process compilation, cmd/clusched-
-// serve runs the engine as an HTTP service with a persistent result cache,
-// and Client (NewClient) speaks to it.
+//
+// The canonical API is the Backend interface: Compile for one job, Stream
+// for a batch consumed incrementally as results finish, Collect for
+// deterministic index-ordered batch output. NewLocal builds the in-process
+// backend (a bounded worker pool with a shared result cache); NewRemote
+// builds the client for a clusched-serve instance, where Stream rides the
+// service's NDJSON push endpoint, delivering each verified result the
+// moment the server finishes it. Where the compilation runs is
+// configuration, not a code path.
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction of the paper's evaluation.
 //
@@ -31,11 +35,14 @@
 //	g, _ := b.Build()
 //
 //	mach := clusched.MustParseMachine("4c2b2l64r")
-//	res, _ := clusched.CompileReplicated(g, mach)
+//	opts := clusched.NewOptions(clusched.WithReplication(true))
+//	res, _ := clusched.NewLocal().Compile(context.Background(),
+//		clusched.CompileJob{Graph: g, Machine: mach, Opts: opts})
 //	fmt.Println(res.II, res.Schedule.FormatKernel())
 package clusched
 
 import (
+	"context"
 	"io"
 
 	"clusched/internal/codegen"
@@ -168,11 +175,12 @@ func CompileReplicated(g *Graph, m Machine) (*Result, error) {
 	return core.CompileReplicated(g, m)
 }
 
-// Compiler is a concurrent batch-compilation engine: a bounded worker
-// pool with deterministic result ordering, an LRU result cache keyed on
-// (graph fingerprint, machine, options) with hit/miss accounting,
-// aggregate error reporting, and optional progress callbacks. One Compiler
-// is safe for concurrent use and meant to be shared.
+// Compiler is the in-process Backend: a concurrent batch-compilation
+// engine with a bounded worker pool, a streaming batch API with
+// deterministic collection, an LRU result cache keyed on (graph
+// fingerprint, machine, options) with hit/miss accounting, aggregate error
+// reporting, and optional progress callbacks. One Compiler is safe for
+// concurrent use and meant to be shared; NewLocal is the v2 constructor.
 type Compiler = driver.Compiler
 
 // CompilerConfig parameterizes NewCompiler; the zero value gives
@@ -193,22 +201,27 @@ type BatchError = driver.BatchError
 // CacheStats reports the engine's result-cache effectiveness.
 type CacheStats = driver.CacheStats
 
+// Store is the persistent second-level result cache under a local
+// backend's in-memory LRU (see CompilerConfig.Store); clusched-serve's
+// disk cache implements it.
+type Store = driver.Store
+
 // NewCompiler builds a batch-compilation engine.
 func NewCompiler(cfg CompilerConfig) *Compiler { return driver.New(cfg) }
 
-// CompileAll compiles every loop for every machine on a fresh engine with
-// default settings and returns the results machine-major: the result for
-// loops[i] on machines[j] is at index j*len(loops)+i. The order is
-// deterministic regardless of scheduling. When some compilations fail,
+// CompileAll compiles every loop for every machine on a fresh local
+// backend with default settings and returns the results machine-major: the
+// result for loops[i] on machines[j] is at index j*len(loops)+i. The order
+// is deterministic regardless of scheduling. When some compilations fail,
 // their slots are nil and the returned error is a *BatchError aggregating
 // them; the other results are still valid. Callers wanting a persistent
-// cache, a custom worker count or progress callbacks should use
-// NewCompiler and Compiler.CompileAll directly.
+// cache, a custom worker count, progress callbacks or incremental results
+// should build a Backend (NewLocal, NewRemote) and use Stream or Collect.
 func CompileAll(loops []*Loop, machines []Machine, opts Options) ([]*Result, error) {
-	jobs := make([]driver.Job, 0, len(loops)*len(machines))
+	jobs := make([]CompileJob, 0, len(loops)*len(machines))
 	for _, m := range machines {
 		for _, l := range loops {
-			jobs = append(jobs, driver.Job{Graph: l.Graph, Machine: m, Opts: opts})
+			jobs = append(jobs, CompileJob{Graph: l.Graph, Machine: m, Opts: opts})
 		}
 	}
 	if len(jobs) == 0 {
@@ -216,7 +229,7 @@ func CompileAll(loops []*Loop, machines []Machine, opts Options) ([]*Result, err
 	}
 	// The engine is throwaway, so bound its cache to the batch: large
 	// enough that duplicate loops hit, never larger than the work.
-	outcomes, err := NewCompiler(CompilerConfig{CacheSize: len(jobs)}).CompileAll(jobs)
+	outcomes, err := Collect(context.Background(), NewLocal(WithCacheSize(len(jobs))), jobs)
 	results := make([]*Result, len(outcomes))
 	for i := range outcomes {
 		results[i] = outcomes[i].Result

@@ -12,13 +12,18 @@
 //
 // Endpoints:
 //
-//	POST   /compile     one job (JSON {loop, machine, options}); ?wait=1 blocks
-//	POST   /batch       {jobs: [...], timeout_ms} → {id}
-//	GET    /jobs/{id}   ticket status; outcomes once finished
-//	DELETE /jobs/{id}   cancel
-//	GET    /strategies  registered scheduling strategies (options.strategy values)
-//	GET    /stats       queue depth, in-flight, throughput, cache hit rate, per-strategy counts
-//	GET    /healthz     200 while serving, 503 while draining
+//	POST   /compile            one job (JSON {loop, machine, options}); ?wait=1 blocks
+//	POST   /batch              {jobs: [...], timeout_ms} → {id}
+//	GET    /batch/{id}/stream  NDJSON push: one outcome frame per job as it finishes
+//	GET    /jobs/{id}          ticket status; outcomes once finished
+//	DELETE /jobs/{id}          cancel
+//	GET    /strategies         registered scheduling strategies (options.strategy values)
+//	GET    /stats              queue depth, in-flight, throughput, cache hit rate, per-strategy counts
+//	GET    /healthz            200 while serving, 503 while draining
+//
+// Batch consumers should prefer the stream endpoint (clusched.NewRemote's
+// Stream uses it): each verified result is pushed the moment it compiles,
+// and polling GET /jobs/{id} becomes a fallback, not the steady state.
 //
 // SIGINT/SIGTERM triggers a graceful drain bounded by -drain-timeout.
 //

@@ -14,6 +14,14 @@
 //	paperbench -j 4 -progress   # 4 concurrent compilations, progress on stderr
 //	paperbench -json bench.json # machine-readable per-figure numbers + engine stats
 //	paperbench -strategies paper,unified,uas,moddist   # head-to-head strategy comparison
+//	paperbench -remote http://localhost:8357 -fig 7    # evaluation as service traffic
+//
+// -remote swaps the in-process engine for the remote Backend (the same
+// clusched.Backend seam every tool programs against): every suite
+// compilation is submitted to the clusched-serve instance and streamed
+// back, so the paper evaluation doubles as a realistic service workload.
+// The timing section still measures the local engine; the remote cache
+// lives server-side (see GET /stats).
 //
 // -strategies compiles the whole suite under each named scheduling
 // strategy (see the root package's Strategies) on the headline
@@ -39,12 +47,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"clusched"
 	"clusched/internal/driver"
 	"clusched/internal/experiments"
 	"clusched/internal/machine"
@@ -136,9 +146,26 @@ func main() {
 	progress := flag.Bool("progress", false, "report per-suite compilation progress on stderr")
 	strategies := flag.String("strategies", "", "comma-separated scheduling strategies to compare head-to-head (e.g. paper,unified,uas,moddist)")
 	strategiesConfig := flag.String("strategies-config", "4c2b2l64r", "machine configuration for the -strategies comparison")
+	remote := flag.String("remote", "", "run every suite compilation on a clusched-serve instance at this base URL instead of in-process")
 	flag.CommandLine.Parse(preprocessArgs(os.Args[1:]))
 
-	if *jobs != 0 || *progress {
+	switch {
+	case *remote != "":
+		// The experiments engine is a Backend seam: pointing it at the
+		// remote client reruns the whole evaluation as service traffic.
+		if *jobs != 0 {
+			fmt.Fprintln(os.Stderr, "paperbench: -j is ignored with -remote (the server's workers apply)")
+		}
+		if *progress {
+			fmt.Fprintln(os.Stderr, "paperbench: -progress is ignored with -remote (compilation runs server-side)")
+		}
+		client := clusched.NewRemote(*remote, clusched.WithTimeout(0))
+		if err := client.Health(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: service at %s unreachable: %v\n", *remote, err)
+			os.Exit(1)
+		}
+		experiments.UseBackend(client)
+	case *jobs != 0 || *progress:
 		cfg := driver.Config{Workers: *jobs}
 		if *progress {
 			cfg.Progress = func(done, total int) {
@@ -215,7 +242,9 @@ func main() {
 		report += table
 	}
 
-	if *progress {
+	if *progress && *remote == "" {
+		// The remote backend reports zero CacheStats (its cache lives
+		// server-side; see GET /stats), so this line is local-only.
 		st := experiments.EngineStats()
 		fmt.Fprintf(os.Stderr, "engine cache: %d hits, %d misses, %d entries\n",
 			st.Hits, st.Misses, st.Entries)

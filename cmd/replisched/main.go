@@ -15,11 +15,12 @@
 // printed in input order, loops that fail to schedule are reported inline,
 // and the exit status is nonzero if any loop failed.
 //
-// With -remote the batch is submitted to a clusched-serve instance over
-// HTTP instead of being compiled in-process; results come back through
-// the wire codec (re-verified schedules), so -kernel, -asm, -verify and
-// -dot work identically. Outcomes served from the service's cache are
-// marked "(cached)".
+// Local and remote compilation share one code path: both are
+// clusched.Backend implementations, and -remote merely swaps which backend
+// the batch is collected from. On the remote backend, outcomes arrive over
+// the service's NDJSON push stream and come back through the wire codec
+// (re-verified schedules), so -kernel, -asm, -verify and -dot work
+// identically. Outcomes served from a cache are marked "(cached)".
 package main
 
 import (
@@ -33,7 +34,6 @@ import (
 	"clusched/internal/codegen"
 	"clusched/internal/core"
 	"clusched/internal/ddg"
-	"clusched/internal/driver"
 	"clusched/internal/machine"
 	"clusched/internal/vliwsim"
 )
@@ -81,19 +81,23 @@ func main() {
 		// (rightly) reject the flags.
 		opts.Replicate, opts.LengthReplicate = false, false
 	}
-	jobs := make([]driver.Job, len(loops))
+	jobs := make([]clusched.CompileJob, len(loops))
 	for i, g := range loops {
-		jobs[i] = driver.Job{Graph: g, Machine: m, Opts: opts}
+		jobs[i] = clusched.CompileJob{Graph: g, Machine: m, Opts: opts}
 	}
-	var (
-		outcomes []driver.Outcome
-		batchErr error
-	)
+	// Where the compilation runs is a flag, not a code path: both backends
+	// satisfy clusched.Backend, and Collect keeps the reports in input
+	// order either way.
+	ctx := context.Background()
+	var backend clusched.Backend = clusched.NewLocal()
 	if *remote != "" {
-		outcomes, batchErr = compileRemote(*remote, jobs)
-	} else {
-		outcomes, batchErr = driver.New(driver.Config{}).CompileAll(jobs)
+		client := clusched.NewRemote(*remote)
+		if err := client.Health(ctx); err != nil {
+			fatal(fmt.Errorf("service at %s unreachable: %w", *remote, err))
+		}
+		backend = client
 	}
+	outcomes, batchErr := clusched.Collect(ctx, backend, jobs)
 	for i, out := range outcomes {
 		g, res := jobs[i].Graph, out.Result
 		if out.Err != nil {
@@ -148,33 +152,6 @@ func main() {
 	if batchErr != nil {
 		fatal(batchErr)
 	}
-}
-
-// compileRemote ships the batch to a clusched-serve instance and maps the
-// remote outcomes back onto the submitted jobs. The returned error plays
-// the role of CompileAll's aggregate batch error.
-func compileRemote(base string, jobs []driver.Job) ([]driver.Outcome, error) {
-	ctx := context.Background()
-	client := clusched.NewClient(base)
-	if err := client.Health(ctx); err != nil {
-		fatal(fmt.Errorf("service at %s unreachable: %w", base, err))
-	}
-	id, err := client.SubmitBatch(ctx, jobs, 0)
-	if err != nil {
-		fatal(err)
-	}
-	st, err := client.WaitBatch(ctx, id)
-	if err != nil {
-		fatal(err)
-	}
-	if len(st.Outcomes) != len(jobs) {
-		fatal(fmt.Errorf("service answered %d outcomes for %d loops (ticket %s %s)",
-			len(st.Outcomes), len(jobs), id, st.State))
-	}
-	for i := range st.Outcomes {
-		st.Outcomes[i].Job = jobs[i]
-	}
-	return st.Outcomes, st.Err
 }
 
 func fatal(err error) {

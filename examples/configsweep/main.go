@@ -5,13 +5,14 @@
 // dominated by communications, and replication recovers most of the gap to
 // the unified machine.
 //
-// The sweep submits every (machine, variant) pair to the concurrent batch
-// engine in one go (clusched.NewCompiler); outcomes come back in
-// submission order, so the table prints deterministically however the
-// compilations were scheduled.
+// The sweep submits every (machine, variant) pair to the local Backend in
+// one go and collects the stream deterministically (clusched.Collect):
+// outcomes come back in submission order, so the table prints identically
+// however the compilations were scheduled.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -69,9 +70,9 @@ func main() {
 		}
 		jobs = append(jobs,
 			clusched.CompileJob{Graph: g, Machine: m},
-			clusched.CompileJob{Graph: g, Machine: m, Opts: clusched.Options{Replicate: true}})
+			clusched.CompileJob{Graph: g, Machine: m, Opts: clusched.NewOptions(clusched.WithReplication(true))})
 	}
-	outcomes, err := clusched.NewCompiler(clusched.CompilerConfig{}).CompileAll(jobs)
+	outcomes, err := clusched.Collect(context.Background(), clusched.NewLocal(), jobs)
 	if err != nil {
 		log.Fatal(err)
 	}

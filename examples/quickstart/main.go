@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -73,11 +74,20 @@ func main() {
 	m := clusched.MustParseMachine("4c1b2l64r")
 	fmt.Printf("loop %s on machine %s\n\n", g.Name, m)
 
-	base, err := clusched.CompileBaseline(g, m)
+	// The v2 entry point: a Backend (here the in-process engine) compiles
+	// CompileJobs whose options are built with functional options. Swap
+	// NewLocal for NewRemote(url) and nothing else changes.
+	ctx := context.Background()
+	backend := clusched.NewLocal()
+	base, err := backend.Compile(ctx, clusched.CompileJob{Graph: g, Machine: m})
 	if err != nil {
 		log.Fatal(err)
 	}
-	repl, err := clusched.CompileReplicated(g, m)
+	repl, err := backend.Compile(ctx, clusched.CompileJob{
+		Graph:   g,
+		Machine: m,
+		Opts:    clusched.NewOptions(clusched.WithReplication(true)),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

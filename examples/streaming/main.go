@@ -1,0 +1,88 @@
+// Streaming: compile a batch through the clusched.Backend interface and
+// consume the results as they finish, not when the batch ends.
+//
+// The same code drives both backends. By default it runs on the in-process
+// engine (clusched.NewLocal); with -remote it speaks to a clusched-serve
+// instance (clusched.NewRemote), where Stream rides the service's NDJSON
+// push endpoint — each verified result arrives the moment the server
+// finishes it, with no polling:
+//
+//	go run ./examples/streaming
+//	clusched-serve -addr :8357 &
+//	go run ./examples/streaming -remote http://localhost:8357
+//
+// The completion log prints in finish order (the stream's order); the
+// final table is the deterministic index-ordered collect of the same
+// outcomes, rebuilt from the stream without a second compilation.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"clusched"
+)
+
+func main() {
+	remote := flag.String("remote", "", "compile on a clusched-serve instance at this base URL instead of in-process")
+	flag.Parse()
+
+	ctx := context.Background()
+	var backend clusched.Backend = clusched.NewLocal(clusched.WithWorkers(2))
+	where := "in-process engine"
+	if *remote != "" {
+		client := clusched.NewRemote(*remote)
+		if err := client.Health(ctx); err != nil {
+			log.Fatalf("service at %s unreachable: %v", *remote, err)
+		}
+		backend = client
+		where = *remote + " (NDJSON push)"
+	}
+
+	// A batch: every tomcatv workload loop on the paper's headline
+	// machine, with and without replication.
+	m := clusched.MustParseMachine("4c2b2l64r")
+	repl := clusched.NewOptions(clusched.WithReplication(true))
+	var jobs []clusched.CompileJob
+	for _, l := range clusched.BenchmarkLoops("tomcatv") {
+		jobs = append(jobs,
+			clusched.CompileJob{Graph: l.Graph, Machine: m},
+			clusched.CompileJob{Graph: l.Graph, Machine: m, Opts: repl})
+	}
+	fmt.Printf("streaming %d jobs from the %s\n\n", len(jobs), where)
+
+	// Consume the stream: outcomes arrive in completion order, tagged with
+	// their job's index, so incremental consumers (progress bars, early
+	// aggregation, result pipelines) never wait for the stragglers.
+	outcomes := make([]clusched.CompileOutcome, len(jobs))
+	for i, out := range backend.Stream(ctx, jobs) {
+		outcomes[i] = out
+		if out.Err != nil {
+			fmt.Printf("  %-12s FAILED: %v\n", jobs[i].Graph.Name, out.Err)
+			continue
+		}
+		cached := ""
+		if out.CacheHit {
+			cached = " (cached)"
+		}
+		fmt.Printf("  %-12s II=%-3d comms=%-3d%s\n", jobs[i].Graph.Name, out.Result.II, out.Result.Comms, cached)
+	}
+
+	// The deterministic view of the same outcomes, index-aligned.
+	fmt.Printf("\n%-12s  %8s  %8s\n", "loop", "base II", "repl II")
+	failed := false
+	for i := 0; i < len(outcomes); i += 2 {
+		base, rep := outcomes[i], outcomes[i+1]
+		if base.Err != nil || rep.Err != nil {
+			failed = true
+			continue
+		}
+		fmt.Printf("%-12s  %8d  %8d\n", jobs[i].Graph.Name, base.Result.II, rep.Result.II)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -107,10 +107,10 @@ func TestCancelledOutcomesNotCached(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := c.CompileContext(ctx, j.Graph, j.Machine, j.Opts); !errors.Is(err, context.Canceled) {
+	if _, err := c.Compile(ctx, j); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	res, err := c.Compile(j.Graph, j.Machine, j.Opts)
+	res, err := c.Compile(context.Background(), j)
 	if err != nil || res == nil {
 		t.Fatalf("post-cancel compile failed: %v", err)
 	}
@@ -196,11 +196,11 @@ func TestStoreCachesFailures(t *testing.T) {
 	store := newMemStore()
 	j := failingJob()
 	c1 := New(Config{Store: store})
-	if _, err := c1.Compile(j.Graph, j.Machine, j.Opts); err == nil {
+	if _, err := c1.Compile(context.Background(), j); err == nil {
 		t.Fatal("want a compile failure")
 	}
 	c2 := New(Config{Store: store})
-	_, err := c2.Compile(j.Graph, j.Machine, j.Opts)
+	_, err := c2.Compile(context.Background(), j)
 	if err == nil {
 		t.Fatal("stored failure was lost")
 	}

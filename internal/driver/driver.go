@@ -6,16 +6,20 @@
 // options) LRU result cache with hit/miss accounting, aggregate error
 // reporting, and optional progress callbacks.
 //
-// The engine is the seam future scaling work plugs into (sharding across
-// machines, alternative backends, async serving): everything above it —
-// the public clusched API, the experiments, the cmd tools — submits Jobs
-// and consumes Outcomes.
+// The Compiler is the in-process implementation of the public
+// clusched.Backend contract: Compile(ctx, Job) for one loop, Stream(ctx,
+// jobs) for a batch consumed incrementally, CompileAll for the ordered
+// collect. The remote Client implements the same contract over HTTP, so
+// everything above this package — the public clusched API, the
+// experiments, the cmd tools — submits Jobs and consumes Outcomes without
+// caring where the compilation runs.
 package driver
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"iter"
 	"runtime"
 	"sync"
 
@@ -231,16 +235,12 @@ func JobKey(j Job) string {
 		o.MaxII, b(o.IgnoreRegisterPressure), b(o.VerifySchedules))
 }
 
-// Compile compiles one loop through the cache.
-func (c *Compiler) Compile(g *ddg.Graph, m machine.Config, opts pipeline.Options) (*pipeline.Result, error) {
-	return c.CompileContext(context.Background(), g, m, opts)
-}
-
-// CompileContext is Compile with cancellation: the compilation aborts with
-// ctx.Err() at the next II attempt once the context is done. Aborted
+// Compile compiles one job through the cache. It is the unary half of the
+// backend contract (Stream is the batch half): the compilation aborts with
+// ctx.Err() at the next II attempt once the context is done, and aborted
 // outcomes are never cached.
-func (c *Compiler) CompileContext(ctx context.Context, g *ddg.Graph, m machine.Config, opts pipeline.Options) (*pipeline.Result, error) {
-	out := c.do(ctx, Job{Graph: g, Machine: m, Opts: opts})
+func (c *Compiler) Compile(ctx context.Context, j Job) (*pipeline.Result, error) {
+	out := c.do(ctx, j)
 	return out.Result, out.Err
 }
 
@@ -348,80 +348,136 @@ func (c *Compiler) CompileAll(jobs []Job) ([]Outcome, error) {
 	return c.CompileAllContext(context.Background(), jobs)
 }
 
-// CompileAllContext is CompileAll under a context. When the context is
-// cancelled mid-batch the call returns promptly: jobs already completed
-// keep their outcomes (identical to what a serial run would have produced,
-// thanks to per-loop determinism and the cache), every other job's outcome
-// carries ctx.Err(), and the aggregate *BatchError lists the cancelled
-// jobs alongside any real failures. Jobs are dispatched in index order, so
-// the completed outcomes of a cancelled batch form a prefix plus at most
-// Workers in-flight stragglers. Progress callbacks fire only for jobs that
-// actually ran.
+// CompileAllContext is CompileAll under a context: an ordered collect over
+// Stream. When the context is cancelled mid-batch the call returns
+// promptly: jobs already completed keep their outcomes (identical to what a
+// serial run would have produced, thanks to per-loop determinism and the
+// cache), every other job's outcome carries ctx.Err(), and the aggregate
+// *BatchError lists the cancelled jobs alongside any real failures. Jobs
+// are dispatched in index order, so the completed outcomes of a cancelled
+// batch form a prefix plus at most Workers in-flight stragglers. Progress
+// callbacks fire only for jobs that actually ran.
 func (c *Compiler) CompileAllContext(ctx context.Context, jobs []Job) ([]Outcome, error) {
 	outcomes := make([]Outcome, len(jobs))
-	if len(jobs) == 0 {
-		return outcomes, nil
+	for i, out := range c.Stream(ctx, jobs) {
+		outcomes[i] = out
 	}
+	return outcomes, AggregateError(outcomes)
+}
 
-	workers := c.workers
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	var (
-		wg     sync.WaitGroup
-		idx    = make(chan int)
-		progMu sync.Mutex
-		done   int
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
+// Stream compiles the batch on the worker pool and yields each outcome the
+// moment it is ready, tagged with the index of its job — the streaming half
+// of the backend contract. Every job yields exactly once: when the context
+// is cancelled mid-batch, already-finished jobs keep their outcomes and
+// every remaining job yields an outcome carrying ctx.Err(). Jobs are
+// dispatched in index order, so the successful outcomes of a cancelled
+// stream form a prefix plus at most Workers in-flight stragglers; yield
+// order within the batch follows completion, not submission. Stopping the
+// iteration early cancels the remaining work.
+func (c *Compiler) Stream(ctx context.Context, jobs []Job) iter.Seq2[int, Outcome] {
+	return func(yield func(int, Outcome) bool) {
+		if len(jobs) == 0 {
+			return
+		}
+		sctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		workers := c.workers
+		if workers > len(jobs) {
+			workers = len(jobs)
+		}
+		type indexed struct {
+			i   int
+			out Outcome
+		}
+		var (
+			wg  sync.WaitGroup
+			idx = make(chan int)
+			// results is unbuffered on purpose: a worker hands its outcome
+			// to the consumer before taking more work, so the first yield
+			// happens while the rest of the batch is still compiling (the
+			// streaming guarantee the conformance suite pins) instead of
+			// the pool racing ahead of a slow consumer.
+			results = make(chan indexed)
+			progMu  sync.Mutex
+			done    int
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					out := c.do(sctx, jobs[i])
+					if c.progress != nil && !ctxErr(out.Err) {
+						progMu.Lock()
+						done++
+						c.progress(done, len(jobs))
+						progMu.Unlock()
+					}
+					results <- indexed{i, out}
+				}
+			}()
+		}
 		go func() {
-			defer wg.Done()
-			for i := range idx {
-				outcomes[i] = c.do(ctx, jobs[i])
-				if c.progress != nil && !ctxErr(outcomes[i].Err) {
-					progMu.Lock()
-					done++
-					c.progress(done, len(jobs))
-					progMu.Unlock()
+			next := 0
+		feed:
+			for ; next < len(jobs); next++ {
+				select {
+				case idx <- next:
+				case <-sctx.Done():
+					break feed
 				}
 			}
+			close(idx)
+			wg.Wait()
+			// Jobs never handed to a worker are stamped with the
+			// cancellation so the batch is fully accounted for.
+			for i := next; i < len(jobs); i++ {
+				results <- indexed{i, Outcome{Job: jobs[i], Err: sctx.Err()}}
+			}
+			close(results)
 		}()
-	}
-	next := 0
-feed:
-	for ; next < len(jobs); next++ {
-		select {
-		case idx <- next:
-		case <-ctx.Done():
-			break feed
+		// The drain runs on every early exit from the range below — yield
+		// returning false, a consumer panic, or runtime.Goexit — so workers
+		// blocked on the unbuffered send and the feeder always wind down
+		// (the deferred cancel aborts their in-flight compilations first).
+		drained := false
+		defer func() {
+			cancel()
+			if !drained {
+				go func() {
+					for range results {
+					}
+				}()
+			}
+		}()
+		for r := range results {
+			if !yield(r.i, r.out) {
+				return
+			}
 		}
+		drained = true
 	}
-	close(idx)
-	wg.Wait()
-	// Jobs never handed to a worker still have zero outcomes; stamp them
-	// with the cancellation so the batch is fully accounted for.
-	for i := next; i < len(jobs); i++ {
-		if outcomes[i].Result == nil && outcomes[i].Err == nil {
-			outcomes[i] = Outcome{Job: jobs[i], Err: ctx.Err()}
-		}
-	}
+}
 
+// AggregateError builds the batch-level error for a complete outcome set:
+// nil when every job succeeded, otherwise a *BatchError listing every
+// failure in job order.
+func AggregateError(outcomes []Outcome) error {
 	var failed []JobError
 	for i := range outcomes {
 		if outcomes[i].Err != nil {
-			failed = append(failed, JobError{
-				Index:   i,
-				Loop:    jobs[i].Graph.Name,
-				Machine: jobs[i].Machine.Name,
-				Err:     outcomes[i].Err,
-			})
+			je := JobError{Index: i, Err: outcomes[i].Err}
+			if g := outcomes[i].Job.Graph; g != nil {
+				je.Loop = g.Name
+			}
+			je.Machine = outcomes[i].Job.Machine.Name
+			failed = append(failed, je)
 		}
 	}
 	if failed != nil {
-		return outcomes, &BatchError{Total: len(jobs), Failed: failed}
+		return &BatchError{Total: len(outcomes), Failed: failed}
 	}
-	return outcomes, nil
+	return nil
 }
 
 // CacheStats returns a snapshot of cache effectiveness.

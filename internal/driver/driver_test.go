@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -151,7 +152,7 @@ func TestErrorAggregation(t *testing.T) {
 		t.Fatal("bad job should carry an error and no result")
 	}
 	// Failures are cached like successes.
-	if _, err := c.Compile(bad.Graph, bad.Machine, bad.Opts); err == nil {
+	if _, err := c.Compile(context.Background(), bad); err == nil {
 		t.Fatal("cached failure lost its error")
 	}
 	if st := c.CacheStats(); st.Hits == 0 {
@@ -197,14 +198,14 @@ func TestLRUEviction(t *testing.T) {
 	// With one worker the batch ran in order: the last 4 jobs are resident,
 	// the first was evicted long ago.
 	last := jobs[len(jobs)-1]
-	if _, err := c.Compile(last.Graph, last.Machine, last.Opts); err != nil {
+	if _, err := c.Compile(context.Background(), last); err != nil {
 		t.Fatal(err)
 	}
 	if now := c.CacheStats(); now.Hits != st.Hits+1 {
 		t.Fatalf("most recent job missed the cache: %+v -> %+v", st, now)
 	}
 	st = c.CacheStats()
-	if _, err := c.Compile(jobs[0].Graph, jobs[0].Machine, jobs[0].Opts); err != nil {
+	if _, err := c.Compile(context.Background(), jobs[0]); err != nil {
 		t.Fatal(err)
 	}
 	if now := c.CacheStats(); now.Misses != st.Misses+1 {

@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -103,10 +104,10 @@ func TestCacheAliasesDefaultAndExplicitPaper(t *testing.T) {
 	g := jobKeyLoop(t)
 	m := machine.MustParse("4c2b2l64r")
 	c := New(Config{})
-	if _, err := c.Compile(g, m, pipeline.Options{}); err != nil {
+	if _, err := c.Compile(context.Background(), Job{Graph: g, Machine: m}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Compile(g, m, pipeline.Options{Strategy: "paper"}); err != nil {
+	if _, err := c.Compile(context.Background(), Job{Graph: g, Machine: m, Opts: pipeline.Options{Strategy: "paper"}}); err != nil {
 		t.Fatal(err)
 	}
 	st := c.CacheStats()

@@ -8,7 +8,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"iter"
 
 	"clusched/internal/core"
 	"clusched/internal/driver"
@@ -89,26 +91,64 @@ type SuiteResult struct {
 	Failed []string
 }
 
-// engine is the shared batch-compilation engine behind every suite run.
-// Its per-loop LRU cache replaces the per-suite memo map this package used
-// to keep: experiments that share a (config, mode) pair still compile each
-// loop exactly once, and the engine's bounded worker pool replaces the
-// hand-rolled goroutine fan-out.
-var engine = driver.New(driver.Config{})
+// Engine is the compilation backend every suite run goes through: the
+// driver-level shape of the public clusched.Backend contract, satisfied by
+// the in-process *driver.Compiler and by the remote client alike. The
+// experiments only need the streaming batch call plus the unary call; cache
+// accounting is a local-engine extra surfaced through EngineStats when
+// available.
+type Engine interface {
+	Compile(ctx context.Context, j driver.Job) (*core.Result, error)
+	Stream(ctx context.Context, jobs []driver.Job) iter.Seq2[int, driver.Outcome]
+}
 
-// Configure swaps the shared engine (worker count, cache size, progress
-// callback); cmd/paperbench uses it for its -j and -progress flags.
-// Configure discards any cached results and is not meant to race with
-// in-flight suite runs.
+// engine is the shared backend behind every suite run. For the default
+// local engine, its per-loop LRU cache replaces the per-suite memo map this
+// package used to keep: experiments that share a (config, mode) pair still
+// compile each loop exactly once, and the engine's bounded worker pool
+// replaces the hand-rolled goroutine fan-out.
+var engine Engine = driver.New(driver.Config{})
+
+// Configure swaps the shared engine for a fresh local one (worker count,
+// cache size, progress callback); cmd/paperbench uses it for its -j and
+// -progress flags. Configure discards any cached results and is not meant
+// to race with in-flight suite runs.
 func Configure(cfg driver.Config) {
 	engine = driver.New(cfg)
 }
 
-// ResetCache drops memoized compilations so benchmarks measure real work.
-func ResetCache() { engine.ResetCache() }
+// UseBackend points every suite run at an arbitrary backend — typically
+// the remote client, turning paperbench into a service workload generator.
+// Cache accounting (EngineStats, ResetCache) is only live for local
+// engines.
+func UseBackend(b Engine) { engine = b }
 
-// EngineStats reports the shared engine's result-cache effectiveness.
-func EngineStats() driver.CacheStats { return engine.CacheStats() }
+// ResetCache drops memoized compilations so benchmarks measure real work
+// (local engines only).
+func ResetCache() {
+	if c, ok := engine.(*driver.Compiler); ok {
+		c.ResetCache()
+	}
+}
+
+// EngineStats reports the shared engine's result-cache effectiveness; zero
+// for remote backends, whose cache lives server-side.
+func EngineStats() driver.CacheStats {
+	if c, ok := engine.(*driver.Compiler); ok {
+		return c.CacheStats()
+	}
+	return driver.CacheStats{}
+}
+
+// compileAll is the deterministic ordered collect over the engine's
+// stream: outcomes[i] belongs to jobs[i] however the work was scheduled.
+func compileAll(jobs []driver.Job) []driver.Outcome {
+	outcomes := make([]driver.Outcome, len(jobs))
+	for i, out := range engine.Stream(context.Background(), jobs) {
+		outcomes[i] = out
+	}
+	return outcomes
+}
 
 // RunSuite compiles the whole 678-loop suite for one config and mode on
 // the shared engine: in parallel, with per-loop memoization.
@@ -121,7 +161,7 @@ func RunSuite(m machine.Config, mode Mode) *SuiteResult {
 	}
 	// Per-job failures land in SuiteResult.Failed; the aggregate error
 	// repeats what the outcomes already carry.
-	outcomes, _ := engine.CompileAll(jobs)
+	outcomes := compileAll(jobs)
 
 	sr := &SuiteResult{Config: m, Mode: mode, ByBench: map[string][]*LoopResult{}}
 	for i, l := range loops {

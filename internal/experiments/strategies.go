@@ -60,7 +60,7 @@ func strategySuite(m machine.Config, opts core.Options) (byBench map[string][]*L
 	for i, l := range loops {
 		jobs[i] = driver.Job{Graph: l.Graph, Machine: m, Opts: opts}
 	}
-	outcomes, _ := engine.CompileAll(jobs)
+	outcomes := compileAll(jobs)
 	byBench = map[string][]*LoopResult{}
 	failed = map[string]int{}
 	for i, l := range loops {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 
 	"clusched/internal/core"
@@ -67,7 +68,7 @@ func UnrollAblation(cfg string, factor, perBench int) (UnrollRow, error) {
 				driver.Job{Graph: ug, Machine: m})
 		}
 	}
-	outcomes, _ := engine.CompileAll(jobs) // per-job errors handled below
+	outcomes := compileAll(jobs) // per-job errors handled below
 
 	var baseAcc, replAcc, unrollAcc metrics.IPCAccumulator
 	var origOps, replOps, unrollOps float64
@@ -85,7 +86,7 @@ func UnrollAblation(cfg string, factor, perBench int) (UnrollRow, error) {
 			// Typically a register-file overflow: retry without the
 			// register check and count the violation.
 			var err error
-			ur, err = engine.Compile(unrolled[i], m, core.Options{IgnoreRegisterPressure: true})
+			ur, err = engine.Compile(context.Background(), driver.Job{Graph: unrolled[i], Machine: m, Opts: core.Options{IgnoreRegisterPressure: true}})
 			if err != nil {
 				return row, err
 			}

@@ -15,13 +15,15 @@ import (
 
 // Handler returns the service's HTTP front end:
 //
-//	POST   /compile     one wire.Job → ticket (or the finished status with ?wait=1)
-//	POST   /batch       wire.SubmitRequest → ticket
-//	GET    /jobs/{id}   ticket status, outcomes once finished
-//	DELETE /jobs/{id}   cancel
-//	GET    /strategies  wire.StrategiesResponse: the registered scheduling strategies
-//	GET    /stats       wire.ServiceStats (with per-strategy counters)
-//	GET    /healthz     200 when serving, 503 while draining
+//	POST   /compile            one wire.Job → ticket (or the finished status with ?wait=1)
+//	POST   /batch              wire.SubmitRequest → ticket
+//	GET    /batch/{id}/stream  NDJSON outcome stream: hello, one outcome frame
+//	                           per finished job as it completes, done
+//	GET    /jobs/{id}          ticket status, outcomes once finished
+//	DELETE /jobs/{id}          cancel
+//	GET    /strategies         wire.StrategiesResponse: the registered scheduling strategies
+//	GET    /stats              wire.ServiceStats (with per-strategy counters)
+//	GET    /healthz            200 when serving, 503 while draining
 //
 // Bodies are JSON. Queue-full rejections answer 429 with a Retry-After
 // header and a wire.ErrorResponse carrying the same hint. Jobs naming an
@@ -30,6 +32,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /compile", s.handleCompile)
 	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("GET /batch/{id}/stream", s.handleBatchStream)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /strategies", s.handleStrategies)
@@ -165,6 +168,66 @@ func statusWire(st Status) wire.JobStatus {
 		}
 	}
 	return ws
+}
+
+// handleBatchStream pushes a ticket's outcomes as NDJSON the moment each
+// job finishes: a hello frame (stream schema, batch size), one outcome
+// frame per finished job — replaying completions the watcher missed, so
+// connecting late or reconnecting loses nothing — and a done frame with
+// the terminal state. Every frame is flushed immediately; this is the
+// server-push path behind Client.Stream, which replaces the poll loop.
+func (s *Server) handleBatchStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	// Hold the ticket record itself for the whole response: retention
+	// pruning of the tickets map cannot invalidate the hello's batch size
+	// or lose the done frame of a ticket that finishes mid-stream.
+	t, ok := s.lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown ticket %q", id)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	write := func(f wire.Frame) bool {
+		if err := enc.Encode(f); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	if !write(wire.HelloFrame(id, len(t.jobs))) {
+		return
+	}
+	for ev := range t.watch(r.Context()) {
+		wo, err := wire.EncodeOutcome(ev.Outcome)
+		if err != nil {
+			wo = wire.Outcome{Error: fmt.Sprintf("encoding outcome: %v", err)}
+		}
+		if !write(wire.OutcomeFrame(ev.Index, wo)) {
+			return
+		}
+	}
+	// watch also unblocks when the request context dies; only a ticket
+	// that actually finished gets a done frame.
+	final := t.snapshot()
+	if r.Context().Err() != nil {
+		return
+	}
+	if final.State != StateDone && final.State != StateCanceled {
+		return
+	}
+	msg := ""
+	if final.Err != nil {
+		msg = final.Err.Error()
+	}
+	write(wire.DoneFrame(final.State.String(), msg))
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {

@@ -6,7 +6,11 @@
 // can be cancelled, and Shutdown drains gracefully. A persistent on-disk
 // result cache (DiskCache, plugged in under the engine's in-memory LRU via
 // driver.Store) lets a restarted server answer warm traffic without
-// recompiling anything.
+// recompiling anything. Batches run through the engine's outcome stream:
+// every finished job is published to watchers (Watch, and the NDJSON
+// /batch/{id}/stream endpoint in http.go) the moment it completes, so
+// remote consumers see results incrementally instead of polling for the
+// whole batch.
 //
 // The HTTP front end over this API lives in http.go (Server.Handler);
 // cmd/clusched-serve binds it to a listener and the root package's Client
@@ -17,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"iter"
 	"sync"
 	"time"
 
@@ -107,6 +112,13 @@ type Status struct {
 	Err error
 }
 
+// Event is one job completion pushed to batch watchers: the job's index in
+// the batch and its outcome, the moment the engine finished it.
+type Event struct {
+	Index   int
+	Outcome driver.Outcome
+}
+
 // ticket is the server-side record behind a Status.
 type ticket struct {
 	id      string
@@ -122,6 +134,21 @@ type ticket struct {
 	outcomes []driver.Outcome
 	err      error
 	done     chan struct{} // closed when the ticket reaches Done/Canceled
+	// events is the append-only completion log behind Watch: one entry per
+	// finished job, in completion order. update is closed and replaced on
+	// every append, so watchers can block for "something new" without
+	// polling.
+	events []Event
+	update chan struct{}
+}
+
+// publish appends one completion event and wakes every watcher.
+func (t *ticket) publish(i int, out driver.Outcome) {
+	t.mu.Lock()
+	t.events = append(t.events, Event{Index: i, Outcome: out})
+	close(t.update)
+	t.update = make(chan struct{})
+	t.mu.Unlock()
 }
 
 func (t *ticket) snapshot() Status {
@@ -260,6 +287,7 @@ func (s *Server) Submit(jobs []driver.Job, opts SubmitOptions) (string, error) {
 		jobs:    jobs,
 		created: time.Now(),
 		done:    make(chan struct{}),
+		update:  make(chan struct{}),
 	}
 	ctx := context.Background()
 	cancelT := context.CancelFunc(func() {})
@@ -320,7 +348,9 @@ func (s *Server) run() {
 	}
 }
 
-// serve executes one ticket.
+// serve executes one ticket: the batch runs through the engine's stream,
+// so every finished job is published to watchers (the NDJSON endpoint, the
+// client's Stream) the moment it completes, not when the batch ends.
 func (s *Server) serve(t *ticket) {
 	if !t.claim() {
 		// Cancelled or expired while queued; the watcher retired it.
@@ -330,7 +360,12 @@ func (s *Server) serve(t *ticket) {
 	s.inFlight++
 	s.mu.Unlock()
 
-	outcomes, err := s.compiler.CompileAllContext(t.ctx, t.jobs)
+	outcomes := make([]driver.Outcome, len(t.jobs))
+	for i, out := range s.compiler.Stream(t.ctx, t.jobs) {
+		outcomes[i] = out
+		t.publish(i, out)
+	}
+	err := driver.AggregateError(outcomes)
 
 	s.mu.Lock()
 	s.inFlight--
@@ -406,6 +441,59 @@ func (s *Server) Wait(ctx context.Context, id string) (Status, error) {
 		return t.snapshot(), nil
 	case <-ctx.Done():
 		return Status{}, ctx.Err()
+	}
+}
+
+// lookup returns the live ticket record; the HTTP stream handler holds it
+// across the whole response so retention pruning of the tickets map can
+// never yank its state mid-stream.
+func (s *Server) lookup(id string) (*ticket, bool) {
+	s.mu.Lock()
+	t, ok := s.tickets[id]
+	s.mu.Unlock()
+	return t, ok
+}
+
+// Watch returns an iterator over the ticket's completion events and
+// whether the ticket exists. Events already logged are replayed first (a
+// late watcher misses nothing), then live completions are yielded as the
+// engine produces them. Iteration ends when the ticket reaches a terminal
+// state — every job of a batch that started running has been yielded by
+// then, cancelled jobs included — or when ctx is done.
+func (s *Server) Watch(ctx context.Context, id string) (iter.Seq[Event], bool) {
+	t, ok := s.lookup(id)
+	if !ok {
+		return nil, false
+	}
+	return t.watch(ctx), true
+}
+
+// watch is the iterator behind Server.Watch, bound to the ticket itself.
+func (t *ticket) watch(ctx context.Context) iter.Seq[Event] {
+	return func(yield func(Event) bool) {
+		pos := 0
+		for {
+			t.mu.Lock()
+			pending := append([]Event(nil), t.events[pos:]...)
+			terminal := t.state == StateDone || t.state == StateCanceled
+			update := t.update
+			t.mu.Unlock()
+			for _, e := range pending {
+				pos++
+				if !yield(e) {
+					return
+				}
+			}
+			if terminal {
+				return
+			}
+			select {
+			case <-update:
+			case <-t.done:
+			case <-ctx.Done():
+				return
+			}
+		}
 	}
 }
 

@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// TestFrameRoundTrip: each frame constructor survives NDJSON encoding and
+// validates on decode.
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		HelloFrame("job-7", 42),
+		OutcomeFrame(3, Outcome{Error: "boom"}),
+		OutcomeFrame(0, Outcome{CacheHit: true, Error: "x"}),
+		DoneFrame(StateDone, ""),
+		DoneFrame(StateCanceled, "service: canceled by request"),
+	}
+	for i, f := range frames {
+		blob, err := json.Marshal(f)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		var got Frame
+		if err := json.Unmarshal(blob, &got); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("frame %d does not validate after round trip: %v", i, err)
+		}
+		if got.Type != f.Type || got.Index != f.Index || got.State != f.State || got.Error != f.Error {
+			t.Fatalf("frame %d round-tripped to %+v", i, got)
+		}
+	}
+	if h := HelloFrame("id", 1); h.Schema != StreamSchemaVersion {
+		t.Fatalf("hello frame carries schema %d, want %d", h.Schema, StreamSchemaVersion)
+	}
+}
+
+// TestFrameUnknownTypeTyped: a frame type this build does not know fails
+// with the typed error, so clients can distinguish "newer protocol" from
+// "garbage".
+func TestFrameUnknownTypeTyped(t *testing.T) {
+	var f Frame
+	if err := json.Unmarshal([]byte(`{"type":"heartbeat","index":0}`), &f); err != nil {
+		t.Fatal(err)
+	}
+	err := f.Validate()
+	var ue *UnknownFrameError
+	if !errors.As(err, &ue) || ue.Type != "heartbeat" {
+		t.Fatalf("want *UnknownFrameError for heartbeat, got %T: %v", err, err)
+	}
+}
+
+// TestFrameHelloTooNewTyped: a hello announcing a newer stream schema is
+// rejected with the typed *SchemaError rather than silently misread.
+func TestFrameHelloTooNewTyped(t *testing.T) {
+	f := Frame{Type: FrameHello, Schema: StreamSchemaVersion + 1}
+	err := f.Validate()
+	var se *SchemaError
+	if !errors.As(err, &se) || se.Got != StreamSchemaVersion+1 || se.Max != StreamSchemaVersion {
+		t.Fatalf("want *SchemaError, got %T: %v", err, err)
+	}
+	// An older hello (a v3 server that never bumped) still validates.
+	old := Frame{Type: FrameHello, Schema: StreamSchemaVersion}
+	if err := old.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFrameMalformedOutcome: outcome frames must carry an outcome and a
+// plausible index.
+func TestFrameMalformedOutcome(t *testing.T) {
+	if err := (&Frame{Type: FrameOutcome}).Validate(); err == nil {
+		t.Fatal("outcome frame without outcome validated")
+	}
+	if err := (&Frame{Type: FrameOutcome, Index: -1, Outcome: &Outcome{Error: "x"}}).Validate(); err == nil {
+		t.Fatal("negative index validated")
+	}
+}

@@ -30,16 +30,17 @@ import (
 // typed *SchemaError rather than silently dropping fields.
 const JobSchemaVersion = 2
 
-// SchemaError reports a job whose schema version is newer than this build
-// understands.
+// SchemaError reports a payload (a job, or a stream hello frame) whose
+// schema version is newer than this build understands.
 type SchemaError struct {
-	// Got is the job's schema version; Max the newest this build decodes.
+	// Got is the payload's schema version; Max the newest this build
+	// decodes.
 	Got, Max int
 }
 
 // Error implements error.
 func (e *SchemaError) Error() string {
-	return fmt.Sprintf("wire: job schema version %d is newer than supported %d", e.Got, e.Max)
+	return fmt.Sprintf("wire: schema version %d is newer than supported %d", e.Got, e.Max)
 }
 
 // Options mirrors pipeline.Options with stable JSON names.
