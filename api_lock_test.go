@@ -103,6 +103,7 @@ var publicAPI = []string{
 	"WithPollInterval",
 	"WithProgress",
 	"WithReplication",
+	"WithSpeculation",
 	"WithStrategy",
 	"WithTimeout",
 	"WithVerification",

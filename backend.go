@@ -95,7 +95,7 @@ func (sc optionScope) String() string {
 // WithReplication, WithLengthReplication, WithZeroBusLatency,
 // WithMacroReplication, WithMaxII, WithIgnoreRegisterPressure,
 // WithVerification), local-engine construction (WithWorkers, WithCacheSize,
-// WithProgress) and remote-client construction (WithHTTPClient,
+// WithProgress, WithSpeculation) and remote-client construction (WithHTTPClient,
 // WithTimeout, WithPollInterval). Passing an option to a constructor
 // outside its group panics with the option's name and where it belongs:
 // NewLocal(WithReplication(true)) would otherwise silently compile every
@@ -193,6 +193,15 @@ func WithCacheSize(n int) Option {
 // WithProgress subscribes to a local backend's batch-completion callbacks.
 func WithProgress(fn Progress) Option {
 	return engineOption("WithProgress", func(s *settings) { s.engine.Progress = fn })
+}
+
+// WithSpeculation makes a local backend race up to k candidate initiation
+// intervals concurrently inside each compilation (the speculative multi-II
+// search), bounded globally so a busy worker pool is never oversubscribed.
+// It is an execution detail: results are bit-identical to the plain
+// search and cache identities do not change. k ≤ 1 disables it.
+func WithSpeculation(k int) Option {
+	return engineOption("WithSpeculation", func(s *settings) { s.engine.Speculation = k })
 }
 
 // WithHTTPClient makes a remote backend use the given HTTP client (custom

@@ -64,6 +64,13 @@ func backendCases() []backendCase {
 		{name: "local", make: func(t *testing.T, cfg CompilerConfig) Backend {
 			return NewCompiler(cfg)
 		}},
+		{name: "local-spec", make: func(t *testing.T, cfg CompilerConfig) Backend {
+			// Speculation is an execution detail: the whole conformance
+			// contract must hold unchanged with lanes racing inside every
+			// compilation.
+			cfg.Speculation = 4
+			return NewCompiler(cfg)
+		}},
 		{name: "remote", make: func(t *testing.T, cfg CompilerConfig) Backend {
 			t.Helper()
 			s := service.New(service.Config{Workers: cfg.Workers, CacheSize: cfg.CacheSize, Store: cfg.Store})

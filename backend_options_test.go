@@ -38,13 +38,16 @@ func TestOptionGroupsEnforced(t *testing.T) {
 	}
 	mustPanic(t, func() { NewRemote("http://x", WithStrategy("uas")) })
 	mustPanic(t, func() { NewLocal(WithTimeout(time.Second)) })
+	if msg := mustPanic(t, func() { NewOptions(WithSpeculation(4)) }); !strings.Contains(msg, "WithSpeculation") || !strings.Contains(msg, "NewOptions") {
+		t.Fatalf("panic message unhelpful: %q", msg)
+	}
 
 	// Well-grouped options construct cleanly.
 	opts := NewOptions(WithStrategy("uas"), WithMaxII(3))
 	if opts.Strategy != "uas" || opts.MaxII != 3 {
 		t.Fatalf("options not applied: %+v", opts)
 	}
-	if NewLocal(WithWorkers(2), WithCacheSize(8)) == nil {
+	if NewLocal(WithWorkers(2), WithCacheSize(8), WithSpeculation(4)) == nil {
 		t.Fatal("NewLocal failed")
 	}
 	if NewRemote("http://x", WithTimeout(time.Second), WithPollInterval(time.Millisecond)) == nil {

@@ -6,12 +6,15 @@ package clusched_test
 // metrics, so `go test -bench=.` regenerates the whole evaluation.
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"clusched"
 	"clusched/internal/ddg"
 	"clusched/internal/experiments"
 	"clusched/internal/machine"
+	"clusched/internal/pipeline"
 	"clusched/internal/workload"
 )
 
@@ -193,6 +196,59 @@ func BenchmarkCompileSingleLoop(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCompileHardLoop isolates single-compilation latency on the
+// worst SPECfp95 loop — the one whose II search climbs the most on the
+// bus-starved 4c1b2l64r configuration, i.e. the loop where failed
+// attempts dominate the compile time. The linear/spec4 sub-benchmarks
+// compare the plain ladder search against the speculative multi-II search
+// with four lanes; the speculative one is skipped (not failed) on a
+// single-CPU runner, where racing lanes cannot overlap and the comparison
+// would be noise.
+func BenchmarkCompileHardLoop(b *testing.B) {
+	m := machine.MustParse("4c1b2l64r")
+	opts := pipeline.Options{Replicate: true}
+	var hard *ddg.Graph
+	worst := -1
+	for _, l := range workload.SPECfp95() {
+		res, err := pipeline.Compile(l.Graph, m, opts)
+		if err != nil {
+			continue
+		}
+		bumps := 0
+		for _, n := range res.IIIncreases {
+			bumps += n
+		}
+		if bumps > worst {
+			worst, hard = bumps, l.Graph
+		}
+	}
+	if hard == nil {
+		b.Fatal("no SPECfp95 loop compiles on 4c1b2l64r")
+	}
+	b.Logf("hard loop %s: %d II increases before acceptance", hard.Name, worst)
+
+	b.Run("linear", func(b *testing.B) {
+		arena := pipeline.NewArena()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pipeline.CompileContextArena(context.Background(), hard, m, opts, arena); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("spec4", func(b *testing.B) {
+		if runtime.GOMAXPROCS(0) <= 1 {
+			b.Skip("GOMAXPROCS=1: speculative lanes cannot run concurrently, latency cannot differ from linear")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pipeline.CompileSpec(hard, m, opts, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkAblationUnroll regenerates the §6 related-work comparison

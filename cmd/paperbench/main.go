@@ -12,6 +12,7 @@
 //	paperbench -fig unroll  # §6 unrolling-vs-replication ablation
 //	paperbench -o report.txt
 //	paperbench -j 4 -progress   # 4 concurrent compilations, progress on stderr
+//	paperbench -speculate 4     # race candidate IIs inside each compilation
 //	paperbench -json bench.json # machine-readable per-figure numbers + engine stats
 //	paperbench -strategies paper,unified,uas,moddist   # head-to-head strategy comparison
 //	paperbench -remote http://localhost:8357 -fig 7    # evaluation as service traffic
@@ -84,7 +85,9 @@ type jsonReport struct {
 // collectJSON gathers the typed rows for the selected experiment ("" =
 // every figure the full report covers). The underlying suite runs are
 // served from the engine cache, so this re-reads, it does not recompute.
-func collectJSON(fig string) jsonReport {
+// specLanes rides into the timed run so the trajectory can record
+// speculative datapoints.
+func collectJSON(fig string, specLanes int) jsonReport {
 	var r jsonReport
 	all := fig == ""
 	if all || fig == "1" {
@@ -116,7 +119,7 @@ func collectJSON(fig string) jsonReport {
 	}
 	// The timed run uses its own cache-disabled engine, so it neither
 	// benefits from nor pollutes the shared engine's memoized suites.
-	r.Timing = experiments.MeasureThroughput()
+	r.Timing = experiments.MeasureThroughput(specLanes)
 	r.Engine = experiments.EngineStats()
 	return r
 }
@@ -144,6 +147,7 @@ func main() {
 	jsonOut := flag.String("json", "", "also write machine-readable per-figure numbers and engine CacheStats to this file (\"-\" or bare flag: stdout, suppressing the text report)")
 	jobs := flag.Int("j", 0, "concurrent compilations (default: GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "report per-suite compilation progress on stderr")
+	speculate := flag.Int("speculate", 0, "race up to k candidate IIs per compilation (speculative multi-II search; 0/1 = off)")
 	strategies := flag.String("strategies", "", "comma-separated scheduling strategies to compare head-to-head (e.g. paper,unified,uas,moddist)")
 	strategiesConfig := flag.String("strategies-config", "4c2b2l64r", "machine configuration for the -strategies comparison")
 	remote := flag.String("remote", "", "run every suite compilation on a clusched-serve instance at this base URL instead of in-process")
@@ -165,8 +169,11 @@ func main() {
 			os.Exit(1)
 		}
 		experiments.UseBackend(client)
-	case *jobs != 0 || *progress:
-		cfg := driver.Config{Workers: *jobs}
+		if *speculate > 1 {
+			fmt.Fprintln(os.Stderr, "paperbench: -speculate applies only to the local timed run with -remote (the server's own setting governs its compilations)")
+		}
+	case *jobs != 0 || *progress || *speculate > 1:
+		cfg := driver.Config{Workers: *jobs, Speculation: *speculate}
 		if *progress {
 			cfg.Progress = func(done, total int) {
 				if done%100 == 0 || done == total {
@@ -251,7 +258,7 @@ func main() {
 	}
 	jsonToStdout := *jsonOut == "-"
 	if *jsonOut != "" {
-		doc := collectJSON(*fig)
+		doc := collectJSON(*fig, *speculate)
 		doc.Strategies = strategyRows
 		blob, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {

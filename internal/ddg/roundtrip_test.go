@@ -91,9 +91,9 @@ func TestTextRoundTripMemLatency(t *testing.T) {
 // into a different graph (or not at all).
 func TestTextSyntheticLabelCollision(t *testing.T) {
 	b := ddg.NewBuilder("collide")
-	x := b.Node("n1", ddg.OpLoad)   // explicit label "n1" on node 0
-	y := b.Node("", ddg.OpFMul)     // unlabeled node 1: synthetic name would be "n1"
-	z := b.Node("n0", ddg.OpStore)  // and "n0" is taken too
+	x := b.Node("n1", ddg.OpLoad)  // explicit label "n1" on node 0
+	y := b.Node("", ddg.OpFMul)    // unlabeled node 1: synthetic name would be "n1"
+	z := b.Node("n0", ddg.OpStore) // and "n0" is taken too
 	b.Edge(x, y, 0)
 	b.Edge(y, z, 0)
 	g, err := b.Build()

@@ -3,11 +3,15 @@ package driver
 import (
 	"context"
 	"errors"
+	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
+	"clusched/internal/machine"
 	"clusched/internal/pipeline"
+	"clusched/internal/workload"
 )
 
 // TestCompileAllContextCancelMidFlight cancels a batch partway through and
@@ -229,5 +233,116 @@ func TestJobKeyDistinguishesOptions(t *testing.T) {
 	j4.Graph = jobs[1].Graph
 	if JobKey(j4) == base {
 		t.Fatal("graph not part of the job key")
+	}
+}
+
+// TestSpeculativeCompileMatchesPlain: a speculative Compiler must produce
+// outcomes identical to a plain one (speculation is an execution detail),
+// and since JobKey is unchanged, a store populated at one speculation
+// width must serve every job to a compiler at another width.
+func TestSpeculativeCompileMatchesPlain(t *testing.T) {
+	jobs := sampleJobs(t, "mgrid")
+	store := newMemStore()
+
+	plain := New(Config{Workers: 1, CacheSize: -1})
+	spec := New(Config{Workers: 4, Speculation: 4, Store: store})
+	for i, j := range jobs {
+		want, wantErr := plain.Compile(context.Background(), j)
+		got, gotErr := spec.Compile(context.Background(), j)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("job %d: plain err=%v, speculative err=%v", i, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if got.II != want.II || got.Length != want.Length || got.Comms != want.Comms ||
+			got.IIIncreases != want.IIIncreases {
+			t.Fatalf("job %d: speculative result diverges: II %d/%d, increases %v/%v",
+				i, got.II, want.II, got.IIIncreases, want.IIIncreases)
+		}
+	}
+	if n := spec.laneArenas.Load(); n != 0 {
+		t.Fatalf("%d lane arenas still out after the batch", n)
+	}
+
+	// A different width, same store: every job must be a store hit.
+	other := New(Config{Workers: 2, Speculation: 2, Store: store})
+	for _, j := range jobs {
+		if _, err := other.Compile(context.Background(), j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := other.CacheStats(); st.Misses != 0 || st.StoreHits == 0 {
+		t.Fatalf("stored results not shared across speculation widths: %+v", st)
+	}
+}
+
+// TestSpeculativeCancellation: cancelling a speculative compilation
+// mid-flight returns promptly with ctx.Err(), leaks no goroutines, drains
+// the lane budget, and returns every lane's arena to the pool.
+func TestSpeculativeCancellation(t *testing.T) {
+	// Probe for a wide loop whose search outlives a 50ms deadline on the
+	// one-bus machine (most 400-node wide loops sweep a long II ladder):
+	// a compilation that long guarantees the cancel below lands
+	// mid-speculation.
+	var j Job
+	probe := New(Config{CacheSize: -1})
+	for seed := int64(1); seed <= 30 && j.Graph == nil; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := workload.Generate(workload.ShapeWide, "sweep", rng, 400, workload.DefaultParams())
+		cand := Job{Graph: g, Machine: machine.MustParse("4c1b2l64r"), Opts: pipeline.Options{Replicate: true}}
+		pctx, pcancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		if _, err := probe.Compile(pctx, cand); errors.Is(err, context.DeadlineExceeded) {
+			j = cand
+		}
+		pcancel()
+	}
+	if j.Graph == nil {
+		t.Fatal("no long-running compilation found in 30 probe seeds")
+	}
+
+	// Workers > specLoad leaves budget headroom, so single-shot Compile
+	// calls really launch extra lanes even on one CPU.
+	c := New(Config{Workers: 4, Speculation: 4, CacheSize: -1})
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Compile(ctx, j)
+		done <- err
+	}()
+	// Cancel only once the speculative search is actually in flight, so
+	// the abort lands mid-speculation, not before the first pass.
+	for c.specLoad.Load() == 0 && len(done) == 0 {
+		runtime.Gosched()
+	}
+	cancel()
+	start := time.Now()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled speculative compile returned %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled speculative compile did not return promptly")
+	}
+	if waited := time.Since(start); waited > 10*time.Second {
+		t.Fatalf("cancellation took %v to take effect", waited)
+	}
+	if n := c.specLoad.Load(); n != 0 {
+		t.Fatalf("lane budget not drained: specLoad=%d", n)
+	}
+	if n := c.laneArenas.Load(); n != 0 {
+		t.Fatalf("%d lane arenas not returned to the pool after cancellation", n)
+	}
+	// Every lane goroutine must be joined before Compile returns.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		t.Fatalf("goroutines leaked: %d running, baseline %d", n, baseline)
 	}
 }

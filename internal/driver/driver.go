@@ -22,6 +22,7 @@ import (
 	"iter"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"clusched/internal/ddg"
 	"clusched/internal/machine"
@@ -84,6 +85,15 @@ type Config struct {
 	// on LRU misses and populated after fresh compilations. It is ignored
 	// when caching is disabled (CacheSize < 0).
 	Store Store
+	// Speculation, when > 1, races up to that many candidate initiation
+	// intervals concurrently inside each compilation (the pipeline's
+	// speculative multi-II search), bounded by a global budget of
+	// max(Workers, GOMAXPROCS) concurrent compilations-plus-lanes so a
+	// full worker pool never oversubscribes the machine. Speculation is an
+	// execution detail: results are bit-identical to the plain search and
+	// cache identities (JobKey) do not change, so cached and stored
+	// results are shared across speculation widths. ≤ 1 disables it.
+	Speculation int
 }
 
 // StrategyStats is the per-strategy slice of the cache accounting.
@@ -131,8 +141,20 @@ type Compiler struct {
 	// arenas recycles pipeline scratch arenas across compilations: each
 	// worker (or single-shot Compile call) borrows one for the duration of
 	// a compilation, so steady-state batch compilation allocates almost
-	// nothing per II attempt.
+	// nothing per II attempt. Speculative lanes borrow from the same pool.
 	arenas sync.Pool
+
+	// spec is the per-compilation speculation width (≤1 off). specLoad
+	// counts running speculative compilations plus acquired extra lanes
+	// against specCap, the global concurrency budget; a full batch saturates
+	// the budget with base compilations alone, so speculation only widens
+	// when cores would otherwise idle (a batch tail, a lone hard loop).
+	// laneArenas tracks arenas currently lent to extra lanes — it must be
+	// zero whenever no compilation is in flight.
+	spec       int
+	specCap    int64
+	specLoad   atomic.Int64
+	laneArenas atomic.Int64
 
 	mu          sync.Mutex
 	cache       *lruCache            // nil when caching is disabled
@@ -158,6 +180,10 @@ func New(cfg Config) *Compiler {
 	}
 	c := &Compiler{workers: w, progress: cfg.Progress}
 	c.arenas.New = func() any { return pipeline.NewArena() }
+	if cfg.Speculation > 1 {
+		c.spec = cfg.Speculation
+		c.specCap = int64(max(w, runtime.GOMAXPROCS(0)))
+	}
 	size := cfg.CacheSize
 	if size == 0 {
 		size = DefaultCacheSize
@@ -331,12 +357,60 @@ func (c *Compiler) do(ctx context.Context, j Job) Outcome {
 	}
 }
 
-// compile runs one real compilation on a recycled scratch arena.
+// compile runs one real compilation on a recycled scratch arena. With
+// speculation configured it counts itself against the lane budget (so k
+// speculative compilations cannot each add k-1 lanes on top of a full
+// pool) and hands the pipeline pool-backed arena and budget hooks; the
+// speculative search joins every lane before returning, so the borrowed
+// arenas are always back in the pool here. With speculation off this path
+// is identical to before — no atomics, no extra allocations.
 func (c *Compiler) compile(ctx context.Context, j Job) (*pipeline.Result, error) {
 	arena := c.arenas.Get().(*pipeline.Arena)
-	res, err := pipeline.CompileContextArena(ctx, j.Graph, j.Machine, j.Opts, arena)
+	var res *pipeline.Result
+	var err error
+	if c.spec > 1 {
+		c.specLoad.Add(1)
+		res, err = pipeline.CompileContextSpec(ctx, j.Graph, j.Machine, j.Opts, arena, pipeline.SpecConfig{
+			Lanes:       c.spec,
+			GetArena:    c.laneArenaGet,
+			PutArena:    c.laneArenaPut,
+			AcquireLane: c.acquireLane,
+			ReleaseLane: c.releaseLane,
+		})
+		c.specLoad.Add(-1)
+	} else {
+		res, err = pipeline.CompileContextArena(ctx, j.Graph, j.Machine, j.Opts, arena)
+	}
 	c.arenas.Put(arena)
 	return res, err
+}
+
+// acquireLane admits one extra speculative lane if the global budget has
+// room; releaseLane returns the slot.
+func (c *Compiler) acquireLane() bool {
+	for {
+		cur := c.specLoad.Load()
+		if cur >= c.specCap {
+			return false
+		}
+		if c.specLoad.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+func (c *Compiler) releaseLane() { c.specLoad.Add(-1) }
+
+// laneArenaGet and laneArenaPut lend pool arenas to speculative lanes,
+// tracking the balance so tests can assert nothing leaks.
+func (c *Compiler) laneArenaGet() *pipeline.Arena {
+	c.laneArenas.Add(1)
+	return c.arenas.Get().(*pipeline.Arena)
+}
+
+func (c *Compiler) laneArenaPut(a *pipeline.Arena) {
+	c.arenas.Put(a)
+	c.laneArenas.Add(-1)
 }
 
 // CompileAll compiles every job on the worker pool. The returned slice is

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"time"
 
 	"clusched/internal/driver"
 	"clusched/internal/machine"
+	"clusched/internal/metrics"
 	"clusched/internal/workload"
 )
 
@@ -22,15 +24,34 @@ type ThroughputRow struct {
 	Mode   string `json:"mode"`
 	// Loops is the suite size.
 	Loops int `json:"loops"`
+	// SpecLanes is the speculative multi-II lane count the engines ran
+	// with (0 or 1 = the plain linear search).
+	SpecLanes int `json:"spec_lanes,omitempty"`
 	// SerialMs is the wall time of a one-worker suite compilation;
 	// SerialLoopsPerSec the corresponding throughput.
 	SerialMs          float64 `json:"serial_ms"`
 	SerialLoopsPerSec float64 `json:"serial_loops_per_sec"`
-	// Workers is the pool size of the parallel measurement (GOMAXPROCS);
-	// ParallelMs and ParallelLoopsPerSec its wall time and throughput.
+	// LatencyP50Ms/P95Ms/P99Ms are nearest-rank percentiles of the
+	// per-loop compile latencies of the serial run: the tail matters —
+	// a handful of hard loops dominate the suite wall time, and they are
+	// exactly what the speculative search attacks. SlowestLoop names the
+	// worst loop and SlowestLoopMs its latency.
+	LatencyP50Ms  float64 `json:"latency_p50_ms"`
+	LatencyP95Ms  float64 `json:"latency_p95_ms"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+	SlowestLoop   string  `json:"slowest_loop"`
+	SlowestLoopMs float64 `json:"slowest_loop_ms"`
+	// Workers is the pool size the parallel measurement actually ran with
+	// — the engine's resolved worker count, not a requested value.
+	// ParallelMs and ParallelLoopsPerSec are its wall time and throughput.
+	// When the process has a single CPU (GOMAXPROCS=1) a "parallel" run
+	// cannot differ from the serial one, so it is skipped rather than
+	// reported as a misleading near-1× datapoint: ParallelSkipped is set
+	// and the parallel numbers stay zero.
 	Workers             int     `json:"workers"`
-	ParallelMs          float64 `json:"parallel_ms"`
-	ParallelLoopsPerSec float64 `json:"parallel_loops_per_sec"`
+	ParallelMs          float64 `json:"parallel_ms,omitempty"`
+	ParallelLoopsPerSec float64 `json:"parallel_loops_per_sec,omitempty"`
+	ParallelSkipped     bool    `json:"parallel_skipped,omitempty"`
 	// AllocsPerLoop and BytesPerLoop are the serial run's heap allocation
 	// count and volume divided by the suite size.
 	AllocsPerLoop float64 `json:"allocs_per_loop"`
@@ -39,7 +60,9 @@ type ThroughputRow struct {
 
 // MeasureThroughput compiles the suite with caching disabled and times it:
 // the datapoint one BENCH_*.json file contributes to the perf trajectory.
-func MeasureThroughput() ThroughputRow {
+// specLanes > 1 enables the speculative multi-II search on both runs (the
+// results are bit-identical either way; only the timing moves).
+func MeasureThroughput(specLanes int) ThroughputRow {
 	loops := workload.SPECfp95()
 	m := machine.MustParse("4c2b2l64r")
 	jobs := make([]driver.Job, len(loops))
@@ -47,32 +70,59 @@ func MeasureThroughput() ThroughputRow {
 		jobs[i] = driver.Job{Graph: l.Graph, Machine: m, Opts: Replication.options()}
 	}
 	row := ThroughputRow{
-		Config:  m.Name,
-		Mode:    Replication.String(),
-		Loops:   len(loops),
-		Workers: runtime.GOMAXPROCS(0),
+		Config: m.Name,
+		Mode:   Replication.String(),
+		Loops:  len(loops),
+	}
+	if specLanes > 1 {
+		row.SpecLanes = specLanes
 	}
 
-	run := func(workers int) (elapsed time.Duration, allocs, bytes uint64) {
-		eng := driver.New(driver.Config{Workers: workers, CacheSize: -1})
-		var before, after runtime.MemStats
-		runtime.ReadMemStats(&before)
+	// Serial run: one worker, each job compiled and timed individually so
+	// the latency distribution (not just the aggregate) is recorded. The
+	// latency slice is allocated before the MemStats bracket so the
+	// measurement itself does not show up in the per-loop alloc numbers.
+	eng := driver.New(driver.Config{Workers: 1, CacheSize: -1, Speculation: specLanes})
+	latencies := make([]float64, len(jobs))
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	serialStart := time.Now()
+	for i, j := range jobs {
 		start := time.Now()
-		// Per-job failures are already measured work; the aggregate error
-		// adds nothing to a throughput number.
-		eng.CompileAll(jobs)
-		elapsed = time.Since(start)
-		runtime.ReadMemStats(&after)
-		return elapsed, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc
+		// Per-job failures are already measured work; the error adds
+		// nothing to a throughput number.
+		eng.Compile(context.Background(), j)
+		latencies[i] = float64(time.Since(start).Nanoseconds()) / 1e6
 	}
+	serial := time.Since(serialStart)
+	runtime.ReadMemStats(&after)
 
-	serial, allocs, bytes := run(1)
 	row.SerialMs = float64(serial.Nanoseconds()) / 1e6
 	row.SerialLoopsPerSec = float64(len(loops)) / serial.Seconds()
-	row.AllocsPerLoop = float64(allocs) / float64(len(loops))
-	row.BytesPerLoop = float64(bytes) / float64(len(loops))
+	row.AllocsPerLoop = float64(after.Mallocs-before.Mallocs) / float64(len(loops))
+	row.BytesPerLoop = float64(after.TotalAlloc-before.TotalAlloc) / float64(len(loops))
 
-	parallel, _, _ := run(row.Workers)
+	row.LatencyP50Ms = metrics.Percentile(latencies, 50)
+	row.LatencyP95Ms = metrics.Percentile(latencies, 95)
+	row.LatencyP99Ms = metrics.Percentile(latencies, 99)
+	for i, ms := range latencies {
+		if ms > row.SlowestLoopMs {
+			row.SlowestLoopMs = ms
+			row.SlowestLoop = loops[i].Graph.Name
+		}
+	}
+
+	// Parallel run on the full pool — unless the pool cannot actually be
+	// parallel.
+	row.Workers = runtime.GOMAXPROCS(0)
+	if row.Workers <= 1 {
+		row.ParallelSkipped = true
+		return row
+	}
+	peng := driver.New(driver.Config{Workers: row.Workers, CacheSize: -1, Speculation: specLanes})
+	parallelStart := time.Now()
+	peng.CompileAll(jobs)
+	parallel := time.Since(parallelStart)
 	row.ParallelMs = float64(parallel.Nanoseconds()) / 1e6
 	row.ParallelLoopsPerSec = float64(len(loops)) / parallel.Seconds()
 	return row

@@ -277,17 +277,17 @@ func CompileLinear(g *ddg.Graph, m machine.Config, opts Options) (*Result, error
 	return compileStrategy(context.Background(), g, m, opts, nil, true)
 }
 
-// compileStrategy resolves and validates the strategy, applies its machine
-// rewrite, and drives its pass chain through the II search. The skip-ahead
-// runs only for strategies that declare the capability (and never when the
-// caller forces the linear reference search).
-func compileStrategy(cctx context.Context, g *ddg.Graph, m machine.Config, opts Options, arena *Arena, forceLinear bool) (*Result, error) {
+// resolveStrategy resolves and validates the strategy of opts, applies its
+// machine rewrite, and reports whether the II skip-ahead may run (only for
+// strategies that declare the capability, and never when the caller forces
+// the linear reference search).
+func resolveStrategy(opts Options, m machine.Config, forceLinear bool) (Strategy, machine.Config, bool, error) {
 	s, err := strategyFor(opts)
 	if err != nil {
-		return nil, err
+		return nil, m, false, err
 	}
 	if err := s.Validate(opts, m); err != nil {
-		return nil, err
+		return nil, m, false, err
 	}
 	if mr, ok := s.(machineRewriter); ok {
 		m = mr.EffectiveMachine(m)
@@ -295,6 +295,16 @@ func compileStrategy(cctx context.Context, g *ddg.Graph, m machine.Config, opts 
 	skip := false
 	if sa, ok := s.(skipAheadCapable); ok && !forceLinear {
 		skip = sa.SkipAhead()
+	}
+	return s, m, skip, nil
+}
+
+// compileStrategy resolves the strategy and drives its pass chain through
+// the II search.
+func compileStrategy(cctx context.Context, g *ddg.Graph, m machine.Config, opts Options, arena *Arena, forceLinear bool) (*Result, error) {
+	s, m, skip, err := resolveStrategy(opts, m, forceLinear)
+	if err != nil {
+		return nil, err
 	}
 	return runSearch(cctx, g, m, opts, s.Chain(), arena, skip)
 }

@@ -83,6 +83,11 @@ func (uasStrategy) Validate(opts Options, m machine.Config) error {
 	return rejectPaperChainOptions("uas", opts)
 }
 
+// ReplayFailedAttempt implements attemptReplayer as a no-op: the UAS sweep
+// recomputes the assignment from (graph, machine, II) on every attempt, so
+// failed attempts leave no cross-attempt state to replay.
+func (uasStrategy) ReplayFailedAttempt(ctx *Context) {}
+
 // Describe implements describer.
 func (uasStrategy) Describe() string {
 	return "greedy unified assign-and-schedule: each node picks its cluster during placement by FU/bus availability (no partition pass)"
@@ -134,6 +139,12 @@ func (moddistStrategy) Chain() []Pass {
 func (moddistStrategy) Validate(opts Options, m machine.Config) error {
 	return rejectPaperChainOptions("moddist", opts)
 }
+
+// ReplayFailedAttempt implements attemptReplayer as a no-op: the modulo
+// distribution is II-independent and deterministic, so a lane that starts
+// with a nil assignment recomputes exactly the one the sequential search
+// carried.
+func (moddistStrategy) ReplayFailedAttempt(ctx *Context) {}
 
 // Describe implements describer.
 func (moddistStrategy) Describe() string {

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -45,6 +46,13 @@ func requireSameResult(t *testing.T, label string, skip, lin *Result, skipErr, l
 	if skip.Replicated != lin.Replicated || skip.Removed != lin.Removed {
 		t.Fatalf("%s: replication mismatch: skip %v/%d, linear %v/%d",
 			label, skip.Replicated, skip.Removed, lin.Replicated, lin.Removed)
+	}
+	if a, b := fmt.Sprint(skip.Schedule.Time), fmt.Sprint(lin.Schedule.Time); a != b {
+		t.Fatalf("%s: issue-cycle mismatch:\n  got:  %s\n  want: %s", label, a, b)
+	}
+	if a, b := fmt.Sprint(skip.Placement.Home, skip.Placement.Replicas),
+		fmt.Sprint(lin.Placement.Home, lin.Placement.Replicas); a != b {
+		t.Fatalf("%s: placement mismatch:\n  got:  %s\n  want: %s", label, a, b)
 	}
 }
 
@@ -132,5 +140,92 @@ func TestSkipAheadSkipsAttempts(t *testing.T) {
 	}
 	if !fired {
 		t.Fatal("skip-ahead never skipped an attempt on 50 bus-bound loops")
+	}
+}
+
+// The speculative multi-II search (specsearch.go) is held to the same bar
+// as the skip-ahead: bit-identical Results — II, issue cycles, placement,
+// cause tallies — against the reference linear search, across the suite,
+// the machine configurations, every registered strategy and random loops.
+
+// specLanes is the speculation width the parity suite races; CI runs these
+// tests under -race, so the width also shakes out lane interleavings.
+const specLanes = 4
+
+// TestSpeculativeMatchesLinearOnSuite races every SPECfp95 loop on every
+// paper configuration, with and without replication, against the linear
+// search. Short mode samples one configuration; the full run covers all
+// six.
+func TestSpeculativeMatchesLinearOnSuite(t *testing.T) {
+	configs := machine.PaperConfigs()
+	if testing.Short() {
+		configs = configs[2:3] // 4c1b2l64r: the most search-bound config
+	}
+	loops := workload.SPECfp95()
+	for _, m := range configs {
+		for _, opts := range []Options{{}, {Replicate: true}} {
+			for _, l := range loops {
+				spec, specErr := CompileSpec(l.Graph, m, opts, specLanes)
+				lin, linErr := CompileLinear(l.Graph, m, opts)
+				label := l.Graph.Name + " on " + m.Name + " (spec)"
+				if opts.Replicate {
+					label += " (replicate)"
+				}
+				requireSameResult(t, label, spec, lin, specErr, linErr)
+			}
+		}
+	}
+}
+
+// TestSpeculativeMatchesLinearOnStrategies covers every registered
+// strategy: the replay capability differs per strategy (partition-lineage
+// replay for paper/unified, stateless no-ops for uas/moddist), so each
+// needs its own parity evidence.
+func TestSpeculativeMatchesLinearOnStrategies(t *testing.T) {
+	configs := []machine.Config{machine.MustParse("4c2b2l64r"), machine.MustParse("4c1b2l64r")}
+	loops := workload.SPECfp95()
+	stride := 5
+	if testing.Short() {
+		stride = 25
+	}
+	for _, strat := range StrategyNames() {
+		opts := Options{Strategy: strat}
+		for _, m := range configs {
+			for i := 0; i < len(loops); i += stride {
+				g := loops[i].Graph
+				spec, specErr := CompileSpec(g, m, opts, specLanes)
+				lin, linErr := CompileLinear(g, m, opts)
+				requireSameResult(t, g.Name+" on "+m.Name+" ("+strat+")", spec, lin, specErr, linErr)
+			}
+		}
+	}
+}
+
+// TestSpeculativeMatchesLinearOnRandomLoops is the property test: random
+// loops of every workload shape, random paper machines, random strategies
+// and random lane counts (including degenerate widths 1 and 2).
+func TestSpeculativeMatchesLinearOnRandomLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	configs := machine.PaperConfigs()
+	strategies := StrategyNames()
+	trials := 300
+	if testing.Short() {
+		trials = 60
+	}
+	shapes := []workload.Shape{workload.ShapeBroadcast, workload.ShapeParallel, workload.ShapeReduction, workload.ShapeWide}
+	for trial := 0; trial < trials; trial++ {
+		shape := shapes[rng.Intn(len(shapes))]
+		size := 10 + rng.Intn(40)
+		g := workload.Generate(shape, "rnd", rng, size, workload.DefaultParams())
+		m := configs[rng.Intn(len(configs))]
+		opts := Options{Strategy: strategies[rng.Intn(len(strategies))]}
+		if opts.Strategy == "paper" || opts.Strategy == "unified" {
+			opts.Replicate = rng.Intn(2) == 0
+		}
+		lanes := 1 + rng.Intn(6)
+		spec, specErr := CompileSpec(g, m, opts, lanes)
+		lin, linErr := CompileLinear(g, m, opts)
+		label := fmt.Sprintf("%s on %s (%s, k=%d)", g.Name, m.Name, opts.StrategyName(), lanes)
+		requireSameResult(t, label, spec, lin, specErr, linErr)
 	}
 }

@@ -1,0 +1,309 @@
+package pipeline
+
+// Speculative multi-II search. The Fig. 2 driver walks the II ladder one
+// interval at a time, and each attempt depends on the last through exactly
+// one piece of state: Context.Assign, the partition the next attempt
+// refines. That narrow dependence is what makes speculation sound — a lane
+// racing interval y ahead of the confirmed frontier c can reconstruct the
+// assignment the sequential search would have carried into y by replaying
+// only the refinement steps of the presumed-failed intervals in (c, y),
+// without scheduling any of them. Every other Context field is per-attempt
+// and rebuilt from scratch by the pass chain.
+//
+// The coordinator races rounds of contiguous candidate intervals, one lane
+// each, and decides lanes strictly in II order:
+//
+//   - a failed lane below the first success is exactly the attempt the
+//     sequential search would have made: its cause is tallied, its refined
+//     assignment becomes the confirmed lineage, and (for capable
+//     strategies) its skip-ahead target is applied with the same
+//     arithmetic as runSearch — lanes inside the skipped range are
+//     discarded as provably identical failures;
+//   - the first successful lane wins, higher lanes are cancelled, and the
+//     Result is assembled from its context exactly as runSearch would
+//     have.
+//
+// Because the seed assignment is only ever shared read-only (refinement
+// clones before mutating, and placements copy the cluster slice), lanes
+// never observe each other. Results are therefore bit-identical to the
+// sequential search — search_parity_test.go pins this against
+// RunContextLinear across suites, configs, strategies and random loops.
+//
+// Speculation is an execution detail: it changes neither Options nor any
+// cache identity (driver.JobKey), so cached and remote results are shared
+// across speculation widths.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"clusched/internal/ddg"
+	"clusched/internal/machine"
+	"clusched/internal/mii"
+	"clusched/internal/partition"
+)
+
+// SpecConfig parameterizes the speculative II search (CompileContextSpec).
+// The zero value — and any Lanes ≤ 1 — selects the plain search.
+type SpecConfig struct {
+	// Lanes is the maximum number of candidate intervals raced concurrently
+	// per round, including the one the calling goroutine runs itself.
+	Lanes int
+	// GetArena and PutArena supply and recycle scratch arenas for the extra
+	// lanes (the caller's own arena serves lane 0); the driver wires them to
+	// its worker pool. Every arena obtained is returned before the search
+	// call completes. A nil GetArena allocates fresh arenas and drops them.
+	GetArena func() *Arena
+	PutArena func(*Arena)
+	// AcquireLane and ReleaseLane gate every extra lane against a global
+	// concurrency budget, so speculation inside many concurrent batch
+	// compilations cannot oversubscribe the machine. Candidate intervals
+	// must stay contiguous, so a denied acquire stops the round from
+	// widening (degrading gracefully toward the sequential search). A nil
+	// AcquireLane always admits.
+	AcquireLane func() bool
+	ReleaseLane func()
+}
+
+// attemptReplayer is the optional strategy capability gating the
+// speculative search. ReplayFailedAttempt reproduces exactly the
+// cross-attempt state evolution of one failed II attempt — for the paper
+// chain, the partition-refinement step — without running the rest of the
+// chain, so a lane can reconstruct the refinement lineage of the intervals
+// it leapfrogs. Strategies without the capability always search
+// sequentially.
+type attemptReplayer interface {
+	ReplayFailedAttempt(ctx *Context)
+}
+
+// replayPartitionStep is the lineage replay of the partition-based chains
+// (paper, unified): the PartitionPass assignment step alone — initial
+// partition on the first attempt, refinement of the carried assignment
+// afterwards — with the placement and communication bookkeeping omitted
+// (it is per-attempt state the real attempt rebuilds).
+func replayPartitionStep(ctx *Context) {
+	sc := ctx.partScratch()
+	if ctx.Assign == nil {
+		ctx.Assign = partition.InitialScratch(ctx.Graph, ctx.Machine, ctx.II, sc)
+	} else {
+		ctx.Assign = partition.RefineScratch(ctx.Graph, ctx.Machine, ctx.II, ctx.Assign, sc)
+	}
+}
+
+// CompileSpec is Compile with the speculative II search racing up to lanes
+// candidate intervals concurrently. Results are bit-identical to Compile;
+// lanes ≤ 1 degenerates to the plain search.
+func CompileSpec(g *ddg.Graph, m machine.Config, opts Options, lanes int) (*Result, error) {
+	return CompileContextSpec(context.Background(), g, m, opts, nil, SpecConfig{Lanes: lanes})
+}
+
+// CompileContextSpec is CompileContext over a caller-owned arena with the
+// speculative II search; the driver's workers use it when
+// driver.Config.Speculation > 1. Strategies that do not implement the
+// replay capability fall back to the plain search.
+func CompileContextSpec(cctx context.Context, g *ddg.Graph, m machine.Config, opts Options, arena *Arena, spec SpecConfig) (*Result, error) {
+	s, m, skip, err := resolveStrategy(opts, m, false)
+	if err != nil {
+		return nil, err
+	}
+	rep, ok := s.(attemptReplayer)
+	if !ok || spec.Lanes <= 1 {
+		return runSearch(cctx, g, m, opts, s.Chain(), arena, skip)
+	}
+	return runSpecSearch(cctx, g, m, opts, s, rep, arena, spec, skip)
+}
+
+// specLane is one candidate interval of a speculation round. ctx and err
+// are written by the lane and published by closing done; cancel aborts the
+// lane between passes.
+type specLane struct {
+	ii     int
+	ctx    *Context // final attempt state; nil if the lane aborted
+	err    error
+	done   chan struct{}
+	cctx   context.Context
+	cancel context.CancelFunc
+}
+
+func newSpecLane(parent context.Context, ii int) *specLane {
+	cctx, cancel := context.WithCancel(parent)
+	return &specLane{ii: ii, done: make(chan struct{}), cctx: cctx, cancel: cancel}
+}
+
+// run replays the refinement lineage of the presumed-failed intervals in
+// (confirmed, ln.ii) from the confirmed seed assignment, then runs the
+// full pass chain at ln.ii. The seed is shared read-only across the
+// round's lanes: refinement clones before mutating and placements copy
+// the cluster slice, so lanes never write through it. Cancellation is
+// checked between lineage steps and between passes, so lane latency after
+// a cancel is at most one pass.
+func (ln *specLane) run(g *ddg.Graph, m machine.Config, opts Options, s Strategy, rep attemptReplayer, miiLB, confirmed int, seed *partition.Assignment, arena *Arena) {
+	defer close(ln.done)
+	ctx := &Context{Graph: g, Machine: m, Opts: opts, MII: miiLB, Assign: seed, arena: arena}
+	for ii := confirmed + 1; ii < ln.ii; ii++ {
+		if err := ln.cctx.Err(); err != nil {
+			ln.err = err
+			return
+		}
+		ctx.reset(ii)
+		rep.ReplayFailedAttempt(ctx)
+	}
+	ctx.reset(ln.ii)
+	for _, p := range s.Chain() {
+		if err := ln.cctx.Err(); err != nil {
+			ln.err = err
+			return
+		}
+		if err := p.Run(ctx); err != nil {
+			ln.err = err
+			return
+		}
+		if ctx.failed {
+			break
+		}
+	}
+	ln.ctx = ctx
+}
+
+// runSpecSearch is the speculative counterpart of runSearch. It must
+// reproduce runSearch's observable behavior exactly: the same Result
+// fields, the same IIIncreases tallies (including skip-ahead's), and the
+// same error messages.
+func runSpecSearch(cctx context.Context, g *ddg.Graph, m machine.Config, opts Options, s Strategy, rep attemptReplayer, arena *Arena, spec SpecConfig, skip bool) (*Result, error) {
+	if arena == nil {
+		arena = NewArena()
+	}
+	if arena.MII == nil {
+		arena.MII = mii.NewScratch()
+	}
+	res := &Result{Loop: g, Machine: m}
+	res.MII = mii.MIIScratch(g, m, arena.MII)
+
+	maxII := opts.MaxII
+	if maxII == 0 {
+		maxII = MaxII(g, m, res.MII)
+	}
+
+	getArena, putArena := spec.GetArena, spec.PutArena
+	if getArena == nil {
+		getArena = NewArena
+		putArena = nil
+	}
+	acquire, release := spec.AcquireLane, spec.ReleaseLane
+
+	// confirmed is the largest interval proven to fail (and tallied);
+	// assign is the refined assignment of the last real attempt at or below
+	// it — the lineage seed for every lane of the next round. Skip-ahead
+	// moves confirmed without moving assign: the skipped refinements are
+	// proven fixpoints.
+	confirmed := res.MII - 1
+	var assign *partition.Assignment
+
+	for confirmed < maxII {
+		if err := cctx.Err(); err != nil {
+			return nil, err
+		}
+		width := spec.Lanes
+		if room := maxII - confirmed; room < width {
+			width = room
+		}
+		lanes := make([]*specLane, 1, width)
+		lanes[0] = newSpecLane(cctx, confirmed+1)
+		for j := 1; j < width; j++ {
+			if acquire != nil && !acquire() {
+				break // budget exhausted; candidates must stay contiguous
+			}
+			lanes = append(lanes, newSpecLane(cctx, confirmed+1+j))
+		}
+
+		// Extra lanes run on their own goroutines and pooled arenas; lane 0
+		// runs below on the calling goroutine with the caller's arena. The
+		// lanes seed from a snapshot of the frontier: the decision loop
+		// below advances confirmed/assign while this round's goroutines may
+		// still be starting up.
+		seedConfirmed, seedAssign := confirmed, assign
+		var wg sync.WaitGroup
+		for _, ln := range lanes[1:] {
+			wg.Add(1)
+			go func(ln *specLane) {
+				defer wg.Done()
+				la := getArena()
+				ln.run(g, m, opts, s, rep, res.MII, seedConfirmed, seedAssign, la)
+				if putArena != nil {
+					putArena(la)
+				}
+				if release != nil {
+					release()
+				}
+			}(ln)
+		}
+		lanes[0].run(g, m, opts, s, rep, res.MII, seedConfirmed, seedAssign, arena)
+
+		// Decide lanes strictly in II order — exactly the order the
+		// sequential search would have visited them.
+		winner := -1
+		var hardErr error
+		for i, ln := range lanes {
+			if ln.ii <= confirmed {
+				// A lower lane's skip-ahead already proved and tallied this
+				// interval; the lane's outcome is a provably identical
+				// failure. Do not wait for it — just stop it.
+				ln.cancel()
+				continue
+			}
+			<-ln.done
+			if ln.err != nil {
+				hardErr = ln.err
+			} else if cause, failed := ln.ctx.Failed(); failed {
+				res.IIIncreases[cause]++
+				confirmed, assign = ln.ii, ln.ctx.Assign
+				if skip {
+					// Same arithmetic as runSearch: every interval in
+					// [ii+1, next) fails exactly as this one did; tally and
+					// advance the frontier, capped at maxII.
+					if next := ln.ctx.skipTarget(); next > ln.ii+1 {
+						skipped := min(next, maxII+1) - (ln.ii + 1)
+						res.IIIncreases[cause] += skipped
+						confirmed += skipped
+					}
+				}
+				continue
+			} else {
+				winner = i
+			}
+			for _, rest := range lanes[i+1:] {
+				rest.cancel()
+			}
+			break
+		}
+		// Join every launched lane before touching the next round (or
+		// returning): arenas go back to the pool and no goroutine outlives
+		// the search.
+		wg.Wait()
+		for _, ln := range lanes {
+			ln.cancel()
+		}
+		if hardErr != nil {
+			return nil, hardErr
+		}
+		if winner >= 0 {
+			ctx := lanes[winner].ctx
+			if ctx.Schedule == nil || ctx.Placement == nil {
+				return nil, fmt.Errorf("pipeline: pass chain accepted II=%d without producing a schedule", lanes[winner].ii)
+			}
+			res.II = lanes[winner].ii
+			res.Length = ctx.Schedule.Length
+			res.SC = ctx.Schedule.SC
+			res.CommsBeforeReplication = ctx.CommsBeforeReplication
+			res.Comms = ctx.Placement.Comms()
+			res.Replicated = ctx.ReplStats.Replicated
+			res.Removed = ctx.ReplStats.Removed
+			res.ReplicationSteps = ctx.ReplStats.Steps
+			res.Schedule = ctx.Schedule
+			res.Placement = ctx.Placement
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("pipeline: loop %s does not schedule on %s with II up to %d", g.Name, m, maxII)
+}

@@ -1,0 +1,132 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clusched/internal/ddg"
+	"clusched/internal/machine"
+	"clusched/internal/workload"
+)
+
+// hardLoop returns a generated loop whose compilation on m takes several II
+// attempts — enough ladder for speculation to have lanes to race.
+func hardLoop(t *testing.T, m machine.Config) *ddg.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		g := workload.Generate(workload.ShapeWide, "hard", rng, 24+rng.Intn(24), workload.DefaultParams())
+		res, err := CompileLinear(g, m, Options{})
+		if err != nil {
+			continue
+		}
+		if res.II-res.MII >= 3 {
+			return g
+		}
+	}
+	t.Fatal("no multi-attempt loop found in 100 trials")
+	return nil
+}
+
+// TestSpeculationRacesLanes proves the speculative search actually launches
+// extra lanes (acquiring from the budget and borrowing arenas) on a
+// multi-attempt compilation, and that every borrowed arena is returned
+// before the call completes.
+func TestSpeculationRacesLanes(t *testing.T) {
+	m := machine.MustParse("4c1b2l64r")
+	g := hardLoop(t, m)
+
+	var gets, puts, acquires atomic.Int64
+	spec := SpecConfig{
+		Lanes:    4,
+		GetArena: func() *Arena { gets.Add(1); return NewArena() },
+		PutArena: func(*Arena) { puts.Add(1) },
+		AcquireLane: func() bool {
+			acquires.Add(1)
+			return true
+		},
+		ReleaseLane: func() {},
+	}
+	res, err := CompileContextSpec(context.Background(), g, m, Options{}, nil, spec)
+	if err != nil {
+		t.Fatalf("speculative compile: %v", err)
+	}
+	lin, linErr := CompileLinear(g, m, Options{})
+	requireSameResult(t, g.Name, res, lin, err, linErr)
+	if acquires.Load() == 0 {
+		t.Fatal("speculation never acquired an extra lane on a multi-attempt loop")
+	}
+	if g, p := gets.Load(), puts.Load(); g == 0 || g != p {
+		t.Fatalf("lane arenas not balanced: %d gets, %d puts", g, p)
+	}
+}
+
+// TestSpeculationDegradesWhenBudgetDenied pins the graceful-degradation
+// path: with every acquire denied, the search must still produce the exact
+// linear result, borrow no arenas, and never release what it did not
+// acquire.
+func TestSpeculationDegradesWhenBudgetDenied(t *testing.T) {
+	m := machine.MustParse("4c1b2l64r")
+	g := hardLoop(t, m)
+
+	var gets, releases atomic.Int64
+	spec := SpecConfig{
+		Lanes:       4,
+		GetArena:    func() *Arena { gets.Add(1); return NewArena() },
+		PutArena:    func(*Arena) {},
+		AcquireLane: func() bool { return false },
+		ReleaseLane: func() { releases.Add(1) },
+	}
+	res, err := CompileContextSpec(context.Background(), g, m, Options{}, nil, spec)
+	lin, linErr := CompileLinear(g, m, Options{})
+	requireSameResult(t, g.Name, res, lin, err, linErr)
+	if gets.Load() != 0 {
+		t.Fatalf("denied lanes still borrowed %d arenas", gets.Load())
+	}
+	if releases.Load() != 0 {
+		t.Fatalf("released %d lanes that were never acquired", releases.Load())
+	}
+}
+
+// TestSpeculationCancellation cancels a speculative compilation mid-search
+// — deterministically, from inside the lane-budget callback, after the
+// round's lanes are already being launched — and requires a prompt
+// ctx.Err() return with every lane joined and every borrowed arena back.
+func TestSpeculationCancellation(t *testing.T) {
+	m := machine.MustParse("4c1b2l64r")
+	g := hardLoop(t, m)
+
+	cctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var gets, puts atomic.Int64
+	spec := SpecConfig{
+		Lanes:    4,
+		GetArena: func() *Arena { gets.Add(1); return NewArena() },
+		PutArena: func(*Arena) { puts.Add(1) },
+		AcquireLane: func() bool {
+			cancel() // lands mid-round: lanes are being launched right now
+			return true
+		},
+		ReleaseLane: func() {},
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := CompileContextSpec(cctx, g, m, Options{}, nil, spec)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled speculative compile returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled speculative compile did not return promptly")
+	}
+	if gt, p := gets.Load(), puts.Load(); gt == 0 || gt != p {
+		t.Fatalf("lane arenas not returned after cancellation: %d gets, %d puts", gt, p)
+	}
+}

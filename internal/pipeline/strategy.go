@@ -186,6 +186,11 @@ func (paperStrategy) Validate(opts Options, m machine.Config) error { return nil
 // chain's failure shapes.
 func (paperStrategy) SkipAhead() bool { return true }
 
+// ReplayFailedAttempt implements attemptReplayer: the only state a failed
+// attempt of the paper chain carries forward is the refined assignment, so
+// the lineage replay is the PartitionPass assignment step alone.
+func (paperStrategy) ReplayFailedAttempt(ctx *Context) { replayPartitionStep(ctx) }
+
 // Describe implements describer.
 func (paperStrategy) Describe() string {
 	return "multilevel partition + selective replication + modulo scheduling (the paper's algorithm)"
@@ -224,6 +229,12 @@ func (unifiedStrategy) EffectiveMachine(m machine.Config) machine.Config {
 	}
 	return machine.Unified(m.Regs * m.Clusters)
 }
+
+// ReplayFailedAttempt implements attemptReplayer: the unified chain is the
+// standard chain on the rewritten machine, so its cross-attempt state is
+// the same single assignment (trivial on one cluster, but kept identical
+// to the sequential evolution on principle).
+func (unifiedStrategy) ReplayFailedAttempt(ctx *Context) { replayPartitionStep(ctx) }
 
 // Describe implements describer.
 func (unifiedStrategy) Describe() string {

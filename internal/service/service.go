@@ -52,6 +52,11 @@ type Config struct {
 	// Store is the persistent second-level result cache (see DiskCache);
 	// nil disables persistence.
 	Store driver.Store
+	// Speculation, when > 1, races that many candidate IIs concurrently
+	// inside each compilation (see driver.Config.Speculation). Results
+	// and cache identities are unchanged, so it is safe to flip on a
+	// server whose Store already holds results.
+	Speculation int
 }
 
 // ErrShuttingDown rejects submissions during graceful drain.
@@ -236,9 +241,10 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg: cfg,
 		compiler: driver.New(driver.Config{
-			Workers:   cfg.Workers,
-			CacheSize: cfg.CacheSize,
-			Store:     cfg.Store,
+			Workers:     cfg.Workers,
+			CacheSize:   cfg.CacheSize,
+			Store:       cfg.Store,
+			Speculation: cfg.Speculation,
 		}),
 		queue:          make(chan *ticket, cfg.QueueDepth),
 		start:          time.Now(),
