@@ -44,6 +44,7 @@ var publicAPI = []string{
 	"Client.Status",
 	"Client.Stream",
 	"Client.SubmitBatch",
+	"Client.Trace",
 	"Client.WaitBatch",
 	"Collect",
 	"Compile",
@@ -68,6 +69,7 @@ var publicAPI = []string{
 	"NewLoop",
 	"NewOptions",
 	"NewRemote",
+	"NewTrace",
 	"NumCauses",
 	"OpFAdd",
 	"OpFDiv",
@@ -93,6 +95,7 @@ var publicAPI = []string{
 	"Store",
 	"Strategies",
 	"StrategyDescription",
+	"Trace",
 	"UnifiedMachine",
 	"WithCacheSize",
 	"WithHTTPClient",
@@ -106,6 +109,7 @@ var publicAPI = []string{
 	"WithSpeculation",
 	"WithStrategy",
 	"WithTimeout",
+	"WithTrace",
 	"WithVerification",
 	"WithWorkers",
 	"WithZeroBusLatency",

@@ -204,6 +204,17 @@ func WithSpeculation(k int) Option {
 	return engineOption("WithSpeculation", func(s *settings) { s.engine.Speculation = k })
 }
 
+// WithTrace makes a local backend record every compilation into tr: job
+// spans per worker, cache lookups, passes, II attempts and speculative
+// lanes. Tracing is an observation detail — results and cache identities
+// are unchanged — and a nil tr keeps the engine on the allocation-free
+// untraced path. Export the recording with tr.WriteJSON (Chrome
+// trace-event format). Per-job traces can instead ride on
+// CompileJob.Trace, which takes precedence.
+func WithTrace(tr *Trace) Option {
+	return engineOption("WithTrace", func(s *settings) { s.engine.Trace = tr })
+}
+
 // WithHTTPClient makes a remote backend use the given HTTP client (custom
 // transport, proxy, TLS). The client's own Timeout should stay zero —
 // per-call deadlines come from WithTimeout, and the streaming path must

@@ -41,6 +41,10 @@ type Client struct {
 	// PollInterval is the initial interval of WaitBatch's fallback poll
 	// loop (default 50ms, growing to pollMaxInterval with jitter).
 	PollInterval time.Duration
+	// RequestTraces asks the server to record an execution trace for every
+	// batch this client submits; fetch it with Trace once the ticket
+	// finishes. Servers that predate tracing ignore the request.
+	RequestTraces bool
 }
 
 // DefaultClientTimeout bounds each unary HTTP exchange (submit, status,
@@ -416,8 +420,39 @@ func (c *Client) SubmitBatch(ctx context.Context, jobs []CompileJob, timeout tim
 		wjs[i] = wj
 	}
 	var sub wire.SubmitResponse
-	err := c.do(ctx, http.MethodPost, "/batch", wire.SubmitRequest{Jobs: wjs, TimeoutMS: timeout.Milliseconds()}, &sub)
+	req := wire.SubmitRequest{Jobs: wjs, TimeoutMS: timeout.Milliseconds(), Trace: c.RequestTraces}
+	err := c.do(ctx, http.MethodPost, "/batch", req, &sub)
 	return sub.ID, err
+}
+
+// Trace fetches a finished ticket's execution trace as Chrome trace-event
+// JSON (GET /jobs/{id}/trace) — load it in chrome://tracing or Perfetto.
+// The server records a trace only when the batch asked for one (see
+// RequestTraces) or the server runs with -trace-jobs; otherwise the answer
+// is an error.
+func (c *Client) Trace(ctx context.Context, id string) ([]byte, error) {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/jobs/"+id+"/trace", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var er wire.ErrorResponse
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er); err == nil && er.Error != "" {
+			return nil, fmt.Errorf("clusched: service: %s", er.Error)
+		}
+		return nil, fmt.Errorf("clusched: service answered %s", resp.Status)
+	}
+	return io.ReadAll(resp.Body)
 }
 
 // BatchStatus is a remote ticket snapshot; Outcomes is nil until the

@@ -51,6 +51,7 @@ import (
 	"clusched/internal/driver"
 	"clusched/internal/machine"
 	"clusched/internal/sched"
+	"clusched/internal/telemetry"
 	"clusched/internal/workload"
 )
 
@@ -208,6 +209,18 @@ type Store = driver.Store
 
 // NewCompiler builds a batch-compilation engine.
 func NewCompiler(cfg CompilerConfig) *Compiler { return driver.New(cfg) }
+
+// Trace records a compilation's execution timeline — queue waits, cache
+// lookups, passes, II attempts, speculative lanes — as spans on named
+// tracks. Attach one to a local backend with WithTrace (or to a single
+// CompileJob via its Trace field) and export it with WriteJSON as Chrome
+// trace-event JSON, viewable in chrome://tracing or Perfetto. A nil *Trace
+// disables recording with zero overhead; Trace does not participate in
+// cache identity.
+type Trace = telemetry.Trace
+
+// NewTrace starts an empty trace; its epoch (time zero) is the call.
+func NewTrace() *Trace { return telemetry.NewTrace() }
 
 // CompileAll compiles every loop for every machine on a fresh local
 // backend with default settings and returns the results machine-major: the

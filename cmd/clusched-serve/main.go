@@ -10,17 +10,26 @@
 //	clusched-serve -workers 8 -queue 128 -timeout 5m
 //	clusched-serve -speculate 4        # race candidate IIs inside each compilation
 //	clusched-serve -pprof localhost:6060   # expose net/http/pprof
+//	clusched-serve -trace-jobs -slow-compile 250ms   # trace every batch, log slow ones
 //
 // Endpoints:
 //
 //	POST   /compile            one job (JSON {loop, machine, options}); ?wait=1 blocks
-//	POST   /batch              {jobs: [...], timeout_ms} → {id}
+//	POST   /batch              {jobs: [...], timeout_ms, trace} → {id}
 //	GET    /batch/{id}/stream  NDJSON push: one outcome frame per job as it finishes
 //	GET    /jobs/{id}          ticket status; outcomes once finished
+//	GET    /jobs/{id}/trace    Chrome trace-event JSON for traced tickets
 //	DELETE /jobs/{id}          cancel
 //	GET    /strategies         registered scheduling strategies (options.strategy values)
 //	GET    /stats              queue depth, in-flight, throughput, cache hit rate, per-strategy counts
-//	GET    /healthz            200 while serving, 503 while draining
+//	GET    /metrics            the same accounting as Prometheus text exposition
+//	GET    /healthz            200 with build info while serving, 503 while draining
+//
+// The server logs structured lines (log/slog text format) to stderr: one
+// access-log line per HTTP request plus ticket lifecycle events. -quiet
+// silences the access log, -v adds debug detail, and -slow-compile logs a
+// warning (with a trace summary when the ticket is traced) for any single
+// compilation over the threshold.
 //
 // Batch consumers should prefer the stream endpoint (clusched.NewRemote's
 // Stream uses it): each verified result is pushed the moment it compiles,
@@ -41,6 +50,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -62,7 +72,17 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "default per-ticket deadline (0 = none)")
 	drain := flag.Duration("drain-timeout", time.Minute, "graceful-shutdown bound")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
+	quiet := flag.Bool("quiet", false, "suppress the per-request access log (lifecycle and warning logs remain)")
+	verbose := flag.Bool("v", false, "log debug detail (per-ticket submission events)")
+	slowCompile := flag.Duration("slow-compile", 0, "warn when a single compilation exceeds this duration (0 = off)")
+	traceJobs := flag.Bool("trace-jobs", false, "record an execution trace for every batch (retrievable from GET /jobs/{id}/trace)")
 	flag.Parse()
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	if *pprofAddr != "" {
 		mux := http.NewServeMux()
@@ -86,6 +106,10 @@ func main() {
 		CacheSize:      *cacheSize,
 		Speculation:    *speculate,
 		DefaultTimeout: *timeout,
+		Logger:         logger,
+		AccessLog:      !*quiet,
+		SlowCompile:    *slowCompile,
+		TraceJobs:      *traceJobs,
 	}
 	var cache *service.DiskCache
 	if *cacheDir != "" {

@@ -13,6 +13,7 @@
 //	paperbench -o report.txt
 //	paperbench -j 4 -progress   # 4 concurrent compilations, progress on stderr
 //	paperbench -speculate 4     # race candidate IIs inside each compilation
+//	paperbench -trace trace.json -fig 7   # record a Chrome trace of the run
 //	paperbench -json bench.json # machine-readable per-figure numbers + engine stats
 //	paperbench -strategies paper,unified,uas,moddist   # head-to-head strategy comparison
 //	paperbench -remote http://localhost:8357 -fig 7    # evaluation as service traffic
@@ -30,6 +31,12 @@
 // per-suite IPC/speedup table to the report; with -json the same rows land
 // in a "strategies" section. Speedups are relative to the first strategy
 // listed.
+//
+// -trace records the whole run — every worker's job spans, cache lookups,
+// passes, II attempts and speculative lanes — into a Chrome trace-event
+// JSON file, viewable in chrome://tracing or https://ui.perfetto.dev. It
+// applies to local runs only; with -remote, traces are recorded
+// server-side (submit with trace and fetch GET /jobs/{id}/trace).
 //
 // -json writes the typed per-figure rows (the same data the text report
 // renders), a timing section (the full suite compiled from scratch and
@@ -54,6 +61,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"clusched"
 	"clusched/internal/driver"
@@ -151,10 +159,19 @@ func main() {
 	strategies := flag.String("strategies", "", "comma-separated scheduling strategies to compare head-to-head (e.g. paper,unified,uas,moddist)")
 	strategiesConfig := flag.String("strategies-config", "4c2b2l64r", "machine configuration for the -strategies comparison")
 	remote := flag.String("remote", "", "run every suite compilation on a clusched-serve instance at this base URL instead of in-process")
+	traceOut := flag.String("trace", "", "record the run as Chrome trace-event JSON to this file (local runs only)")
 	flag.CommandLine.Parse(preprocessArgs(os.Args[1:]))
+
+	var trace *clusched.Trace
+	if *traceOut != "" && *remote == "" {
+		trace = clusched.NewTrace()
+	}
 
 	switch {
 	case *remote != "":
+		if *traceOut != "" {
+			fmt.Fprintln(os.Stderr, "paperbench: -trace is ignored with -remote (submit with trace and fetch GET /jobs/{id}/trace instead)")
+		}
 		// The experiments engine is a Backend seam: pointing it at the
 		// remote client reruns the whole evaluation as service traffic.
 		if *jobs != 0 {
@@ -172,8 +189,8 @@ func main() {
 		if *speculate > 1 {
 			fmt.Fprintln(os.Stderr, "paperbench: -speculate applies only to the local timed run with -remote (the server's own setting governs its compilations)")
 		}
-	case *jobs != 0 || *progress || *speculate > 1:
-		cfg := driver.Config{Workers: *jobs, Speculation: *speculate}
+	case *jobs != 0 || *progress || *speculate > 1 || trace != nil:
+		cfg := driver.Config{Workers: *jobs, Speculation: *speculate, Trace: trace}
 		if *progress {
 			cfg.Progress = func(done, total int) {
 				if done%100 == 0 || done == total {
@@ -274,6 +291,23 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 		}
+	}
+	if trace != nil {
+		// Every experiment has compiled by now; snapshot the recording.
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = trace.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		sum := trace.Summary()
+		fmt.Fprintf(os.Stderr, "wrote %s (%d spans on %d tracks over %v)\n",
+			*traceOut, sum.Spans, sum.Tracks, sum.Wall.Round(time.Millisecond))
 	}
 	if *out == "" {
 		if !jsonToStdout {

@@ -8,6 +8,7 @@
 //	loopgen -bench tomcatv -n 1 | replisched -config 4c1b2l64r -kernel -
 //	replisched -remote http://localhost:8357 -config 4c2b2l64r loop.ddg
 //	replisched -strategy uas -config 4c2b2l64r loop.ddg   # rival scheduling strategy
+//	replisched -trace trace.json loop.ddg   # record a Chrome trace of the compilation
 //
 // Flags select the machine (wcxbylzr or "unified"), the pipeline variant,
 // and whether to print the kernel and the cluster assignment. Inputs with
@@ -48,6 +49,7 @@ func main() {
 	simIters := flag.Int("verify", 0, "execute the schedule for N iterations and verify against direct evaluation")
 	dot := flag.Bool("dot", false, "print the partitioned DDG in Graphviz format")
 	remote := flag.String("remote", "", "compile on a clusched-serve instance at this base URL instead of in-process")
+	traceOut := flag.String("trace", "", "record the compilation as Chrome trace-event JSON to this file (local runs only)")
 	flag.Parse()
 
 	m, err := machine.Parse(*cfg)
@@ -89,15 +91,38 @@ func main() {
 	// satisfy clusched.Backend, and Collect keeps the reports in input
 	// order either way.
 	ctx := context.Background()
-	var backend clusched.Backend = clusched.NewLocal()
-	if *remote != "" {
+	var trace *clusched.Trace
+	var backend clusched.Backend
+	switch {
+	case *remote != "":
+		if *traceOut != "" {
+			fmt.Fprintln(os.Stderr, "replisched: -trace is ignored with -remote (the server records traces; see GET /jobs/{id}/trace)")
+		}
 		client := clusched.NewRemote(*remote)
 		if err := client.Health(ctx); err != nil {
 			fatal(fmt.Errorf("service at %s unreachable: %w", *remote, err))
 		}
 		backend = client
+	case *traceOut != "":
+		trace = clusched.NewTrace()
+		backend = clusched.NewLocal(clusched.WithTrace(trace))
+	default:
+		backend = clusched.NewLocal()
 	}
 	outcomes, batchErr := clusched.Collect(ctx, backend, jobs)
+	if trace != nil {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = trace.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fatal(fmt.Errorf("-trace: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "replisched: wrote %s\n", *traceOut)
+	}
 	for i, out := range outcomes {
 		g, res := jobs[i].Graph, out.Result
 		if out.Err != nil {

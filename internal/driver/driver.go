@@ -23,10 +23,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"clusched/internal/ddg"
 	"clusched/internal/machine"
 	"clusched/internal/pipeline"
+	"clusched/internal/telemetry"
 )
 
 // Job is one compilation request: a loop, a machine and pipeline options.
@@ -34,6 +36,11 @@ type Job struct {
 	Graph   *ddg.Graph
 	Machine machine.Config
 	Opts    pipeline.Options
+	// Trace, when non-nil, receives the job's execution spans (overriding
+	// the engine-wide Config.Trace). Tracing is an observation detail: it
+	// is no part of the job's cache identity (keyFor, JobKey), so traced
+	// and untraced submissions share results.
+	Trace *telemetry.Trace
 }
 
 // Outcome is the result of one Job. Exactly one of Result and Err is
@@ -43,6 +50,10 @@ type Outcome struct {
 	Result   *pipeline.Result
 	Err      error
 	CacheHit bool
+	// Elapsed is the wall time of the real compilation that produced this
+	// outcome; zero for outcomes served from the cache, the store or an
+	// in-flight duplicate. The service's slow-compilation log keys off it.
+	Elapsed time.Duration
 }
 
 // Progress observes batch completion: done jobs out of total. Callbacks are
@@ -94,6 +105,18 @@ type Config struct {
 	// cache identities (JobKey) do not change, so cached and stored
 	// results are shared across speculation widths. ≤ 1 disables it.
 	Speculation int
+	// Trace, when non-nil, records every job's execution into it: one span
+	// per job on its worker's track (annotated with cache outcome and
+	// queue wait), cache-lookup spans, and the pipeline's per-pass,
+	// per-attempt and speculative-lane spans underneath. Per-job
+	// Job.Trace overrides it. Nil keeps the engine on the untraced fast
+	// path.
+	Trace *telemetry.Trace
+	// Registry, when non-nil, receives the engine's metric instruments
+	// (compile-latency and II-attempt histograms, cache and per-strategy
+	// counters, speculative-lane tallies). Instrument updates are single
+	// atomic operations; nil skips them entirely.
+	Registry *telemetry.Registry
 }
 
 // StrategyStats is the per-strategy slice of the cache accounting.
@@ -138,6 +161,13 @@ type Compiler struct {
 	progress Progress
 	store    Store // nil when no persistent second level is configured
 
+	// trace is the engine-wide default trace (Config.Trace); metrics the
+	// registered instruments (nil without a Registry). laneStats tallies
+	// speculative-lane outcomes across all jobs.
+	trace     *telemetry.Trace
+	metrics   *engineMetrics
+	laneStats pipeline.LaneStats
+
 	// arenas recycles pipeline scratch arenas across compilations: each
 	// worker (or single-shot Compile call) borrows one for the duration of
 	// a compilation, so steady-state batch compilation allocates almost
@@ -172,14 +202,58 @@ type flight struct {
 	val  cacheValue
 }
 
+// engineMetrics is the engine's instrument set, registered when
+// Config.Registry is provided.
+type engineMetrics struct {
+	// compileSeconds observes the wall time of real (non-cached)
+	// compilations; iiAttempts their II ladder length (1 + tallied II
+	// increases, so skip-ahead-proven intervals count).
+	compileSeconds *telemetry.Histogram
+	iiAttempts     *telemetry.Histogram
+	// cacheLookups counts job lookups by outcome (hit, miss, store_hit);
+	// jobs counts served jobs by scheduling strategy.
+	cacheLookups *telemetry.CounterVec
+	jobs         *telemetry.CounterVec
+}
+
+// registerMetrics creates the engine's instruments in reg; the
+// speculative-lane counters read the live laneStats atomics at exposition
+// time.
+func (c *Compiler) registerMetrics(reg *telemetry.Registry) {
+	c.metrics = &engineMetrics{
+		compileSeconds: reg.NewHistogram("clusched_compile_seconds",
+			"Wall time of real (non-cached) compilations, in seconds.",
+			telemetry.ExponentialBuckets(0.0005, 2, 16)),
+		iiAttempts: reg.NewHistogram("clusched_ii_attempts",
+			"II attempts per compilation (1 + tallied II increases; skip-ahead-proven intervals count).",
+			[]float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}),
+		cacheLookups: reg.NewCounterVec("clusched_cache_lookups_total",
+			"Result-cache lookups by outcome.", "result"),
+		jobs: reg.NewCounterVec("clusched_jobs_total",
+			"Jobs served by scheduling strategy.", "strategy"),
+	}
+	reg.NewCounterFunc("clusched_spec_lanes_raced_total",
+		"Extra speculative II lanes launched.",
+		func() float64 { return float64(c.laneStats.Raced.Load()) })
+	reg.NewCounterFunc("clusched_spec_lanes_won_total",
+		"Speculative lanes whose accepted II became the result.",
+		func() float64 { return float64(c.laneStats.Won.Load()) })
+	reg.NewCounterFunc("clusched_spec_lanes_wasted_total",
+		"Speculative lanes whose work was cancelled or discarded.",
+		func() float64 { return float64(c.laneStats.Wasted.Load()) })
+}
+
 // New builds a Compiler from the config.
 func New(cfg Config) *Compiler {
 	w := cfg.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	c := &Compiler{workers: w, progress: cfg.Progress}
+	c := &Compiler{workers: w, progress: cfg.Progress, trace: cfg.Trace}
 	c.arenas.New = func() any { return pipeline.NewArena() }
+	if cfg.Registry != nil {
+		c.registerMetrics(cfg.Registry)
+	}
 	if cfg.Speculation > 1 {
 		c.spec = cfg.Speculation
 		c.specCap = int64(max(w, runtime.GOMAXPROCS(0)))
@@ -266,7 +340,7 @@ func JobKey(j Job) string {
 // ctx.Err() at the next II attempt once the context is done, and aborted
 // outcomes are never cached.
 func (c *Compiler) Compile(ctx context.Context, j Job) (*pipeline.Result, error) {
-	out := c.do(ctx, j)
+	out := c.do(ctx, j, "compile", time.Now())
 	return out.Result, out.Err
 }
 
@@ -277,35 +351,89 @@ func ctxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// do serves one job, consulting and populating the cache. Failures are
+// do serves one job: it resolves the job's trace (Job.Trace, falling back
+// to the engine-wide Config.Trace), wraps the serve in a "job" span on the
+// named track — annotated with the cache outcome and the wait since
+// enqueued — and counts per-strategy traffic. With tracing and metrics
+// off, it adds one nil check and falls straight through to serve.
+func (c *Compiler) do(ctx context.Context, j Job, track string, enqueued time.Time) Outcome {
+	if m := c.metrics; m != nil {
+		m.jobs.With(j.Opts.StrategyName()).Inc()
+	}
+	tr := j.Trace
+	if tr == nil {
+		tr = c.trace
+	}
+	if tr == nil {
+		return c.serve(ctx, j, nil, "")
+	}
+	tid := tr.Track(track)
+	start := tr.Now()
+	out := c.serve(ctx, j, tr, track)
+	wait := start - tr.At(enqueued)
+	if wait < 0 {
+		wait = 0
+	}
+	name := "job"
+	if j.Graph != nil {
+		name = j.Graph.Name
+	}
+	args := make([]telemetry.Arg, 0, 5)
+	args = append(args,
+		telemetry.Arg{Key: "machine", Val: j.Machine.Name},
+		telemetry.Arg{Key: "strategy", Val: j.Opts.StrategyName()},
+		telemetry.Arg{Key: "cached", Val: out.CacheHit},
+		telemetry.Arg{Key: "queue_wait_ms", Val: float64(wait.Microseconds()) / 1e3})
+	if out.Err != nil {
+		args = append(args, telemetry.Arg{Key: "error", Val: out.Err.Error()})
+	}
+	tr.Span(tid, "job", name, start, args...)
+	return out
+}
+
+// serve serves one job, consulting and populating the cache. Failures are
 // cached too: an unschedulable loop costs a full II sweep, the most
 // expensive outcome there is. Identical jobs running concurrently are
 // deduplicated: followers block on the leader's flight and share its
 // outcome (counted as hits) instead of recompiling. Cancelled
 // compilations are not cached, and a follower whose leader was cancelled
 // retries under its own context instead of inheriting the foreign error.
-func (c *Compiler) do(ctx context.Context, j Job) Outcome {
+func (c *Compiler) serve(ctx context.Context, j Job, tr *telemetry.Trace, track string) Outcome {
 	if err := ctx.Err(); err != nil {
 		return Outcome{Job: j, Err: err}
 	}
 	if c.cache == nil {
-		res, err := c.compile(ctx, j)
-		return Outcome{Job: j, Result: res, Err: err}
+		res, err, elapsed := c.compileTimed(ctx, j, tr, track)
+		return Outcome{Job: j, Result: res, Err: err, Elapsed: elapsed}
 	}
 
+	var tid int
+	if tr != nil {
+		tid = tr.Track(track)
+	}
 	key := keyFor(j)
 	for {
+		lookup := tr.Now()
 		c.mu.Lock()
 		if e, ok := c.cache.get(key); ok {
 			c.hits++
 			c.strat(j).Hits++
 			c.mu.Unlock()
+			if c.metrics != nil {
+				c.metrics.cacheLookups.With("hit").Inc()
+			}
+			if tr != nil {
+				tr.Span(tid, "cache", "lru-hit", lookup)
+			}
 			return Outcome{Job: j, Result: e.res, Err: e.err, CacheHit: true}
 		}
 		if f, ok := c.pending[key]; ok {
 			c.hits++
 			c.strat(j).Hits++
 			c.mu.Unlock()
+			if c.metrics != nil {
+				c.metrics.cacheLookups.With("hit").Inc()
+			}
 			select {
 			case <-f.done:
 			case <-ctx.Done():
@@ -315,6 +443,9 @@ func (c *Compiler) do(ctx context.Context, j Job) Outcome {
 				// The leader was cancelled under its own context; this
 				// caller is still live, so compete to become the leader.
 				continue
+			}
+			if tr != nil {
+				tr.Span(tid, "cache", "flight-join", lookup)
 			}
 			return Outcome{Job: j, Result: f.val.res, Err: f.val.err, CacheHit: true}
 		}
@@ -333,10 +464,16 @@ func (c *Compiler) do(ctx context.Context, j Job) Outcome {
 				delete(c.pending, key)
 				c.mu.Unlock()
 				close(f.done)
+				if c.metrics != nil {
+					c.metrics.cacheLookups.With("store_hit").Inc()
+				}
+				if tr != nil {
+					tr.Span(tid, "cache", "store-hit", lookup)
+				}
 				return Outcome{Job: j, Result: res, Err: cerr, CacheHit: true}
 			}
 		}
-		res, err := c.compile(ctx, j)
+		res, err, elapsed := c.compileTimed(ctx, j, tr, track)
 		f.val = cacheValue{res: res, err: err}
 		aborted := err != nil && ctxErr(err)
 		c.mu.Lock()
@@ -350,11 +487,37 @@ func (c *Compiler) do(ctx context.Context, j Job) Outcome {
 		}
 		c.mu.Unlock()
 		close(f.done)
-		if !aborted && c.store != nil {
-			c.store.Save(j, res, err)
+		if !aborted {
+			if c.metrics != nil {
+				c.metrics.cacheLookups.With("miss").Inc()
+			}
+			if c.store != nil {
+				c.store.Save(j, res, err)
+			}
 		}
-		return Outcome{Job: j, Result: res, Err: err}
+		return Outcome{Job: j, Result: res, Err: err, Elapsed: elapsed}
 	}
+}
+
+// compileTimed wraps compile with the wall clock and, when metrics are
+// registered, feeds the latency and II-attempt histograms (aborted
+// compilations are not observed — they describe the caller's patience,
+// not the job).
+func (c *Compiler) compileTimed(ctx context.Context, j Job, tr *telemetry.Trace, track string) (*pipeline.Result, error, time.Duration) {
+	t0 := time.Now()
+	res, err := c.compile(ctx, j, tr, track)
+	elapsed := time.Since(t0)
+	if c.metrics != nil && !(err != nil && ctxErr(err)) {
+		c.metrics.compileSeconds.Observe(elapsed.Seconds())
+		if res != nil {
+			attempts := 1
+			for _, n := range res.IIIncreases {
+				attempts += n
+			}
+			c.metrics.iiAttempts.Observe(float64(attempts))
+		}
+	}
+	return res, err, elapsed
 }
 
 // compile runs one real compilation on a recycled scratch arena. With
@@ -364,7 +527,7 @@ func (c *Compiler) do(ctx context.Context, j Job) Outcome {
 // speculative search joins every lane before returning, so the borrowed
 // arenas are always back in the pool here. With speculation off this path
 // is identical to before — no atomics, no extra allocations.
-func (c *Compiler) compile(ctx context.Context, j Job) (*pipeline.Result, error) {
+func (c *Compiler) compile(ctx context.Context, j Job, tr *telemetry.Trace, track string) (*pipeline.Result, error) {
 	arena := c.arenas.Get().(*pipeline.Arena)
 	var res *pipeline.Result
 	var err error
@@ -376,8 +539,13 @@ func (c *Compiler) compile(ctx context.Context, j Job) (*pipeline.Result, error)
 			PutArena:    c.laneArenaPut,
 			AcquireLane: c.acquireLane,
 			ReleaseLane: c.releaseLane,
+			Trace:       tr,
+			Track:       track,
+			Stats:       &c.laneStats,
 		})
 		c.specLoad.Add(-1)
+	} else if tr != nil {
+		res, err = pipeline.CompileContextTrace(ctx, j.Graph, j.Machine, j.Opts, arena, tr, track)
 	} else {
 		res, err = pipeline.CompileContextArena(ctx, j.Graph, j.Machine, j.Opts, arena)
 	}
@@ -475,12 +643,17 @@ func (c *Compiler) Stream(ctx context.Context, jobs []Job) iter.Seq2[int, Outcom
 			progMu  sync.Mutex
 			done    int
 		)
+		// Every job of the batch is enqueued now; a job's queue wait is
+		// the gap until a worker picks it up. Each worker owns one trace
+		// track: its jobs are sequential, so they share a lane in the
+		// viewer, while concurrent workers render side by side.
+		enqueued := time.Now()
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(track string) {
 				defer wg.Done()
 				for i := range idx {
-					out := c.do(sctx, jobs[i])
+					out := c.do(sctx, jobs[i], track, enqueued)
 					if c.progress != nil && !ctxErr(out.Err) {
 						progMu.Lock()
 						done++
@@ -489,7 +662,7 @@ func (c *Compiler) Stream(ctx context.Context, jobs []Job) iter.Seq2[int, Outcom
 					}
 					results <- indexed{i, out}
 				}
-			}()
+			}(fmt.Sprintf("worker-%02d", w))
 		}
 		go func() {
 			next := 0
@@ -569,6 +742,14 @@ func (c *Compiler) CacheStats() CacheStats {
 		}
 	}
 	return s
+}
+
+// LaneStats reports the speculative-lane tallies accumulated across all
+// jobs: extra lanes raced, lanes whose accepted II became a result, and
+// lanes whose work was cancelled or discarded. All zero with speculation
+// off.
+func (c *Compiler) LaneStats() (raced, won, wasted uint64) {
+	return c.laneStats.Raced.Load(), c.laneStats.Won.Load(), c.laneStats.Wasted.Load()
 }
 
 // ResetCache drops every cached result and zeroes the hit/miss counters,

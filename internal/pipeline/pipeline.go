@@ -14,6 +14,7 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"clusched/internal/ddg"
 	"clusched/internal/machine"
@@ -21,6 +22,7 @@ import (
 	"clusched/internal/partition"
 	"clusched/internal/replic"
 	"clusched/internal/sched"
+	"clusched/internal/telemetry"
 )
 
 // Cause classifies why the II had to be increased past the MII.
@@ -253,28 +255,38 @@ type Pass interface {
 // Compile compiles one loop under the strategy opts.Strategy selects (the
 // paper's Fig. 2 driver by default), searching upward from II = MII.
 func Compile(g *ddg.Graph, m machine.Config, opts Options) (*Result, error) {
-	return compileStrategy(context.Background(), g, m, opts, nil, false)
+	return compileStrategy(context.Background(), g, m, opts, nil, false, nil, "")
 }
 
 // CompileContext is Compile with cancellation: the II search checks the
 // context before every attempt and aborts with ctx.Err(). A compilation
 // abandoned this way returns no partial Result.
 func CompileContext(ctx context.Context, g *ddg.Graph, m machine.Config, opts Options) (*Result, error) {
-	return compileStrategy(ctx, g, m, opts, nil, false)
+	return compileStrategy(ctx, g, m, opts, nil, false, nil, "")
 }
 
 // CompileContextArena is CompileContext over a caller-owned scratch arena
 // (see Arena); the driver's workers use it to recycle allocations across
 // jobs.
 func CompileContextArena(ctx context.Context, g *ddg.Graph, m machine.Config, opts Options, arena *Arena) (*Result, error) {
-	return compileStrategy(ctx, g, m, opts, arena, false)
+	return compileStrategy(ctx, g, m, opts, arena, false, nil, "")
+}
+
+// CompileContextTrace is CompileContextArena with execution tracing: the
+// II search records one span per executed pass and per II attempt (plus
+// skip-ahead markers) into tr on the named track. A nil tr selects the
+// exact untraced code path — the nil check happens once, outside the
+// attempt loop, so tracing-off adds zero allocations (held by the
+// alloc-pin test in telemetry_pipeline_test.go).
+func CompileContextTrace(ctx context.Context, g *ddg.Graph, m machine.Config, opts Options, arena *Arena, tr *telemetry.Trace, track string) (*Result, error) {
+	return compileStrategy(ctx, g, m, opts, arena, false, tr, track)
 }
 
 // CompileLinear is Compile over the reference linear II search (no
 // skip-ahead, regardless of the strategy's capability). It exists for
 // differential tests proving search parity; it is never the fast path.
 func CompileLinear(g *ddg.Graph, m machine.Config, opts Options) (*Result, error) {
-	return compileStrategy(context.Background(), g, m, opts, nil, true)
+	return compileStrategy(context.Background(), g, m, opts, nil, true, nil, "")
 }
 
 // resolveStrategy resolves and validates the strategy of opts, applies its
@@ -301,12 +313,12 @@ func resolveStrategy(opts Options, m machine.Config, forceLinear bool) (Strategy
 
 // compileStrategy resolves the strategy and drives its pass chain through
 // the II search.
-func compileStrategy(cctx context.Context, g *ddg.Graph, m machine.Config, opts Options, arena *Arena, forceLinear bool) (*Result, error) {
+func compileStrategy(cctx context.Context, g *ddg.Graph, m machine.Config, opts Options, arena *Arena, forceLinear bool, tr *telemetry.Trace, track string) (*Result, error) {
 	s, m, skip, err := resolveStrategy(opts, m, forceLinear)
 	if err != nil {
 		return nil, err
 	}
-	return runSearch(cctx, g, m, opts, s.Chain(), arena, skip)
+	return runSearch(cctx, g, m, opts, s.Chain(), arena, skip, tr, track)
 }
 
 // MaxII returns the automatic II search bound for a loop on a machine: any
@@ -340,17 +352,60 @@ func RunContext(cctx context.Context, g *ddg.Graph, m machine.Config, opts Optio
 // the result is bit-identical to the plain II+1 search, which
 // RunContextLinear keeps available as the differential-testing reference.
 func RunContextArena(cctx context.Context, g *ddg.Graph, m machine.Config, opts Options, passes []Pass, arena *Arena) (*Result, error) {
-	return runSearch(cctx, g, m, opts, passes, arena, true)
+	return runSearch(cctx, g, m, opts, passes, arena, true, nil, "")
 }
 
 // RunContextLinear is the reference linear II search: one attempt per
 // interval, no skip-ahead. It exists so tests can prove the skip-ahead
 // search returns bit-identical Results; production callers use RunContext.
 func RunContextLinear(cctx context.Context, g *ddg.Graph, m machine.Config, opts Options, passes []Pass) (*Result, error) {
-	return runSearch(cctx, g, m, opts, passes, nil, false)
+	return runSearch(cctx, g, m, opts, passes, nil, false, nil, "")
 }
 
-func runSearch(cctx context.Context, g *ddg.Graph, m machine.Config, opts Options, passes []Pass, arena *Arena, skip bool) (*Result, error) {
+// runAttempt executes one II attempt's pass chain over ctx; the first
+// pass to Fail ends the attempt. This is the untraced hot path — its body
+// must stay free of telemetry so the tracing-off alloc pins hold.
+func runAttempt(ctx *Context, passes []Pass) error {
+	for _, p := range passes {
+		if err := p.Run(ctx); err != nil {
+			return err
+		}
+		if ctx.failed {
+			break
+		}
+	}
+	return nil
+}
+
+// runAttemptTraced is runAttempt plus one span per executed pass and one
+// enclosing span per attempt (annotated with the outcome and, on failure,
+// the cause). Only reached when a trace is attached.
+func runAttemptTraced(ctx *Context, passes []Pass, tr *telemetry.Trace, tid int) error {
+	attemptStart := tr.Now()
+	for _, p := range passes {
+		passStart := tr.Now()
+		err := p.Run(ctx)
+		tr.Span(tid, "pass", p.Name(), passStart)
+		if err != nil {
+			return err
+		}
+		if ctx.failed {
+			break
+		}
+	}
+	name := "II=" + strconv.Itoa(ctx.II)
+	if cause, failed := ctx.Failed(); failed {
+		tr.Span(tid, "attempt", name, attemptStart,
+			telemetry.Arg{Key: "outcome", Val: "fail"},
+			telemetry.Arg{Key: "cause", Val: cause.String()})
+	} else {
+		tr.Span(tid, "attempt", name, attemptStart,
+			telemetry.Arg{Key: "outcome", Val: "accept"})
+	}
+	return nil
+}
+
+func runSearch(cctx context.Context, g *ddg.Graph, m machine.Config, opts Options, passes []Pass, arena *Arena, skip bool, tr *telemetry.Trace, track string) (*Result, error) {
 	if arena == nil {
 		arena = NewArena()
 	}
@@ -364,19 +419,25 @@ func runSearch(cctx context.Context, g *ddg.Graph, m machine.Config, opts Option
 	if maxII == 0 {
 		maxII = MaxII(g, m, res.MII)
 	}
+	var tid int
+	if tr != nil {
+		if track == "" {
+			track = "compile"
+		}
+		tid = tr.Track(track)
+	}
 	ctx := &Context{Graph: g, Machine: m, Opts: opts, MII: res.MII, arena: arena}
 	for ii := res.MII; ii <= maxII; ii++ {
 		if err := cctx.Err(); err != nil {
 			return nil, err
 		}
 		ctx.reset(ii)
-		for _, p := range passes {
-			if err := p.Run(ctx); err != nil {
+		if tr == nil {
+			if err := runAttempt(ctx, passes); err != nil {
 				return nil, err
 			}
-			if ctx.failed {
-				break
-			}
+		} else if err := runAttemptTraced(ctx, passes, tr, tid); err != nil {
+			return nil, err
 		}
 		if cause, failed := ctx.Failed(); failed {
 			res.IIIncreases[cause]++
@@ -388,6 +449,11 @@ func runSearch(cctx context.Context, g *ddg.Graph, m machine.Config, opts Option
 				if next := ctx.skipTarget(); next > ii+1 {
 					skipped := min(next, maxII+1) - (ii + 1)
 					res.IIIncreases[cause] += skipped
+					if tr != nil {
+						tr.Instant(tid, "search", "skip-ahead",
+							telemetry.Arg{Key: "from", Val: ii + 1},
+							telemetry.Arg{Key: "to", Val: ii + 1 + skipped})
+					}
 					ii += skipped
 				}
 			}

@@ -36,12 +36,15 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"clusched/internal/ddg"
 	"clusched/internal/machine"
 	"clusched/internal/mii"
 	"clusched/internal/partition"
+	"clusched/internal/telemetry"
 )
 
 // SpecConfig parameterizes the speculative II search (CompileContextSpec).
@@ -64,6 +67,28 @@ type SpecConfig struct {
 	// AcquireLane always admits.
 	AcquireLane func() bool
 	ReleaseLane func()
+	// Trace, when non-nil, records the search into it: lane 0 shares the
+	// Track named here (same convention as CompileContextTrace) and each
+	// extra lane index gets its own "<track> spec+j" track, so the race is
+	// visible as parallel lanes in the trace viewer. Tracing changes no
+	// observable behavior.
+	Trace *telemetry.Trace
+	Track string
+	// Stats, when non-nil, tallies speculative-lane outcomes across the
+	// search (the driver aggregates one LaneStats across all its jobs).
+	Stats *LaneStats
+}
+
+// LaneStats tallies speculative-lane outcomes with atomic counters shared
+// across concurrent searches. Raced counts extra lanes launched beyond
+// the sequential frontier lane; Won counts raced lanes whose accepted II
+// became the result; Wasted counts raced lanes whose work was thrown away
+// (cancelled after a lower interval succeeded, or discarded because
+// skip-ahead proved their interval without them). Raced − Won − Wasted
+// lanes did useful confirmed-failure work the sequential search would
+// have performed anyway.
+type LaneStats struct {
+	Raced, Won, Wasted atomic.Uint64
 }
 
 // attemptReplayer is the optional strategy capability gating the
@@ -109,7 +134,7 @@ func CompileContextSpec(cctx context.Context, g *ddg.Graph, m machine.Config, op
 	}
 	rep, ok := s.(attemptReplayer)
 	if !ok || spec.Lanes <= 1 {
-		return runSearch(cctx, g, m, opts, s.Chain(), arena, skip)
+		return runSearch(cctx, g, m, opts, s.Chain(), arena, skip, spec.Trace, spec.Track)
 	}
 	return runSpecSearch(cctx, g, m, opts, s, rep, arena, spec, skip)
 }
@@ -124,6 +149,10 @@ type specLane struct {
 	done   chan struct{}
 	cctx   context.Context
 	cancel context.CancelFunc
+	// tr and tid route the lane's spans to its own trace track; tr is nil
+	// when the search is untraced.
+	tr  *telemetry.Trace
+	tid int
 }
 
 func newSpecLane(parent context.Context, ii int) *specLane {
@@ -140,7 +169,9 @@ func newSpecLane(parent context.Context, ii int) *specLane {
 // a cancel is at most one pass.
 func (ln *specLane) run(g *ddg.Graph, m machine.Config, opts Options, s Strategy, rep attemptReplayer, miiLB, confirmed int, seed *partition.Assignment, arena *Arena) {
 	defer close(ln.done)
+	tr := ln.tr
 	ctx := &Context{Graph: g, Machine: m, Opts: opts, MII: miiLB, Assign: seed, arena: arena}
+	replayStart := tr.Now()
 	for ii := confirmed + 1; ii < ln.ii; ii++ {
 		if err := ln.cctx.Err(); err != nil {
 			ln.err = err
@@ -149,18 +180,44 @@ func (ln *specLane) run(g *ddg.Graph, m machine.Config, opts Options, s Strategy
 		ctx.reset(ii)
 		rep.ReplayFailedAttempt(ctx)
 	}
+	if tr != nil && ln.ii > confirmed+1 {
+		tr.Span(ln.tid, "lane", "replay", replayStart,
+			telemetry.Arg{Key: "from", Val: confirmed + 1},
+			telemetry.Arg{Key: "to", Val: ln.ii - 1})
+	}
 	ctx.reset(ln.ii)
+	attemptStart := tr.Now()
+	attemptName := func() string { return "II=" + strconv.Itoa(ln.ii) }
 	for _, p := range s.Chain() {
 		if err := ln.cctx.Err(); err != nil {
 			ln.err = err
+			if tr != nil {
+				tr.Span(ln.tid, "attempt", attemptName(), attemptStart,
+					telemetry.Arg{Key: "outcome", Val: "cancelled"})
+			}
 			return
 		}
-		if err := p.Run(ctx); err != nil {
+		passStart := tr.Now()
+		err := p.Run(ctx)
+		if tr != nil {
+			tr.Span(ln.tid, "pass", p.Name(), passStart)
+		}
+		if err != nil {
 			ln.err = err
 			return
 		}
 		if ctx.failed {
 			break
+		}
+	}
+	if tr != nil {
+		if cause, failed := ctx.Failed(); failed {
+			tr.Span(ln.tid, "attempt", attemptName(), attemptStart,
+				telemetry.Arg{Key: "outcome", Val: "fail"},
+				telemetry.Arg{Key: "cause", Val: cause.String()})
+		} else {
+			tr.Span(ln.tid, "attempt", attemptName(), attemptStart,
+				telemetry.Arg{Key: "outcome", Val: "accept"})
 		}
 	}
 	ln.ctx = ctx
@@ -192,6 +249,28 @@ func runSpecSearch(cctx context.Context, g *ddg.Graph, m machine.Config, opts Op
 	}
 	acquire, release := spec.AcquireLane, spec.ReleaseLane
 
+	// Lane 0 — the sequential frontier — shares the compilation's main
+	// track; each extra lane index j reuses one "<track> spec+j" track
+	// across rounds, so a k-wide search renders as k parallel lanes.
+	tr, stats := spec.Trace, spec.Stats
+	var mainTid int
+	track := spec.Track
+	if tr != nil {
+		if track == "" {
+			track = "compile"
+		}
+		mainTid = tr.Track(track)
+	}
+	laneTid := func(j int) int {
+		if tr == nil {
+			return 0
+		}
+		if j == 0 {
+			return mainTid
+		}
+		return tr.Track(track + " spec+" + strconv.Itoa(j))
+	}
+
 	// confirmed is the largest interval proven to fail (and tallied);
 	// assign is the refined assignment of the last real attempt at or below
 	// it — the lineage seed for every lane of the next round. Skip-ahead
@@ -215,6 +294,14 @@ func runSpecSearch(cctx context.Context, g *ddg.Graph, m machine.Config, opts Op
 				break // budget exhausted; candidates must stay contiguous
 			}
 			lanes = append(lanes, newSpecLane(cctx, confirmed+1+j))
+		}
+		if stats != nil && len(lanes) > 1 {
+			stats.Raced.Add(uint64(len(lanes) - 1))
+		}
+		if tr != nil {
+			for j, ln := range lanes {
+				ln.tr, ln.tid = tr, laneTid(j)
+			}
 		}
 
 		// Extra lanes run on their own goroutines and pooled arenas; lane 0
@@ -250,6 +337,13 @@ func runSpecSearch(cctx context.Context, g *ddg.Graph, m machine.Config, opts Op
 				// interval; the lane's outcome is a provably identical
 				// failure. Do not wait for it — just stop it.
 				ln.cancel()
+				if i > 0 && stats != nil {
+					stats.Wasted.Add(1)
+				}
+				if tr != nil {
+					tr.Instant(ln.tid, "lane", "discarded",
+						telemetry.Arg{Key: "ii", Val: ln.ii})
+				}
 				continue
 			}
 			<-ln.done
@@ -265,15 +359,30 @@ func runSpecSearch(cctx context.Context, g *ddg.Graph, m machine.Config, opts Op
 					if next := ln.ctx.skipTarget(); next > ln.ii+1 {
 						skipped := min(next, maxII+1) - (ln.ii + 1)
 						res.IIIncreases[cause] += skipped
+						if tr != nil {
+							tr.Instant(ln.tid, "search", "skip-ahead",
+								telemetry.Arg{Key: "from", Val: ln.ii + 1},
+								telemetry.Arg{Key: "to", Val: ln.ii + 1 + skipped})
+						}
 						confirmed += skipped
 					}
 				}
 				continue
 			} else {
 				winner = i
+				if i > 0 && stats != nil {
+					stats.Won.Add(1)
+				}
+				if tr != nil && i > 0 {
+					tr.Instant(ln.tid, "lane", "won",
+						telemetry.Arg{Key: "ii", Val: ln.ii})
+				}
 			}
 			for _, rest := range lanes[i+1:] {
 				rest.cancel()
+				if stats != nil {
+					stats.Wasted.Add(1)
+				}
 			}
 			break
 		}

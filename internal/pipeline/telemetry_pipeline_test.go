@@ -1,0 +1,112 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strconv"
+	"testing"
+
+	"clusched/internal/machine"
+	"clusched/internal/telemetry"
+)
+
+// TestTracedCompileMatchesUntraced proves tracing is observation only: the
+// traced compilation returns the same Result as the plain one.
+func TestTracedCompileMatchesUntraced(t *testing.T) {
+	g := commBound(t)
+	m := machine.MustParse("4c1b2l64r")
+	opts := Options{Replicate: true, VerifySchedules: true}
+
+	plain, perr := CompileContextArena(context.Background(), g, m, opts, nil)
+	tr := telemetry.NewTrace()
+	traced, terr := CompileContextTrace(context.Background(), g, m, opts, nil, tr, "t")
+	requireSameResult(t, g.Name, traced, plain, terr, perr)
+}
+
+// TestTraceRecordsAttemptsAndPasses checks the span tree of one traced II
+// search: one attempt span per II tried (named II=n, the last accepted),
+// pass spans within, all on the requested track.
+func TestTraceRecordsAttemptsAndPasses(t *testing.T) {
+	g := commBound(t)
+	m := machine.MustParse("4c1b2l64r")
+
+	tr := telemetry.NewTrace()
+	res, err := CompileContextTrace(context.Background(), g, m, Options{}, nil, tr, "compile")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+
+	attempts, passes := 0, 0
+	acceptedName := ""
+	for _, ev := range doc.TraceEvents {
+		switch ev.Cat {
+		case "attempt":
+			attempts++
+			if ev.Args["outcome"] == "accept" {
+				acceptedName = ev.Name
+			} else if ev.Args["cause"] == nil {
+				t.Errorf("failed attempt %s without a cause arg", ev.Name)
+			}
+		case "pass":
+			passes++
+		}
+	}
+	// Skip-ahead may prove intervals failed without running them, so the
+	// recorded attempts are a lower bound of 1 + IIIncreases and at least
+	// the accepted one.
+	if attempts < 1 {
+		t.Fatal("no attempt spans recorded")
+	}
+	if passes < attempts {
+		t.Errorf("%d pass spans for %d attempts", passes, attempts)
+	}
+	if want := "II=" + strconv.Itoa(res.II); acceptedName != want {
+		t.Errorf("accepted attempt span named %q, want %q", acceptedName, want)
+	}
+}
+
+// TestTracingOffAddsZeroAllocs is the zero-overhead-when-off pin: with a
+// nil trace, CompileContextTrace runs the identical untraced attempt loop,
+// so a warm-arena compilation allocates exactly what CompileContextArena
+// does — any telemetry cost leaking onto the nil path regresses this.
+func TestTracingOffAddsZeroAllocs(t *testing.T) {
+	g := commBound(t)
+	m := machine.MustParse("4c2b2l64r")
+	ctx := context.Background()
+
+	arena := NewArena()
+	// Warm the arena so both measurements see the steady state.
+	if _, err := CompileContextArena(ctx, g, m, Options{}, arena); err != nil {
+		t.Fatal(err)
+	}
+	base := testing.AllocsPerRun(20, func() {
+		if _, err := CompileContextArena(ctx, g, m, Options{}, arena); err != nil {
+			t.Fatal(err)
+		}
+	})
+	withNil := testing.AllocsPerRun(20, func() {
+		if _, err := CompileContextTrace(ctx, g, m, Options{}, arena, nil, ""); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if withNil > base {
+		t.Errorf("nil-trace compile allocates %.1f objects, untraced %.1f — tracing-off must add zero", withNil, base)
+	}
+}

@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/debug"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"clusched/internal/driver"
@@ -20,25 +23,89 @@ import (
 //	GET    /batch/{id}/stream  NDJSON outcome stream: hello, one outcome frame
 //	                           per finished job as it completes, done
 //	GET    /jobs/{id}          ticket status, outcomes once finished
+//	GET    /jobs/{id}/trace    the ticket's execution trace (Chrome trace-event JSON)
 //	DELETE /jobs/{id}          cancel
 //	GET    /strategies         wire.StrategiesResponse: the registered scheduling strategies
 //	GET    /stats              wire.ServiceStats (with per-strategy counters)
-//	GET    /healthz            200 when serving, 503 while draining
+//	GET    /metrics            Prometheus text exposition of the same registry
+//	GET    /healthz            build info + uptime when serving, 503 while draining
 //
 // Bodies are JSON. Queue-full rejections answer 429 with a Retry-After
 // header and a wire.ErrorResponse carrying the same hint. Jobs naming an
 // unregistered strategy are rejected at decode time (400).
+//
+// Every request gets an ID (X-Request-ID response header, echoed from the
+// client's own header when present); with Config.AccessLog each request
+// additionally emits one structured log line.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /compile", s.handleCompile)
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("GET /batch/{id}/stream", s.handleBatchStream)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /strategies", s.handleStrategies)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	return s.instrument(mux)
+}
+
+// reqSeq numbers requests for the generated request IDs.
+var reqSeq atomic.Uint64
+
+// statusRecorder captures the response status for the access log. It
+// forwards Flush so the NDJSON stream endpoint keeps its per-frame
+// flushing through the wrapper.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps the mux with the request-ID, response-count and
+// access-log middleware.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = fmt.Sprintf("req-%06d", reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", id)
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		s.metrics.httpRequests.With(strconv.Itoa(rec.status)).Inc()
+		if s.cfg.AccessLog {
+			s.logger.Info("request",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", rec.status,
+				"duration", time.Since(start),
+				"request_id", id)
+		}
+	})
 }
 
 // maxRequestBody bounds request bodies (a 678-loop suite batch is ~2 MB;
@@ -57,8 +124,8 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 // submit funnels both endpoints through the same admission path.
-func (s *Server) submitHTTP(w http.ResponseWriter, jobs []driver.Job, timeout time.Duration) (string, bool) {
-	id, err := s.Submit(jobs, SubmitOptions{Timeout: timeout})
+func (s *Server) submitHTTP(w http.ResponseWriter, jobs []driver.Job, opts SubmitOptions) (string, bool) {
+	id, err := s.Submit(jobs, opts)
 	if err == nil {
 		return id, true
 	}
@@ -104,7 +171,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	id, ok := s.submitHTTP(w, jobs, 0)
+	id, ok := s.submitHTTP(w, jobs, SubmitOptions{Trace: r.URL.Query().Get("trace") != ""})
 	if !ok {
 		return
 	}
@@ -132,7 +199,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	id, ok := s.submitHTTP(w, jobs, time.Duration(req.TimeoutMS)*time.Millisecond)
+	id, ok := s.submitHTTP(w, jobs, SubmitOptions{
+		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+		Trace:   req.Trace,
+	})
 	if !ok {
 		return
 	}
@@ -227,7 +297,16 @@ func (s *Server) handleBatchStream(w http.ResponseWriter, r *http.Request) {
 	if final.Err != nil {
 		msg = final.Err.Error()
 	}
-	write(wire.DoneFrame(final.State.String(), msg))
+	done := wire.DoneFrame(final.State.String(), msg)
+	if t.trace != nil {
+		sum := t.trace.Summary()
+		done.Trace = &wire.TraceSummary{
+			Spans:  sum.Spans,
+			Tracks: sum.Tracks,
+			WallMS: float64(sum.Wall.Microseconds()) / 1e3,
+		}
+	}
+	write(done)
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
@@ -251,6 +330,28 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// handleMetrics serves the whole metric registry — the engine's
+// histograms and counters plus the service's own — in the Prometheus
+// text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.registry.WritePrometheus(w)
+}
+
+// handleJobTrace serves a traced ticket's execution spans as Chrome
+// trace-event JSON (load the file in chrome://tracing or Perfetto). 404
+// for unknown tickets and for tickets submitted without tracing.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := s.Trace(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no trace for ticket %q (submit with trace enabled)", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	tr.WriteJSON(w)
+}
+
 // handleStrategies lists the scheduling strategies this server's pipeline
 // registers, so clients can discover what a job's options.strategy may
 // name before submitting.
@@ -267,11 +368,33 @@ func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// buildInfo resolves the binary's build identity once: module version, VCS
+// revision and dirtiness from the stamped debug.BuildInfo.
+var buildInfo = sync.OnceValue(func() wire.HealthResponse {
+	h := wire.HealthResponse{Status: "ok"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return h
+	}
+	h.Version = bi.Main.Version
+	h.GoVersion = bi.GoVersion
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			h.Revision = kv.Value
+		case "vcs.modified":
+			h.Dirty = kv.Value == "true"
+		}
+	}
+	return h
+})
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain")
-	fmt.Fprintln(w, "ok")
+	h := buildInfo()
+	h.UptimeSec = time.Since(s.start).Seconds()
+	writeJSON(w, http.StatusOK, h)
 }

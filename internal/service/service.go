@@ -22,10 +22,12 @@ import (
 	"errors"
 	"fmt"
 	"iter"
+	"log/slog"
 	"sync"
 	"time"
 
 	"clusched/internal/driver"
+	"clusched/internal/telemetry"
 	"clusched/internal/wire"
 )
 
@@ -57,6 +59,20 @@ type Config struct {
 	// and cache identities are unchanged, so it is safe to flip on a
 	// server whose Store already holds results.
 	Speculation int
+	// TraceJobs records an execution trace for every ticket, as if each
+	// submission had asked for one (SubmitOptions.Trace); traces are
+	// served from GET /jobs/{id}/trace. Off by default — tracing is cheap
+	// but not free, and per-ticket opt-in is the normal mode.
+	TraceJobs bool
+	// SlowCompile, when > 0, logs a warning for every real compilation
+	// whose wall time reaches it (cache hits never trigger it).
+	SlowCompile time.Duration
+	// Logger receives the server's structured logs (ticket lifecycle,
+	// slow compilations, HTTP access lines); nil discards them.
+	Logger *slog.Logger
+	// AccessLog emits one Logger line per HTTP request (method, path,
+	// status, duration, request ID).
+	AccessLog bool
 }
 
 // ErrShuttingDown rejects submissions during graceful drain.
@@ -131,6 +147,9 @@ type ticket struct {
 	ctx     context.Context
 	cancel  context.CancelCauseFunc
 	created time.Time
+	// trace is the ticket's execution trace (nil for untraced tickets);
+	// its epoch is the submission instant, so the queued span starts at 0.
+	trace *telemetry.Trace
 
 	mu       sync.Mutex
 	state    State
@@ -210,24 +229,38 @@ type Server struct {
 	compiler *driver.Compiler
 	queue    chan *ticket
 	start    time.Time
+	logger   *slog.Logger
+
+	// registry holds every metric instrument of this server (the engine's
+	// and the service's own); GET /metrics and Stats both read it, so the
+	// two views can never disagree.
+	registry *telemetry.Registry
+	metrics  serviceMetrics
 
 	mu        sync.Mutex
 	tickets   map[string]*ticket
 	doneOrder []string // finished ticket IDs in retirement order, for pruning
 	seq       uint64
 	draining  bool
-	inFlight  int
-
-	// lifecycle counters (guarded by mu)
-	submitted uint64
-	completed uint64
-	canceled  uint64
-	rejected  uint64
-	jobsDone  uint64
-	// jobsByStrategy counts accepted jobs per canonical strategy name.
-	jobsByStrategy map[string]uint64
 
 	runnerWG sync.WaitGroup
+}
+
+// serviceMetrics is the service's own instrument set (the engine
+// registers its instruments separately via driver.Config.Registry). The
+// lifecycle counters of /stats live here — the registry is the single
+// source of truth, not a parallel set of ad-hoc fields.
+type serviceMetrics struct {
+	// tickets counts lifecycle events (submitted, completed, canceled,
+	// rejected); jobsSubmitted counts accepted jobs by strategy.
+	tickets       *telemetry.CounterVec
+	jobsSubmitted *telemetry.CounterVec
+	// jobsDone counts loop compilations served (cache hits included).
+	jobsDone *telemetry.Counter
+	// inFlight gauges batches currently running.
+	inFlight *telemetry.Gauge
+	// httpRequests counts HTTP responses by status code (see http.go).
+	httpRequests *telemetry.CounterVec
 }
 
 // New starts a Server: the runners come up immediately and wait for work.
@@ -238,6 +271,11 @@ func New(cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	reg := telemetry.NewRegistry()
 	s := &Server{
 		cfg: cfg,
 		compiler: driver.New(driver.Config{
@@ -245,18 +283,45 @@ func New(cfg Config) *Server {
 			CacheSize:   cfg.CacheSize,
 			Store:       cfg.Store,
 			Speculation: cfg.Speculation,
+			Registry:    reg,
 		}),
-		queue:          make(chan *ticket, cfg.QueueDepth),
-		start:          time.Now(),
-		tickets:        make(map[string]*ticket),
-		jobsByStrategy: make(map[string]uint64),
+		queue:    make(chan *ticket, cfg.QueueDepth),
+		start:    time.Now(),
+		logger:   logger,
+		registry: reg,
+		tickets:  make(map[string]*ticket),
+		metrics: serviceMetrics{
+			tickets: reg.NewCounterVec("clusched_tickets_total",
+				"Ticket lifecycle events.", "event"),
+			jobsSubmitted: reg.NewCounterVec("clusched_jobs_submitted_total",
+				"Jobs accepted into the queue by scheduling strategy.", "strategy"),
+			jobsDone: reg.NewCounter("clusched_service_jobs_completed_total",
+				"Loop compilations served (cache hits included)."),
+			inFlight: reg.NewGauge("clusched_inflight_batches",
+				"Batches currently running."),
+			httpRequests: reg.NewCounterVec("clusched_http_requests_total",
+				"HTTP responses by status code.", "code"),
+		},
 	}
+	reg.NewGaugeFunc("clusched_queue_length",
+		"Tickets waiting in the admission queue.",
+		func() float64 { return float64(len(s.queue)) })
+	reg.NewGaugeFunc("clusched_queue_capacity",
+		"Admission-queue bound (Config.QueueDepth).",
+		func() float64 { return float64(cfg.QueueDepth) })
+	reg.NewGaugeFunc("clusched_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
 	for i := 0; i < cfg.Runners; i++ {
 		s.runnerWG.Add(1)
 		go s.run()
 	}
 	return s
 }
+
+// Registry exposes the server's metric registry (GET /metrics serves it;
+// tests register probes against it).
+func (s *Server) Registry() *telemetry.Registry { return s.registry }
 
 // errCanceled is the cancellation cause for explicit Cancel calls.
 var errCanceled = errors.New("service: canceled by request")
@@ -266,6 +331,10 @@ type SubmitOptions struct {
 	// Timeout bounds the ticket's lifetime from submission; 0 falls back
 	// to the server's DefaultTimeout.
 	Timeout time.Duration
+	// Trace records an execution trace for this ticket (see
+	// Server.Trace and GET /jobs/{id}/trace). Config.TraceJobs traces
+	// every ticket regardless.
+	Trace bool
 }
 
 // Submit enqueues a batch and returns its ticket ID immediately. It
@@ -283,8 +352,8 @@ func (s *Server) Submit(jobs []driver.Job, opts SubmitOptions) (string, error) {
 
 	s.mu.Lock()
 	if s.draining {
-		s.rejected++
 		s.mu.Unlock()
+		s.metrics.tickets.With("rejected").Inc()
 		return "", ErrShuttingDown
 	}
 	s.seq++
@@ -294,6 +363,9 @@ func (s *Server) Submit(jobs []driver.Job, opts SubmitOptions) (string, error) {
 		created: time.Now(),
 		done:    make(chan struct{}),
 		update:  make(chan struct{}),
+	}
+	if opts.Trace || s.cfg.TraceJobs {
+		t.trace = telemetry.NewTrace()
 	}
 	ctx := context.Background()
 	cancelT := context.CancelFunc(func() {})
@@ -307,11 +379,13 @@ func (s *Server) Submit(jobs []driver.Job, opts SubmitOptions) (string, error) {
 	select {
 	case s.queue <- t:
 		s.tickets[t.id] = t
-		s.submitted++
-		for i := range jobs {
-			s.jobsByStrategy[jobs[i].Opts.StrategyName()]++
-		}
 		s.mu.Unlock()
+		s.metrics.tickets.With("submitted").Inc()
+		for i := range jobs {
+			s.metrics.jobsSubmitted.With(jobs[i].Opts.StrategyName()).Inc()
+		}
+		s.logger.Debug("ticket submitted",
+			"ticket", t.id, "jobs", len(jobs), "traced", t.trace != nil)
 		// Watcher: a ticket cancelled or expired while still queued is
 		// retired on the spot instead of waiting for a runner to reach it
 		// (claim/finish arbitrate the race with a runner picking it up).
@@ -326,12 +400,15 @@ func (s *Server) Submit(jobs []driver.Job, opts SubmitOptions) (string, error) {
 		}()
 		return t.id, nil
 	default:
-		s.rejected++
 		s.mu.Unlock()
+		s.metrics.tickets.With("rejected").Inc()
 		t.cancel(nil)
 		cancelT()
 		close(t.done)
-		return "", &ErrQueueFull{RetryAfter: s.retryAfter()}
+		retry := s.retryAfter()
+		s.logger.Warn("ticket rejected: queue full",
+			"jobs", len(jobs), "retry_after", retry)
+		return "", &ErrQueueFull{RetryAfter: retry}
 	}
 }
 
@@ -362,26 +439,55 @@ func (s *Server) serve(t *ticket) {
 		// Cancelled or expired while queued; the watcher retired it.
 		return
 	}
-	s.mu.Lock()
-	s.inFlight++
-	s.mu.Unlock()
+	s.metrics.inFlight.Add(1)
+	if t.trace != nil {
+		// The trace's epoch is the submission instant, so a span from 0
+		// to now is exactly the ticket's queue wait.
+		t.trace.Span(t.trace.Track("service"), "service", "queued", 0,
+			telemetry.Arg{Key: "ticket", Val: t.id})
+		for i := range t.jobs {
+			t.jobs[i].Trace = t.trace
+		}
+	}
 
 	outcomes := make([]driver.Outcome, len(t.jobs))
 	for i, out := range s.compiler.Stream(t.ctx, t.jobs) {
 		outcomes[i] = out
 		t.publish(i, out)
+		if s.cfg.SlowCompile > 0 && out.Elapsed >= s.cfg.SlowCompile {
+			s.logSlow(t, out)
+		}
 	}
 	err := driver.AggregateError(outcomes)
 
-	s.mu.Lock()
-	s.inFlight--
-	s.mu.Unlock()
+	s.metrics.inFlight.Add(-1)
 	if cerr := t.ctx.Err(); cerr != nil {
 		// Completed outcomes survive; the ticket reports why it stopped.
 		s.retire(t, StateCanceled, outcomes, cancelCause(t.ctx, cerr), false)
 		return
 	}
 	s.retire(t, StateDone, outcomes, err, false)
+}
+
+// logSlow emits the threshold-gated slow-compilation warning, with the
+// ticket's trace summary attached when one is being recorded.
+func (s *Server) logSlow(t *ticket, out driver.Outcome) {
+	attrs := []any{
+		"ticket", t.id,
+		"elapsed", out.Elapsed,
+		"machine", out.Job.Machine.Name,
+		"strategy", out.Job.Opts.StrategyName(),
+	}
+	if out.Job.Graph != nil {
+		attrs = append(attrs, "loop", out.Job.Graph.Name)
+	}
+	if out.Err != nil {
+		attrs = append(attrs, "error", out.Err)
+	}
+	if sum := t.trace.Summary(); sum.Spans > 0 {
+		attrs = append(attrs, "trace_spans", sum.Spans, "trace_wall", sum.Wall)
+	}
+	s.logger.Warn("slow compilation", attrs...)
 }
 
 // cancelCause maps a context error to the most informative cause.
@@ -402,20 +508,22 @@ func (s *Server) retire(t *ticket, state State, outcomes []driver.Outcome, err e
 	if !t.finish(state, outcomes, err, requireQueued) {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch state {
 	case StateDone:
-		s.completed++
-		s.jobsDone += uint64(len(outcomes))
+		s.metrics.tickets.With("completed").Inc()
+		s.metrics.jobsDone.Add(uint64(len(outcomes)))
+		s.logger.Info("ticket done", "ticket", t.id, "jobs", len(outcomes))
 	case StateCanceled:
-		s.canceled++
+		s.metrics.tickets.With("canceled").Inc()
 		for _, o := range outcomes {
 			if o.Result != nil || (o.Err != nil && !errors.Is(o.Err, context.Canceled) && !errors.Is(o.Err, context.DeadlineExceeded)) {
-				s.jobsDone++
+				s.metrics.jobsDone.Inc()
 			}
 		}
+		s.logger.Info("ticket canceled", "ticket", t.id, "cause", err)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.doneOrder = append(s.doneOrder, t.id)
 	for len(s.doneOrder) > ticketRetention {
 		delete(s.tickets, s.doneOrder[0])
@@ -517,25 +625,27 @@ func (s *Server) Cancel(id string) bool {
 	return true
 }
 
-// Stats reports the service metrics.
+// Stats reports the service metrics. Every counter is read back from the
+// same registry instruments GET /metrics exposes, so the two views agree
+// by construction.
 func (s *Server) Stats() wire.ServiceStats {
-	s.mu.Lock()
+	m := &s.metrics
 	st := wire.ServiceStats{
 		Queued:       len(s.queue),
-		InFlight:     s.inFlight,
+		InFlight:     int(m.inFlight.Value()),
 		QueueDepth:   s.cfg.QueueDepth,
-		Submitted:    s.submitted,
-		Completed:    s.completed,
-		Canceled:     s.canceled,
-		Rejected:     s.rejected,
-		JobsCompiled: s.jobsDone,
-		Draining:     s.draining,
+		Submitted:    m.tickets.With("submitted").Value(),
+		Completed:    m.tickets.With("completed").Value(),
+		Canceled:     m.tickets.With("canceled").Value(),
+		Rejected:     m.tickets.With("rejected").Value(),
+		JobsCompiled: m.jobsDone.Value(),
+		Draining:     s.Draining(),
 	}
-	submittedByStrategy := make(map[string]uint64, len(s.jobsByStrategy))
-	for name, n := range s.jobsByStrategy {
-		submittedByStrategy[name] = n
+	submittedByStrategy := m.jobsSubmitted.Snapshot()
+	if s.cfg.Speculation > 1 {
+		raced, won, wasted := s.compiler.LaneStats()
+		st.SpecLanes = &wire.LaneStatsWire{Raced: raced, Won: won, Wasted: wasted}
 	}
-	s.mu.Unlock()
 	st.UptimeSec = time.Since(s.start).Seconds()
 	if st.UptimeSec > 0 {
 		st.JobsPerSec = float64(st.JobsCompiled) / st.UptimeSec
@@ -566,6 +676,17 @@ func (s *Server) Stats() wire.ServiceStats {
 		}
 	}
 	return st
+}
+
+// Trace returns the ticket's execution trace, if the ticket exists and
+// was submitted with tracing on. The trace may still be accumulating
+// spans while the ticket runs; Trace.WriteJSON snapshots safely.
+func (s *Server) Trace(id string) (*telemetry.Trace, bool) {
+	t, ok := s.lookup(id)
+	if !ok || t.trace == nil {
+		return nil, false
+	}
+	return t.trace, true
 }
 
 // Draining reports whether the server is shutting down.

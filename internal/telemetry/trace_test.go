@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestNilTraceIsValid pins the zero-overhead contract's API half: every
+// method of a nil *Trace is callable and inert.
+func TestNilTraceIsValid(t *testing.T) {
+	var tr *Trace
+	if tr.Now() != 0 {
+		t.Error("nil Now() != 0")
+	}
+	if tr.At(time.Now()) != 0 {
+		t.Error("nil At() != 0")
+	}
+	if tr.Track("x") != 0 {
+		t.Error("nil Track() != 0")
+	}
+	tr.Span(1, "cat", "name", 0)
+	tr.Instant(1, "cat", "name")
+	if s := tr.Summary(); s != (Summary{}) {
+		t.Errorf("nil Summary() = %+v, want zero", s)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil trace wrote invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Errorf("nil trace wrote %d events", len(doc.TraceEvents))
+	}
+}
+
+func TestTrackAllocationAndReuse(t *testing.T) {
+	tr := NewTrace()
+	a := tr.Track("worker-00")
+	b := tr.Track("worker-01")
+	if a == b {
+		t.Fatalf("distinct names share tid %d", a)
+	}
+	if again := tr.Track("worker-00"); again != a {
+		t.Fatalf("Track(worker-00) = %d, then %d", a, again)
+	}
+	if a != 1 || b != 2 {
+		t.Fatalf("tids = %d, %d; want 1, 2 (allocation order)", a, b)
+	}
+}
+
+// TestWriteJSONShape decodes a recorded trace and checks the Chrome
+// trace-event invariants: one thread_name metadata event per track,
+// complete events with ts/dur in microseconds, instants thread-scoped,
+// args carried through, zero-duration spans given a visible sliver.
+func TestWriteJSONShape(t *testing.T) {
+	tr := NewTrace()
+	tid := tr.Track("compile")
+	start := tr.Now()
+	time.Sleep(2 * time.Millisecond)
+	tr.Span(tid, "attempt", "II=4", start,
+		Arg{Key: "outcome", Val: "accept"}, Arg{Key: "n", Val: 3})
+	tr.Span(tid, "cache", "zero-width", tr.Now()) // dur 0 → sliver
+	tr.Instant(tid, "search", "skip-ahead", Arg{Key: "from", Val: 5})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			S    string         `json:"s"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4 (1 metadata + 3 spans)", len(doc.TraceEvents))
+	}
+	meta := doc.TraceEvents[0]
+	if meta.Ph != "M" || meta.Name != "thread_name" || meta.Args["name"] != "compile" || meta.TID != tid {
+		t.Errorf("metadata event = %+v", meta)
+	}
+	var sawAttempt, sawSliver, sawInstant bool
+	for _, ev := range doc.TraceEvents[1:] {
+		if ev.PID != 1 || ev.TID != tid {
+			t.Errorf("event %q on pid=%d tid=%d", ev.Name, ev.PID, ev.TID)
+		}
+		switch ev.Name {
+		case "II=4":
+			sawAttempt = true
+			if ev.Ph != "X" || ev.Cat != "attempt" {
+				t.Errorf("attempt event = %+v", ev)
+			}
+			if ev.Dur < 1000 { // slept 2ms; µs units
+				t.Errorf("attempt dur = %vµs, want ≥ 1000", ev.Dur)
+			}
+			if ev.Args["outcome"] != "accept" || ev.Args["n"] != float64(3) {
+				t.Errorf("attempt args = %v", ev.Args)
+			}
+		case "zero-width":
+			sawSliver = true
+			if ev.Dur <= 0 {
+				t.Errorf("zero-duration span rendered with dur %v", ev.Dur)
+			}
+		case "skip-ahead":
+			sawInstant = true
+			if ev.Ph != "i" || ev.S != "t" {
+				t.Errorf("instant event = %+v", ev)
+			}
+		}
+	}
+	if !sawAttempt || !sawSliver || !sawInstant {
+		t.Errorf("missing events: attempt=%v sliver=%v instant=%v", sawAttempt, sawSliver, sawInstant)
+	}
+	// Spans sort by start time.
+	last := -1.0
+	for _, ev := range doc.TraceEvents[1:] {
+		if ev.TS < last {
+			t.Errorf("events out of order: ts %v after %v", ev.TS, last)
+		}
+		last = ev.TS
+	}
+}
+
+func TestSummary(t *testing.T) {
+	tr := NewTrace()
+	tid := tr.Track("a")
+	start := tr.Now()
+	time.Sleep(time.Millisecond)
+	tr.Span(tid, "c", "s1", start)
+	tr.Instant(tr.Track("b"), "c", "i1")
+	s := tr.Summary()
+	if s.Spans != 2 || s.Tracks != 2 {
+		t.Errorf("summary = %+v, want 2 spans on 2 tracks", s)
+	}
+	if s.Wall <= 0 {
+		t.Errorf("wall = %v, want > 0", s.Wall)
+	}
+}
+
+// TestAtClampsPreEpoch pins the queue-wait convention: instants before the
+// trace epoch (work enqueued before tracing began) clamp to zero instead
+// of going negative.
+func TestAtClampsPreEpoch(t *testing.T) {
+	tr := NewTrace()
+	if d := tr.At(time.Now().Add(-time.Hour)); d != 0 {
+		t.Errorf("At(pre-epoch) = %v, want 0", d)
+	}
+	if d := tr.At(time.Now().Add(time.Hour)); d <= 0 {
+		t.Errorf("At(post-epoch) = %v, want > 0", d)
+	}
+}

@@ -12,6 +12,11 @@ type SubmitRequest struct {
 	// TimeoutMS bounds the batch's lifetime from submission (0 = the
 	// server's default policy).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Trace asks the server to record an execution trace for this batch,
+	// retrievable as Chrome trace-event JSON from GET /jobs/{id}/trace
+	// once the ticket finishes. Servers that predate tracing ignore the
+	// field (additive; the stream schema is unchanged).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // SubmitResponse returns the ticket for an accepted batch.
@@ -104,8 +109,38 @@ type ServiceStats struct {
 	// Strategies breaks the traffic down by scheduling strategy, keyed on
 	// the canonical strategy name.
 	Strategies map[string]StrategyStats `json:"strategies,omitempty"`
+	// SpecLanes reports the speculative-II lane tallies; present only when
+	// the server runs with speculation enabled.
+	SpecLanes *LaneStatsWire `json:"spec_lanes,omitempty"`
 	// Draining reports a server in graceful shutdown.
 	Draining bool `json:"draining,omitempty"`
+}
+
+// LaneStatsWire is the wire form of the engine's speculative-lane
+// tallies (present in ServiceStats when speculation is configured).
+type LaneStatsWire struct {
+	// Raced counts extra lanes launched; Won those whose accepted II
+	// became a result; Wasted those cancelled or discarded.
+	Raced  uint64 `json:"raced"`
+	Won    uint64 `json:"won"`
+	Wasted uint64 `json:"wasted"`
+}
+
+// HealthResponse is the GET /healthz answer: build identity and uptime,
+// so a probe (or an operator's curl) can tell which binary is serving.
+type HealthResponse struct {
+	// Status is "ok" while serving ("draining" answers 503 with an
+	// ErrorResponse instead).
+	Status string `json:"status"`
+	// Version is the main module's version ("(devel)" for local builds);
+	// Revision the VCS commit the binary was built from, when stamped.
+	Version  string `json:"version,omitempty"`
+	Revision string `json:"revision,omitempty"`
+	// Dirty marks a build from a modified working tree.
+	Dirty bool `json:"dirty,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string  `json:"go_version,omitempty"`
+	UptimeSec float64 `json:"uptime_sec"`
 }
 
 // ErrorResponse is the body of every non-2xx service answer.

@@ -46,6 +46,21 @@ type Frame struct {
 	State string `json:"state,omitempty"`
 	// Error is the aggregate batch error (done frames, when any).
 	Error string `json:"error,omitempty"`
+	// Trace summarizes the ticket's execution trace (done frames of traced
+	// batches only; the full trace is GET /jobs/{id}/trace). The field is
+	// additive — v3 decoders without it simply drop it.
+	Trace *TraceSummary `json:"trace,omitempty"`
+}
+
+// TraceSummary condenses a server-side execution trace for the stream's
+// done frame: enough to log and to decide whether fetching the full
+// trace is worth it.
+type TraceSummary struct {
+	// Spans and Tracks are the recorded event and track counts.
+	Spans  int `json:"spans"`
+	Tracks int `json:"tracks"`
+	// WallMS is the trace's covered wall time in milliseconds.
+	WallMS float64 `json:"wall_ms"`
 }
 
 // UnknownFrameError reports a stream frame whose type this build does not

@@ -15,6 +15,7 @@ package wire
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"clusched/internal/ddg"
 	"clusched/internal/driver"
@@ -382,11 +383,17 @@ type Outcome struct {
 	Result   *Result `json:"result,omitempty"`
 	Error    string  `json:"error,omitempty"`
 	CacheHit bool    `json:"cache_hit,omitempty"`
+	// ElapsedMS is the wall time of the real compilation behind this
+	// outcome, in milliseconds; absent for cached outcomes.
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
 }
 
 // EncodeOutcome converts a driver outcome to its wire form.
 func EncodeOutcome(o driver.Outcome) (Outcome, error) {
 	wo := Outcome{CacheHit: o.CacheHit}
+	if o.Elapsed > 0 {
+		wo.ElapsedMS = float64(o.Elapsed.Microseconds()) / 1e3
+	}
 	if o.Err != nil {
 		wo.Error = o.Err.Error()
 		return wo, nil
@@ -409,8 +416,9 @@ func (e *RemoteError) Error() string { return e.Msg }
 // Decode reconstructs a driver outcome (with a zero Job — callers align
 // outcomes with the jobs they submitted).
 func (wo Outcome) Decode() (driver.Outcome, error) {
+	elapsed := time.Duration(wo.ElapsedMS * float64(time.Millisecond))
 	if wo.Error != "" {
-		return driver.Outcome{Err: &RemoteError{Msg: wo.Error}, CacheHit: wo.CacheHit}, nil
+		return driver.Outcome{Err: &RemoteError{Msg: wo.Error}, CacheHit: wo.CacheHit, Elapsed: elapsed}, nil
 	}
 	if wo.Result == nil {
 		return driver.Outcome{}, fmt.Errorf("wire: outcome carries neither result nor error")
@@ -419,5 +427,5 @@ func (wo Outcome) Decode() (driver.Outcome, error) {
 	if err != nil {
 		return driver.Outcome{}, err
 	}
-	return driver.Outcome{Result: res, CacheHit: wo.CacheHit}, nil
+	return driver.Outcome{Result: res, CacheHit: wo.CacheHit, Elapsed: elapsed}, nil
 }

@@ -3,7 +3,9 @@ package wire
 import (
 	"encoding/json"
 	"reflect"
+	"strings"
 	"testing"
+	"time"
 
 	"clusched/internal/ddg"
 	"clusched/internal/driver"
@@ -304,6 +306,42 @@ func TestOutcomeRoundTripError(t *testing.T) {
 	}
 	if _, err := (Outcome{}).Decode(); err == nil {
 		t.Fatal("empty outcome accepted")
+	}
+}
+
+// TestOutcomeElapsedRoundTrip pins the additive elapsed_ms field: a
+// compile duration survives the wire (at millisecond-fraction precision)
+// and a zero duration stays off the wire entirely.
+func TestOutcomeElapsedRoundTrip(t *testing.T) {
+	outs := compileSample(t, "mgrid", 1, machine.MustParse("4c1b2l64r"), pipeline.Options{Replicate: true})
+	out := outs[0]
+	out.Elapsed = 1500 * time.Microsecond
+	wo, err := EncodeOutcome(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wo.ElapsedMS != 1.5 {
+		t.Fatalf("elapsed_ms = %v, want 1.5", wo.ElapsedMS)
+	}
+	dec, err := wo.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Elapsed != out.Elapsed {
+		t.Fatalf("Elapsed round-tripped to %v, want %v", dec.Elapsed, out.Elapsed)
+	}
+
+	out.Elapsed = 0
+	wo, err = EncodeOutcome(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(wo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(blob), "elapsed_ms") {
+		t.Fatalf("zero elapsed serialized: %s", blob)
 	}
 }
 
