@@ -7,6 +7,14 @@
 //	loopgen -bench tomcatv       # every tomcatv loop as text DDGs
 //	loopgen -bench swim -n 3     # only the first 3 loops
 //	loopgen -stats               # per-benchmark structural statistics
+//	loopgen -bench swim -permute # renamed/reordered isomorphic clones
+//	loopgen -bench swim -dup 3   # each loop plus 3 distinct clones
+//
+// -permute and -dup build the duplicated-shape corpus for exercising the
+// engine's canonical (isomorphism-invariant) cache tier: every clone is
+// the same abstract loop under fresh node names, a shuffled node order and
+// a shuffled edge order, so exact fingerprints differ while canonical
+// fingerprints match.
 package main
 
 import (
@@ -23,6 +31,9 @@ func main() {
 	bench := flag.String("bench", "", "benchmark to dump (default: summary of all)")
 	n := flag.Int("n", 0, "dump at most n loops (0 = all)")
 	stats := flag.Bool("stats", false, "print structural statistics instead of DDGs")
+	permute := flag.Bool("permute", false, "emit a renamed/reordered isomorphic clone of each loop instead of the original")
+	dup := flag.Int("dup", 0, "emit each loop followed by this many distinct isomorphic clones")
+	seed := flag.Int64("seed", 1, "base seed for the clone permutations")
 	flag.Parse()
 
 	if *stats || *bench == "" {
@@ -56,14 +67,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loopgen: unknown benchmark %q\n", *bench)
 		os.Exit(2)
 	}
+	emit := func(g *ddg.Graph, visits int64, iters float64) {
+		fmt.Printf("# %s: visits=%d avg_iters=%.1f\n", g.Name, visits, iters)
+		if err := ddg.WriteText(os.Stdout, g); err != nil {
+			fmt.Fprintf(os.Stderr, "loopgen: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	for i, l := range loops {
 		if *n > 0 && i >= *n {
 			break
 		}
-		fmt.Printf("# %s: visits=%d avg_iters=%.1f\n", l.Graph.Name, l.Visits, l.AvgIters)
-		if err := ddg.WriteText(os.Stdout, l.Graph); err != nil {
-			fmt.Fprintf(os.Stderr, "loopgen: %v\n", err)
-			os.Exit(1)
+		if !*permute {
+			emit(l.Graph, l.Visits, l.AvgIters)
+		}
+		clones := *dup
+		if *permute && clones == 0 {
+			clones = 1
+		}
+		for k := 0; k < clones; k++ {
+			name := fmt.Sprintf("%s#p%d", l.Graph.Name, k+1)
+			// Distinct seed per (loop, clone): same loop, different
+			// presentation each time, reproducible across runs.
+			clone := ddg.PermuteRandom(l.Graph, name, *seed+int64(i)*1000003+int64(k)*8191)
+			emit(clone, l.Visits, l.AvgIters)
 		}
 	}
 }

@@ -87,7 +87,12 @@ type jsonReport struct {
 	// Timing is the compile-throughput datapoint of the perf trajectory
 	// (see EXPERIMENTS.md): the suite compiled from scratch, timed.
 	Timing experiments.ThroughputRow `json:"timing"`
-	Engine driver.CacheStats         `json:"engine"`
+	// Semantic is the canonical-cache datapoint: the duplicated-shape
+	// corpus (every loop plus -dup isomorphic clones) served against a
+	// warm cache, with hit rate, remap throughput and canonicalization
+	// costs (see EXPERIMENTS.md).
+	Semantic experiments.SemanticRow `json:"semantic"`
+	Engine   driver.CacheStats       `json:"engine"`
 }
 
 // collectJSON gathers the typed rows for the selected experiment ("" =
@@ -95,7 +100,7 @@ type jsonReport struct {
 // served from the engine cache, so this re-reads, it does not recompute.
 // specLanes rides into the timed run so the trajectory can record
 // speculative datapoints.
-func collectJSON(fig string, specLanes int) jsonReport {
+func collectJSON(fig string, specLanes, dup int) jsonReport {
 	var r jsonReport
 	all := fig == ""
 	if all || fig == "1" {
@@ -125,9 +130,10 @@ func collectJSON(fig string, specLanes int) jsonReport {
 	if fig == "regs" { // not part of the full report; only when selected
 		r.RegSweep = experiments.RegSweep()
 	}
-	// The timed run uses its own cache-disabled engine, so it neither
-	// benefits from nor pollutes the shared engine's memoized suites.
+	// The timed runs use their own engines, so they neither benefit from
+	// nor pollute the shared engine's memoized suites.
 	r.Timing = experiments.MeasureThroughput(specLanes)
+	r.Semantic = experiments.MeasureSemantic(dup)
 	r.Engine = experiments.EngineStats()
 	return r
 }
@@ -156,6 +162,7 @@ func main() {
 	jobs := flag.Int("j", 0, "concurrent compilations (default: GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "report per-suite compilation progress on stderr")
 	speculate := flag.Int("speculate", 0, "race up to k candidate IIs per compilation (speculative multi-II search; 0/1 = off)")
+	dup := flag.Int("dup", 1, "isomorphic clones per loop in the -json semantic-cache measurement")
 	strategies := flag.String("strategies", "", "comma-separated scheduling strategies to compare head-to-head (e.g. paper,unified,uas,moddist)")
 	strategiesConfig := flag.String("strategies-config", "4c2b2l64r", "machine configuration for the -strategies comparison")
 	remote := flag.String("remote", "", "run every suite compilation on a clusched-serve instance at this base URL instead of in-process")
@@ -275,7 +282,7 @@ func main() {
 	}
 	jsonToStdout := *jsonOut == "-"
 	if *jsonOut != "" {
-		doc := collectJSON(*fig, *speculate)
+		doc := collectJSON(*fig, *speculate, *dup)
 		doc.Strategies = strategyRows
 		blob, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {

@@ -1,0 +1,451 @@
+package ddg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"slices"
+)
+
+// Canonical is a graph's identity under isomorphism: a fingerprint that is
+// equal for any two graphs that differ only in node numbering, edge
+// ordering, labels or name, plus the node permutation that witnesses the
+// canonical form. The batch-compilation engine keys its semantic cache tier
+// on Sum and uses Perm to remap a cached schedule onto an isomorphic graph.
+type Canonical struct {
+	// Sum is the 64-bit hash of the canonical encoding. The encoding
+	// determines the graph up to isomorphism, so a Sum collision between
+	// non-isomorphic graphs is a hash collision (2^-64); any consumer that
+	// acts on Sum equality must re-verify (the engine's remap path does).
+	Sum uint64
+	// Perm maps node ID → canonical position: Perm[v] is where node v lands
+	// in the canonical ordering. It is a bijection over [0, NumNodes).
+	Perm []int32
+	// Complete reports that the exhaustive tie-break search finished within
+	// its leaf budget, which makes Sum canonical in the strict sense. When
+	// false the graph was too symmetric for exhaustion and Sum came from a
+	// single deterministic refinement descent instead; that descent picks
+	// orbit representatives by node order, so isomorphic graphs agree
+	// whenever refinement cells are automorphism orbits (true for twin
+	// strands/blocks, the symmetry that actually occurs in loop DDGs) and
+	// at worst disagree — a missed cache hit, never a wrong one, because
+	// equal Sums always come from equal encodings, which witness
+	// isomorphism regardless of how the encoding's labeling was found.
+	Complete bool
+}
+
+// canonLeafBudget bounds the number of discrete labelings the exhaustive
+// tie-break search may encode before canonicalize falls back to the linear
+// descent. Refinement alone is discrete for most real DDGs
+// (opcode/latency/distance multisets are rich); symmetric graphs — twin
+// strands, combine trees — blow up factorially and take the fallback.
+const canonLeafBudget = 8
+
+// CanonicalForm returns the graph's canonical identity. The first call
+// computes it; the result is memoized, so concurrent callers share one
+// computation. The graph's Name and node Labels do not participate.
+func (g *Graph) CanonicalForm() Canonical {
+	g.canonOnce.Do(func() { g.canon = canonicalize(g) })
+	return g.canon
+}
+
+// CanonicalFingerprint is shorthand for CanonicalForm().Sum.
+func (g *Graph) CanonicalFingerprint() uint64 { return g.CanonicalForm().Sum }
+
+// ShapeHash is a cheap isomorphism-invariant digest: node/edge counts plus
+// commutative sums over opcode and edge (srcOp, dstOp, kind, dist, lat)
+// tuples. Isomorphic graphs always agree; non-isomorphic graphs rarely
+// collide but may. The engine uses it to gate the expensive canonical
+// lookup — an O(m) filter that keeps canonicalization entirely off the
+// miss path of never-before-seen shapes.
+func (g *Graph) ShapeHash() uint64 {
+	h := mix64(uint64(len(g.Nodes))<<32 | uint64(uint32(len(g.Edges))))
+	for i := range g.Nodes {
+		h += mix64(0xa11ce ^ uint64(g.Nodes[i].Op))
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		t := mix64(0xed6e ^ uint64(g.Nodes[e.Src].Op))
+		t = mix64(t ^ uint64(g.Nodes[e.Dst].Op))
+		t = mix64(t ^ uint64(e.Kind))
+		t = mix64(t ^ uint64(e.Dist))
+		h += mix64(t ^ uint64(e.Lat))
+	}
+	return h
+}
+
+// canonState carries one canonicalization: the graph, the best (smallest)
+// leaf encoding found so far, the search budget, and scratch buffers reused
+// across refinement rounds.
+type canonState struct {
+	g        *Graph
+	best     []byte
+	bestPerm []int32
+	leaves   int
+	aborted  bool
+	inv      []int32  // scratch: canonical position → node ID
+	sig      []uint64 // scratch: per-node signature hash
+	order    []int32  // scratch: nodes sorted by signature
+	hs       []uint64 // scratch: incident-edge hashes of one node
+	edgeH    []uint64 // per-edge hash of (kind, dist, lat), color-free
+}
+
+func canonicalize(g *Graph) Canonical {
+	n := len(g.Nodes)
+	if n == 0 {
+		return Canonical{Sum: encSum(nil), Perm: []int32{}, Complete: true}
+	}
+	// Seed colors with the opcode: an isomorphism must preserve it, and it
+	// splits most DDGs close to discrete before refinement even starts.
+	colors := make([]int32, n)
+	for v := range g.Nodes {
+		colors[v] = int32(g.Nodes[v].Op)
+	}
+	st := &canonState{
+		g:     g,
+		inv:   make([]int32, n),
+		sig:   make([]uint64, n),
+		order: make([]int32, n),
+		edgeH: make([]uint64, len(g.Edges)),
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		h := mix64(0x9e3779b97f4a7c15 ^ uint64(e.Kind))
+		h = mix64(h ^ uint64(e.Dist))
+		st.edgeH[i] = mix64(h ^ uint64(e.Lat))
+	}
+	st.refine(colors)
+	// The exhaustive search has at least (cell size) leaves per
+	// non-singleton cell; with many tied nodes it cannot finish within
+	// budget, so don't pay for the attempt.
+	if deficit := n - countColors(colors); deficit > 4 {
+		st.aborted = true
+	} else {
+		st.search(colors)
+	}
+	if st.aborted {
+		// Too symmetric to exhaust: discard the partial search (its "best
+		// so far" depends on exploration order, which follows node
+		// numbering) and take the deterministic single-descent labeling.
+		st.best, st.bestPerm = nil, nil
+		st.linearDescent(colors)
+	}
+	return Canonical{Sum: encSum(st.best), Perm: st.bestPerm, Complete: !st.aborted}
+}
+
+// linearDescent individualizes the first member (by node order) of the
+// smallest non-singleton cell and re-refines, repeating until discrete:
+// one root-to-leaf path of the search tree. Within an automorphism orbit
+// every choice of member leads to the same leaf encoding, so on
+// orbit-faithful refinements the result matches across isomorphic graphs
+// at a cost of O(depth) refinement passes.
+func (st *canonState) linearDescent(colors []int32) {
+	n := len(colors)
+	counts := make([]int32, n+1)
+	for {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, c := range colors {
+			counts[c]++
+		}
+		target := int32(-1)
+		for c := 0; c < n; c++ {
+			if counts[c] > 1 {
+				target = int32(c)
+				break
+			}
+		}
+		if target < 0 {
+			st.best = st.encodeLeaf(colors)
+			st.bestPerm = append([]int32(nil), colors...)
+			return
+		}
+		for v := 0; v < n; v++ {
+			if colors[v] == target {
+				colors[v] = int32(n)
+				break
+			}
+		}
+		st.refine(colors)
+	}
+}
+
+// encSum hashes a leaf encoding word-at-a-time (encodings are all 8-byte
+// records, so there is never a tail): an FNV-style seed chained through
+// mix64. Only ever compared against other encSum values, so the exact
+// function is free to choose for speed — but it IS part of the persisted
+// cache identity (JobKey embeds CanonicalFingerprint), so changing it
+// requires a jobKeyVersion bump like any other key-format change.
+func encSum(b []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for ; len(b) >= 8; b = b[8:] {
+		h = mix64(h ^ binary.BigEndian.Uint64(b))
+	}
+	return mix64(h)
+}
+
+// mix64 is a splitmix64-style avalanche: cheap, deterministic across
+// platforms, and good enough that signature collisions are vanishingly
+// rare. A collision can only merge refinement classes — identically for
+// isomorphic graphs — and the final leaf encoding uses the exact structure,
+// so collisions can never produce a wrong canonical form, only a coarser
+// refinement.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// tupleHash folds one incident edge into a 64-bit word: its precomputed
+// (kind, dist, lat) hash, the direction, and the neighbor's current color.
+func (st *canonState) tupleHash(dir uint64, eid int32, nbrColor int32) uint64 {
+	return mix64(st.edgeH[eid] ^ (dir << 32) ^ mix64(uint64(uint32(nbrColor))))
+}
+
+// refine runs WL-style color refinement to a fixpoint: each round a node's
+// signature hashes its current color with the sorted multiset of
+// (direction, kind, dist, lat, neighbor color) over its incident edges;
+// nodes are then re-colored by the rank of their signature. Ranks are
+// assigned by sorted signature order, which depends only on the color
+// partition — never on node numbering — so isomorphic graphs refine
+// identically. Colors only split (the old color feeds the signature), so
+// the loop terminates in at most n rounds.
+func (st *canonState) refine(colors []int32) {
+	g := st.g
+	n := len(colors)
+	sig, order, hs := st.sig, st.order, st.hs
+	nColors := countColors(colors)
+	for {
+		for v := 0; v < n; v++ {
+			hs = hs[:0]
+			for _, eid := range g.out[v] {
+				hs = append(hs, st.tupleHash(0, eid, colors[g.Edges[eid].Dst]))
+			}
+			for _, eid := range g.in[v] {
+				hs = append(hs, st.tupleHash(1, eid, colors[g.Edges[eid].Src]))
+			}
+			slices.Sort(hs)
+			h := mix64(uint64(uint32(colors[v])) ^ 0x2545f4914f6cdd1d)
+			for _, x := range hs {
+				h = mix64(h ^ x)
+			}
+			sig[v] = h
+		}
+		for i := range order {
+			order[i] = int32(i)
+		}
+		slices.SortFunc(order, func(a, b int32) int {
+			if sig[a] < sig[b] {
+				return -1
+			}
+			if sig[a] > sig[b] {
+				return 1
+			}
+			return 0
+		})
+		rank := int32(-1)
+		var prev uint64
+		for i, v := range order {
+			if i == 0 || sig[v] != prev {
+				rank++
+				prev = sig[v]
+			}
+			colors[v] = rank
+		}
+		if int(rank)+1 == nColors {
+			st.hs = hs
+			return // fixpoint: no class split this round
+		}
+		nColors = int(rank) + 1
+	}
+}
+
+// countColors counts distinct values. Colors are small non-negative ints
+// (opcode seeds, then ranks < n, plus the fresh individualization color),
+// so a dense bitmap beats a map on the refinement hot path.
+func countColors(colors []int32) int {
+	maxC := int32(0)
+	for _, c := range colors {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	seen := make([]bool, maxC+1)
+	n := 0
+	for _, c := range colors {
+		if !seen[c] {
+			seen[c] = true
+			n++
+		}
+	}
+	return n
+}
+
+// search individualizes each member of the smallest non-singleton color
+// class and recurses, keeping the lexicographically smallest leaf encoding.
+// Every branch applies the same rule (give the chosen node a fresh maximal
+// color, re-refine), so the set of leaf encodings — and hence the minimum —
+// is an isomorphism invariant as long as the search completes within
+// budget.
+func (st *canonState) search(colors []int32) {
+	if st.aborted && st.best != nil {
+		return
+	}
+	n := len(colors)
+	counts := make([]int32, n+1)
+	for _, c := range colors {
+		counts[c]++
+	}
+	target := int32(-1)
+	for c := 0; c < n; c++ {
+		if counts[c] > 1 {
+			target = int32(c)
+			break
+		}
+	}
+	if target < 0 { // discrete: colors are a permutation — encode the leaf
+		st.leaves++
+		if st.leaves > canonLeafBudget {
+			st.aborted = true
+		}
+		enc := st.encodeLeaf(colors)
+		if st.best == nil || bytes.Compare(enc, st.best) < 0 {
+			st.best = enc
+			st.bestPerm = append([]int32(nil), colors...)
+		}
+		return
+	}
+	child := make([]int32, n)
+	for v := 0; v < n; v++ {
+		if colors[v] != target {
+			continue
+		}
+		copy(child, colors)
+		child[v] = int32(n) // fresh color sorting after all others
+		st.refine(child)
+		st.search(child)
+		if st.aborted && st.best != nil {
+			return
+		}
+	}
+}
+
+// encodeLeaf serializes the graph under a discrete coloring (a node
+// permutation): node count, edge count, opcodes in canonical order, then
+// every edge as (src, dst, kind, dist, lat) in canonical coordinates,
+// sorted. The encoding determines the graph up to isomorphism: equal
+// encodings ⇒ isomorphic graphs.
+func (st *canonState) encodeLeaf(perm []int32) []byte {
+	g := st.g
+	n := len(perm)
+	inv := st.inv
+	for v, c := range perm {
+		inv[c] = int32(v)
+	}
+	// Sort edge IDs by their canonical-coordinate record — cheaper than
+	// sorting the serialized 40-byte records in place — then serialize in
+	// that order. The byte output is identical.
+	m := len(g.Edges)
+	eidx := make([]int32, m)
+	for i := range eidx {
+		eidx[i] = int32(i)
+	}
+	slices.SortFunc(eidx, func(a, b int32) int {
+		ea, eb := &g.Edges[a], &g.Edges[b]
+		if c := int(perm[ea.Src]) - int(perm[eb.Src]); c != 0 {
+			return c
+		}
+		if c := int(perm[ea.Dst]) - int(perm[eb.Dst]); c != 0 {
+			return c
+		}
+		if c := int(ea.Kind) - int(eb.Kind); c != 0 {
+			return c
+		}
+		if c := ea.Dist - eb.Dist; c != 0 {
+			return c
+		}
+		return ea.Lat - eb.Lat
+	})
+	const edgeRec = 5 * 8
+	buf := make([]byte, 0, 16+8*n+edgeRec*m)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(n))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m))
+	for c := 0; c < n; c++ {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(g.Nodes[inv[c]].Op))
+	}
+	for _, i := range eidx {
+		e := &g.Edges[i]
+		buf = binary.BigEndian.AppendUint64(buf, uint64(uint32(perm[e.Src])))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(uint32(perm[e.Dst])))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(e.Kind))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(e.Dist))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(e.Lat))
+	}
+	return buf
+}
+
+// Permute returns a clone of g that is isomorphic but concretely different:
+// node v of g becomes node nodePerm[v], edges are emitted in edgePerm
+// order, the graph is renamed, and node labels are rewritten to positional
+// names. nodePerm must be a bijection over nodes and edgePerm over edges.
+func Permute(g *Graph, name string, nodePerm, edgePerm []int) (*Graph, error) {
+	n, m := g.NumNodes(), g.NumEdges()
+	if err := checkPerm(nodePerm, n, "node"); err != nil {
+		return nil, err
+	}
+	if err := checkPerm(edgePerm, m, "edge"); err != nil {
+		return nil, err
+	}
+	inv := make([]int, n)
+	for v, nv := range nodePerm {
+		inv[nv] = v
+	}
+	b := NewBuilder(name)
+	for nv := 0; nv < n; nv++ {
+		b.Node(fmt.Sprintf("p%d", nv), g.Nodes[inv[nv]].Op)
+	}
+	for _, eid := range edgePerm {
+		e := &g.Edges[eid]
+		src, dst := nodePerm[e.Src], nodePerm[e.Dst]
+		if e.Kind == EdgeMem {
+			b.MemEdgeLat(src, dst, e.Dist, e.Lat)
+		} else {
+			b.EdgeLat(src, dst, e.Dist, e.Lat)
+		}
+	}
+	return b.Build()
+}
+
+// PermuteRandom is Permute with a seeded random node and edge permutation:
+// the deterministic way to manufacture a duplicated-shape corpus (loopgen
+// -permute, the semantic-cache benchmarks and the CI smoke test all use
+// it).
+func PermuteRandom(g *Graph, name string, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	np := rng.Perm(g.NumNodes())
+	ep := rng.Perm(g.NumEdges())
+	ng, err := Permute(g, name, np, ep)
+	if err != nil {
+		panic(err) // permutations are valid by construction
+	}
+	return ng
+}
+
+func checkPerm(p []int, n int, what string) error {
+	if len(p) != n {
+		return fmt.Errorf("ddg: %s permutation has length %d, want %d", what, len(p), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range p {
+		if v < 0 || v >= n || seen[v] {
+			return fmt.Errorf("ddg: invalid %s permutation", what)
+		}
+		seen[v] = true
+	}
+	return nil
+}

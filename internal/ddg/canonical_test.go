@@ -1,0 +1,250 @@
+package ddg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// permutedClone returns a random isomorphic clone of g: renamed, relabeled,
+// nodes renumbered, edges reordered.
+func permutedClone(t testing.TB, g *Graph, rng *rand.Rand) *Graph {
+	t.Helper()
+	ng, err := Permute(g, g.Name+"#p", rng.Perm(g.NumNodes()), rng.Perm(g.NumEdges()))
+	if err != nil {
+		t.Fatalf("Permute: %v", err)
+	}
+	return ng
+}
+
+func TestCanonicalInvariantUnderPermutation(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomValidGraph(rng, 2+int(nRaw%40))
+		c := g.CanonicalForm()
+		for trial := 0; trial < 3; trial++ {
+			h := permutedClone(t, g, rng)
+			hc := h.CanonicalForm()
+			if hc.Sum != c.Sum || hc.Complete != c.Complete {
+				t.Logf("sum %016x vs %016x (complete %v vs %v)", c.Sum, hc.Sum, c.Complete, hc.Complete)
+				return false
+			}
+		}
+		// The exact fingerprint, by contrast, must see the renaming.
+		if h := permutedClone(t, g, rng); h.Fingerprint() == g.Fingerprint() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCanonicalPermIsIsomorphism checks that composing the two canonical
+// permutations yields a genuine isomorphism between a graph and its clone —
+// the property the engine's schedule remapping relies on.
+func TestCanonicalPermIsIsomorphism(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomValidGraph(rng, 2+int(nRaw%40))
+		h := permutedClone(t, g, rng)
+		cg, ch := g.CanonicalForm(), h.CanonicalForm()
+		if cg.Sum != ch.Sum {
+			return false
+		}
+		n := g.NumNodes()
+		invH := make([]int32, n)
+		for v, c := range ch.Perm {
+			invH[c] = int32(v)
+		}
+		sigma := make([]int32, n) // g node → h node
+		seen := make([]bool, n)
+		for v := 0; v < n; v++ {
+			sigma[v] = invH[cg.Perm[v]]
+			if seen[sigma[v]] {
+				return false // not a bijection
+			}
+			seen[sigma[v]] = true
+			if g.Nodes[v].Op != h.Nodes[sigma[v]].Op {
+				return false
+			}
+		}
+		// Edge multisets must map exactly.
+		count := make(map[[5]int]int, g.NumEdges())
+		for i := range h.Edges {
+			e := &h.Edges[i]
+			count[[5]int{e.Src, e.Dst, int(e.Kind), e.Dist, e.Lat}]++
+		}
+		for i := range g.Edges {
+			e := &g.Edges[i]
+			k := [5]int{int(sigma[e.Src]), int(sigma[e.Dst]), int(e.Kind), e.Dist, e.Lat}
+			if count[k] == 0 {
+				return false
+			}
+			count[k]--
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCanonicalDistinguishesMutants: any semantic change to the graph —
+// opcode, latency, distance, kind, edge direction — must move the
+// canonical fingerprint, even though renaming and reordering must not.
+func TestCanonicalDistinguishesMutants(t *testing.T) {
+	base := func() *Builder {
+		b := NewBuilder("mutant")
+		l := b.Node("l", OpLoad)
+		a := b.Node("a", OpFAdd)
+		m := b.Node("m", OpFMul)
+		s := b.Node("s", OpStore)
+		b.Edge(l, a, 0)
+		b.Edge(a, m, 1)
+		b.Edge(m, a, 1)
+		b.EdgeLat(a, s, 0, 3)
+		b.MemEdge(s, l, 1)
+		return b
+	}
+	ref := base().MustBuild().CanonicalFingerprint()
+
+	mutants := map[string]*Graph{}
+	{ // opcode tweak
+		b := base()
+		b.Graph().Nodes[1].Op = OpFMul
+		mutants["opcode"] = b.MustBuild()
+	}
+	{ // latency tweak
+		b := base()
+		b.Graph().Edges[3].Lat = 4
+		mutants["latency"] = b.MustBuild()
+	}
+	{ // distance tweak
+		b := base()
+		b.Graph().Edges[1].Dist = 2
+		mutants["distance"] = b.MustBuild()
+	}
+	{ // kind tweak (data edge into the store becomes a mem edge)
+		b := base()
+		b.Graph().Edges[3].Kind = EdgeMem
+		mutants["kind"] = b.MustBuild()
+	}
+	{ // edge flip (reverse the carried pair into a parallel edge)
+		b := NewBuilder("mutant")
+		l := b.Node("l", OpLoad)
+		a := b.Node("a", OpFAdd)
+		m := b.Node("m", OpFMul)
+		s := b.Node("s", OpStore)
+		b.Edge(l, a, 0)
+		b.Edge(a, m, 1)
+		b.Edge(a, m, 1) // was m→a
+		b.EdgeLat(a, s, 0, 3)
+		b.MemEdge(s, l, 1)
+		g := b.Graph()
+		g.Edges[2].Lat = OpFMul.Latency() // keep the flipped edge's latency
+		mutants["edge-flip"] = b.MustBuild()
+	}
+	for name, g := range mutants {
+		if g.CanonicalFingerprint() == ref {
+			t.Errorf("%s mutant kept the canonical fingerprint %016x", name, ref)
+		}
+	}
+	// Renaming alone must NOT move it.
+	renamed := base().MustBuild()
+	renamed.Name = "other-name"
+	if renamed.CanonicalFingerprint() != ref {
+		t.Errorf("renaming changed the canonical fingerprint")
+	}
+}
+
+// TestCanonicalRegularRing exercises the tie-break search: a ring of
+// identical operations gives WL refinement nothing to split, so the search
+// must individualize its way to a discrete coloring — and still agree
+// across rotations.
+func TestCanonicalRegularRing(t *testing.T) {
+	ring := func(name string, n, rot int) *Graph {
+		b := NewBuilder(name)
+		for i := 0; i < n; i++ {
+			b.Node(fmt.Sprintf("r%d", i), OpFAdd)
+		}
+		for i := 0; i < n; i++ {
+			b.Edge((i+rot)%n, (i+rot+1)%n, 1)
+		}
+		return b.MustBuild()
+	}
+	// Small rings complete exhaustively; large ones exceed the leaf budget
+	// and take the orbit descent. Both must agree across rotations.
+	small := ring("s", 5, 0).CanonicalForm()
+	if !small.Complete {
+		t.Errorf("5-ring should complete within the leaf budget")
+	}
+	if b := ring("s2", 5, 2).CanonicalForm(); b.Sum != small.Sum {
+		t.Errorf("rotated 5-ring got %016x, want %016x", b.Sum, small.Sum)
+	}
+	a := ring("a", 12, 0).CanonicalForm()
+	if a.Complete {
+		t.Errorf("12-ring unexpectedly exhausted its 12-leaf search within budget")
+	}
+	for rot := 1; rot < 12; rot += 3 {
+		b := ring("b", 12, rot).CanonicalForm()
+		if b.Sum != a.Sum {
+			t.Errorf("rotated ring (rot=%d) got %016x, want %016x", rot, b.Sum, a.Sum)
+		}
+	}
+	if c := ring("c", 13, 0).CanonicalForm(); c.Sum == a.Sum {
+		t.Errorf("13-ring collides with 12-ring")
+	}
+}
+
+func TestCanonicalMemoized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomValidGraph(rng, 24)
+	c1 := g.CanonicalForm()
+	c2 := g.CanonicalForm()
+	if &c1.Perm[0] != &c2.Perm[0] {
+		t.Errorf("CanonicalForm did not memoize")
+	}
+	if int32(len(c1.Perm)) != int32(g.NumNodes()) {
+		t.Errorf("Perm length %d, want %d", len(c1.Perm), g.NumNodes())
+	}
+}
+
+func TestCanonicalEmptyGraph(t *testing.T) {
+	a := NewBuilder("a").MustBuild()
+	b := NewBuilder("b").MustBuild()
+	if a.CanonicalFingerprint() != b.CanonicalFingerprint() {
+		t.Errorf("empty graphs disagree")
+	}
+}
+
+func TestPermuteRejectsBadPermutations(t *testing.T) {
+	g := randomValidGraph(rand.New(rand.NewSource(1)), 5)
+	if _, err := Permute(g, "x", []int{0, 1, 2}, nil); err == nil {
+		t.Errorf("short node permutation accepted")
+	}
+	if _, err := Permute(g, "x", []int{0, 0, 1, 2, 3}, rand.New(rand.NewSource(1)).Perm(g.NumEdges())); err == nil {
+		t.Errorf("duplicate node permutation accepted")
+	}
+}
+
+// BenchmarkCanonicalFingerprint measures one cold canonicalization of a
+// mid-sized DDG — the per-job cost the engine pays on a cache miss. It
+// bypasses the memo (the memoized path is a Once check) to report the real
+// computation.
+func BenchmarkCanonicalFingerprint(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		g := randomValidGraph(rand.New(rand.NewSource(42)), n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := canonicalize(g)
+				if len(c.Perm) != n {
+					b.Fatal("bad perm")
+				}
+			}
+		})
+	}
+}

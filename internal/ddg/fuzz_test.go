@@ -56,6 +56,28 @@ func FuzzParseText(f *testing.F) {
 			if g.Fingerprint() != g2.Fingerprint() {
 				t.Fatalf("fingerprint changed across the codec:\n%s", text)
 			}
+			// Canonical identity must survive renaming, node renumbering
+			// and edge reordering (here: a full reversal of both orders).
+			np := make([]int, g.NumNodes())
+			for i := range np {
+				np[i] = len(np) - 1 - i
+			}
+			ep := make([]int, g.NumEdges())
+			for i := range ep {
+				ep[i] = len(ep) - 1 - i
+			}
+			clone, err := Permute(g, "fuzz-clone", np, ep)
+			if err != nil {
+				t.Fatalf("Permute rejected a valid graph: %v", err)
+			}
+			if clone.ShapeHash() != g.ShapeHash() {
+				t.Fatalf("ShapeHash not permutation-invariant:\n%s", text)
+			}
+			gc, cc := g.CanonicalForm(), clone.CanonicalForm()
+			if gc.Sum != cc.Sum || gc.Complete != cc.Complete {
+				t.Fatalf("canonical fingerprint not permutation-invariant (%016x/%v vs %016x/%v):\n%s",
+					gc.Sum, gc.Complete, cc.Sum, cc.Complete, text)
+			}
 		}
 	})
 }

@@ -3,6 +3,7 @@ package ddg
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // EdgeKind distinguishes register data dependences from memory ordering
@@ -69,6 +70,12 @@ type Graph struct {
 	in  [][]int32 // per node, incoming edge IDs
 
 	labelIndex map[string]int
+
+	// Canonical identity, computed lazily by CanonicalForm. Guarded by
+	// canonOnce, which also makes the Graph no-copy (go vet copylocks);
+	// graphs are always handled by pointer.
+	canonOnce sync.Once
+	canon     Canonical
 }
 
 // NumNodes returns the number of operations in the graph.

@@ -141,6 +141,9 @@ func ParseText(r io.Reader) ([]*Graph, error) {
 			if len(fields) != 2 {
 				return fail("loop directive wants a name")
 			}
+			if !encodableName(fields[1]) {
+				return fail("loop name %q cannot round-trip the text format", fields[1])
+			}
 			b = NewBuilder(fields[1])
 		case "node":
 			if b == nil {
@@ -148,6 +151,9 @@ func ParseText(r io.Reader) ([]*Graph, error) {
 			}
 			if len(fields) != 3 {
 				return fail("node wants <label> <op>")
+			}
+			if !encodableName(fields[1]) {
+				return fail("node name %q cannot round-trip the text format", fields[1])
 			}
 			op, err := ParseOpKind(fields[2])
 			if err != nil {

@@ -3,8 +3,10 @@
 // re-implemented by every consumer of the pipeline. It offers a bounded
 // worker pool, deterministic result ordering (outcome i always corresponds
 // to job i, regardless of scheduling), a per-(graph-fingerprint, machine,
-// options) LRU result cache with hit/miss accounting, aggregate error
-// reporting, and optional progress callbacks.
+// options) LRU result cache with hit/miss accounting — backed by a second,
+// canonical tier that serves results cached for isomorphic loops by
+// remapping them through the isomorphism — aggregate error reporting, and
+// optional progress callbacks.
 //
 // The Compiler is the in-process implementation of the public
 // clusched.Backend contract: Compile(ctx, Job) for one loop, Stream(ctx,
@@ -21,6 +23,8 @@ import (
 	"fmt"
 	"iter"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -76,6 +80,10 @@ const DefaultCacheSize = 1 << 15
 type Store interface {
 	// Load returns the stored outcome for the job (keyed on JobKey): the
 	// result or the compilation error, and whether the key was present.
+	// JobKey v3 is canonical under graph isomorphism, so the returned
+	// result's Loop may be a renamed/reordered sibling of j.Graph rather
+	// than j.Graph itself; the Compiler remaps and re-verifies such
+	// results before serving them.
 	Load(j Job) (res *pipeline.Result, cerr error, ok bool)
 	// Save records a freshly compiled outcome for the job.
 	Save(j Job, res *pipeline.Result, cerr error)
@@ -121,9 +129,10 @@ type Config struct {
 
 // StrategyStats is the per-strategy slice of the cache accounting.
 type StrategyStats struct {
-	// Hits, Misses and StoreHits mean the same as in CacheStats, restricted
-	// to jobs compiled under one strategy.
-	Hits, Misses, StoreHits uint64
+	// Hits, Misses, StoreHits, SemanticHits and SemanticStoreHits mean the
+	// same as in CacheStats, restricted to jobs compiled under one strategy.
+	Hits, Misses, StoreHits         uint64
+	SemanticHits, SemanticStoreHits uint64
 }
 
 // CacheStats reports result-cache effectiveness.
@@ -135,6 +144,12 @@ type CacheStats struct {
 	// StoreHits counts lookups served from the persistent Store (they are
 	// not included in Hits or Misses).
 	StoreHits uint64
+	// SemanticHits counts lookups whose exact fingerprint missed but whose
+	// canonical form matched a cached result for an isomorphic loop, served
+	// by remapping that result through the isomorphism and re-verifying it.
+	// SemanticStoreHits counts the same outcome against the persistent
+	// Store. Neither is included in the exact counters.
+	SemanticHits, SemanticStoreHits uint64
 	// Entries is the current number of cached results.
 	Entries int
 	// Strategies breaks the same counters down by scheduling strategy
@@ -145,11 +160,12 @@ type CacheStats struct {
 // HitRate returns the fraction of lookups served without compiling, in
 // [0, 1]; 0 when nothing has been looked up.
 func (s CacheStats) HitRate() float64 {
-	total := s.Hits + s.StoreHits + s.Misses
+	served := s.Hits + s.StoreHits + s.SemanticHits + s.SemanticStoreHits
+	total := served + s.Misses
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits+s.StoreHits) / float64(total)
+	return float64(served) / float64(total)
 }
 
 // Compiler is a concurrent batch-compilation engine. It is safe for use by
@@ -186,13 +202,22 @@ type Compiler struct {
 	specLoad   atomic.Int64
 	laneArenas atomic.Int64
 
-	mu          sync.Mutex
-	cache       *lruCache            // nil when caching is disabled
-	pending     map[cacheKey]*flight // in-flight compilations, for deduplication
-	hits        uint64
-	misses      uint64
-	storeHits   uint64
-	perStrategy map[string]*StrategyStats
+	mu      sync.Mutex
+	cache   *lruCache            // nil when caching is disabled
+	pending map[cacheKey]*flight // in-flight compilations, for deduplication
+	// semIdx is the canonical tier of the in-memory cache: every cached
+	// successful result, bucketed by ShapeHash/machine/options. An exact
+	// miss probes its bucket for a result whose loop is isomorphic to the
+	// job's and serves it remapped through the isomorphism (re-verified by
+	// pipeline.RemapResult). Kept in lockstep with the LRU via the eviction
+	// hook.
+	semIdx       map[semKey][]*pipeline.Result
+	hits         uint64
+	misses       uint64
+	storeHits    uint64
+	semHits      uint64
+	semStoreHits uint64
+	perStrategy  map[string]*StrategyStats
 }
 
 // flight is one in-progress compilation that identical concurrent jobs
@@ -210,8 +235,9 @@ type engineMetrics struct {
 	// increases, so skip-ahead-proven intervals count).
 	compileSeconds *telemetry.Histogram
 	iiAttempts     *telemetry.Histogram
-	// cacheLookups counts job lookups by outcome (hit, miss, store_hit);
-	// jobs counts served jobs by scheduling strategy.
+	// cacheLookups counts job lookups by outcome (hit, miss, store_hit,
+	// semantic_hit, semantic_store_hit); jobs counts served jobs by
+	// scheduling strategy.
 	cacheLookups *telemetry.CounterVec
 	jobs         *telemetry.CounterVec
 }
@@ -263,8 +289,9 @@ func New(cfg Config) *Compiler {
 		size = DefaultCacheSize
 	}
 	if size > 0 {
-		c.cache = newLRU(size)
+		c.cache = newLRU(size, c.unindex)
 		c.pending = make(map[cacheKey]*flight)
+		c.semIdx = make(map[semKey][]*pipeline.Result)
 		c.perStrategy = make(map[string]*StrategyStats)
 		c.store = cfg.Store
 	}
@@ -293,12 +320,29 @@ type cacheKey struct {
 
 // machineKey canonicalizes a machine config for cache keying. The name
 // alone is not enough for heterogeneous machines, whose FU matrix is not
-// part of the name.
+// part of the name; the matrix is encoded explicitly, entry by entry, for
+// the same reason JobKey never uses %v — Go's slice formatting is not a
+// stable serialization format, and a change to it would silently remap
+// every heterogeneous key in the persistent store.
 func machineKey(m machine.Config) string {
 	if m.Hetero == nil {
 		return m.Name
 	}
-	return fmt.Sprintf("%s%v", m.Name, m.Hetero)
+	var sb strings.Builder
+	sb.WriteString(m.Name)
+	sb.WriteString(";het=")
+	for k, row := range m.Hetero {
+		if k > 0 {
+			sb.WriteByte('|')
+		}
+		for cl, n := range row {
+			if cl > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.Itoa(n))
+		}
+	}
+	return sb.String()
 }
 
 func keyFor(j Job) cacheKey {
@@ -309,18 +353,95 @@ func keyFor(j Job) cacheKey {
 	return cacheKey{graph: j.Graph.Fingerprint(), machine: machineKey(j.Machine), opts: opts}
 }
 
+// semKey identifies a bucket of the canonical cache tier: same loop shape
+// (a cheap isomorphism-invariant digest), same machine, same options.
+// ShapeHash rather than the canonical fingerprint keeps the unique-loop
+// miss path from paying full canonical labeling just to find an empty
+// bucket; candidates inside a bucket are confirmed isomorphic by
+// CanonicalFingerprint before any remap is attempted.
+type semKey struct {
+	shape   uint64
+	machine string
+	opts    pipeline.Options
+}
+
+func semKeyFor(j Job) semKey {
+	opts := j.Opts
+	opts.Strategy = opts.StrategyName()
+	return semKey{shape: j.Graph.ShapeHash(), machine: machineKey(j.Machine), opts: opts}
+}
+
+// cacheAdd inserts an outcome into the LRU and, for successful results,
+// into the canonical index. Callers hold c.mu.
+func (c *Compiler) cacheAdd(key cacheKey, val cacheValue, sk semKey) {
+	if val.err == nil && val.res != nil {
+		val.sk = sk
+		val.indexed = true
+		c.semIdx[sk] = append(c.semIdx[sk], val.res)
+	}
+	c.cache.add(key, val)
+}
+
+// unindex is the LRU's eviction hook: it removes an evicted or overwritten
+// result from its canonical bucket so the index never serves results the
+// cache has let go of. Runs under c.mu (evictions happen inside cacheAdd).
+func (c *Compiler) unindex(v cacheValue) {
+	if !v.indexed {
+		return
+	}
+	b := c.semIdx[v.sk]
+	for i, r := range b {
+		if r == v.res {
+			b[i] = b[len(b)-1]
+			b = b[:len(b)-1]
+			break
+		}
+	}
+	if len(b) == 0 {
+		delete(c.semIdx, v.sk)
+	} else {
+		c.semIdx[v.sk] = b
+	}
+}
+
+// remapCandidates tries to serve the job from same-shape cached results:
+// the first candidate that is canonically isomorphic to the job's graph
+// and whose schedule survives the remap-and-re-verify transplant wins.
+// Runs outside c.mu — candidates are immutable once cached.
+func remapCandidates(j Job, cands []*pipeline.Result) *pipeline.Result {
+	want := j.Graph.CanonicalFingerprint()
+	for _, cand := range cands {
+		if cand.Loop.CanonicalFingerprint() != want {
+			continue
+		}
+		if res, err := pipeline.RemapResult(cand, j.Graph, j.Opts); err == nil {
+			return res
+		}
+	}
+	return nil
+}
+
 // jobKeyVersion stamps the JobKey format. Bump it when the encoding below
 // changes shape — stale store entries then miss instead of aliasing.
-const jobKeyVersion = "v2"
+// v3 replaced the exact graph fingerprint with the canonical (isomorphism-
+// invariant) fingerprint, so renamed/reordered presentations of one loop
+// share a store entry.
+const jobKeyVersion = "v3"
 
 // JobKey returns the job's content-addressed cache identity as a string:
-// the format version, the graph fingerprint, the canonical machine key,
-// the strategy, and every Options field encoded explicitly, field by
-// field. The encoding is deliberately not derived from the struct (no
-// reflection, no %+v): renaming or reordering an Options field cannot
+// the format version, the canonical graph fingerprint, the canonical
+// machine key, the strategy, and every Options field encoded explicitly,
+// field by field. The encoding is deliberately not derived from the struct
+// (no reflection, no %+v): renaming or reordering an Options field cannot
 // silently change every key and invalidate the persistent store. Adding a
 // field DOES require extending this function (and the golden-key test
 // pins the format so forgetting fails loudly).
+//
+// The graph component is CanonicalFingerprint, equal for isomorphic
+// graphs, so a store entry written for one presentation of a loop is found
+// by every other; the Compiler detects the mismatch (Result.Loop vs
+// j.Graph) and remaps. Canonical labeling runs once per graph (memoized),
+// never on the II-attempt path.
 func JobKey(j Job) string {
 	o := j.Opts
 	b := func(v bool) byte {
@@ -329,8 +450,8 @@ func JobKey(j Job) string {
 		}
 		return '0'
 	}
-	return fmt.Sprintf("%s|g=%016x|m=%s|strat=%s|rep=%c|lrep=%c|lat0=%c|macro=%c|maxii=%d|noreg=%c|ver=%c",
-		jobKeyVersion, j.Graph.Fingerprint(), machineKey(j.Machine), o.StrategyName(),
+	return fmt.Sprintf("%s|c=%016x|m=%s|strat=%s|rep=%c|lrep=%c|lat0=%c|macro=%c|maxii=%d|noreg=%c|ver=%c",
+		jobKeyVersion, j.Graph.CanonicalFingerprint(), machineKey(j.Machine), o.StrategyName(),
 		b(o.Replicate), b(o.LengthReplicate), b(o.ZeroBusLatency), b(o.UseMacroReplication),
 		o.MaxII, b(o.IgnoreRegisterPressure), b(o.VerifySchedules))
 }
@@ -391,9 +512,15 @@ func (c *Compiler) do(ctx context.Context, j Job, track string, enqueued time.Ti
 	return out
 }
 
-// serve serves one job, consulting and populating the cache. Failures are
-// cached too: an unschedulable loop costs a full II sweep, the most
-// expensive outcome there is. Identical jobs running concurrently are
+// serve serves one job, consulting and populating the cache. The lookup
+// is two-tier: the exact (graph-fingerprint) LRU entry first, then the
+// canonical tier — cached results for loops isomorphic to this one, found
+// through the shape-hash index, remapped through the isomorphism and
+// re-verified before being served (see pipeline.RemapResult; a remapped
+// result is never trusted, only proven). Failures are cached too: an
+// unschedulable loop costs a full II sweep, the most expensive outcome
+// there is (failures live only in the exact tier — the canonical index
+// holds successful schedules). Identical jobs running concurrently are
 // deduplicated: followers block on the leader's flight and share its
 // outcome (counted as hits) instead of recompiling. Cancelled
 // compilations are not cached, and a follower whose leader was cancelled
@@ -412,6 +539,8 @@ func (c *Compiler) serve(ctx context.Context, j Job, tr *telemetry.Trace, track 
 		tid = tr.Track(track)
 	}
 	key := keyFor(j)
+	sk := semKeyFor(j) // O(edges), isomorphism-invariant; no canonical labeling yet
+	semTried := false
 	for {
 		lookup := tr.Now()
 		c.mu.Lock()
@@ -449,6 +578,33 @@ func (c *Compiler) serve(ctx context.Context, j Job, tr *telemetry.Trace, track 
 			}
 			return Outcome{Job: j, Result: f.val.res, Err: f.val.err, CacheHit: true}
 		}
+		// Canonical tier: an exact miss with a non-empty same-shape bucket
+		// tries to serve a cached result for an isomorphic loop, remapped
+		// through the isomorphism and re-verified. Probed once per job —
+		// a failed probe retries the loop (the exact entry may have landed
+		// meanwhile) and then falls through to the leader path.
+		if !semTried {
+			if bucket := c.semIdx[sk]; len(bucket) > 0 {
+				cands := append([]*pipeline.Result(nil), bucket...)
+				c.mu.Unlock()
+				semTried = true
+				if res := remapCandidates(j, cands); res != nil {
+					c.mu.Lock()
+					c.semHits++
+					c.strat(j).SemanticHits++
+					c.cacheAdd(key, cacheValue{res: res}, sk)
+					c.mu.Unlock()
+					if c.metrics != nil {
+						c.metrics.cacheLookups.With("semantic_hit").Inc()
+					}
+					if tr != nil {
+						tr.Span(tid, "cache", "semantic-hit", lookup)
+					}
+					return Outcome{Job: j, Result: res, CacheHit: true}
+				}
+				continue
+			}
+		}
 		f := &flight{done: make(chan struct{})}
 		c.pending[key] = f
 		c.mu.Unlock()
@@ -456,21 +612,42 @@ func (c *Compiler) serve(ctx context.Context, j Job, tr *telemetry.Trace, track 
 		// Leader path. Try the persistent store first, then compile.
 		if c.store != nil {
 			if res, cerr, ok := c.store.Load(j); ok {
-				f.val = cacheValue{res: res, err: cerr}
-				c.mu.Lock()
-				c.storeHits++
-				c.strat(j).StoreHits++
-				c.cache.add(key, f.val)
-				delete(c.pending, key)
-				c.mu.Unlock()
-				close(f.done)
-				if c.metrics != nil {
-					c.metrics.cacheLookups.With("store_hit").Inc()
+				// A stored result under the canonical JobKey may belong to
+				// an isomorphic sibling of this graph: remap and re-verify
+				// it before trusting it. A failed remap falls through to a
+				// fresh compilation.
+				semantic := false
+				if cerr == nil && res != nil && res.Loop.Fingerprint() != j.Graph.Fingerprint() {
+					if remapped, rerr := pipeline.RemapResult(res, j.Graph, j.Opts); rerr == nil {
+						res, semantic = remapped, true
+					} else {
+						ok = false
+					}
 				}
-				if tr != nil {
-					tr.Span(tid, "cache", "store-hit", lookup)
+				if ok {
+					f.val = cacheValue{res: res, err: cerr}
+					c.mu.Lock()
+					outcome, span := "store_hit", "store-hit"
+					if semantic {
+						c.semStoreHits++
+						c.strat(j).SemanticStoreHits++
+						outcome, span = "semantic_store_hit", "semantic-store-hit"
+					} else {
+						c.storeHits++
+						c.strat(j).StoreHits++
+					}
+					c.cacheAdd(key, f.val, sk)
+					delete(c.pending, key)
+					c.mu.Unlock()
+					close(f.done)
+					if c.metrics != nil {
+						c.metrics.cacheLookups.With(outcome).Inc()
+					}
+					if tr != nil {
+						tr.Span(tid, "cache", span, lookup)
+					}
+					return Outcome{Job: j, Result: res, Err: cerr, CacheHit: true}
 				}
-				return Outcome{Job: j, Result: res, Err: cerr, CacheHit: true}
 			}
 		}
 		res, err, elapsed := c.compileTimed(ctx, j, tr, track)
@@ -482,7 +659,7 @@ func (c *Compiler) serve(ctx context.Context, j Job, tr *telemetry.Trace, track 
 		} else {
 			c.misses++
 			c.strat(j).Misses++
-			c.cache.add(key, f.val)
+			c.cacheAdd(key, f.val, sk)
 			delete(c.pending, key)
 		}
 		c.mu.Unlock()
@@ -731,7 +908,10 @@ func AggregateError(outcomes []Outcome) error {
 func (c *Compiler) CacheStats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s := CacheStats{Hits: c.hits, Misses: c.misses, StoreHits: c.storeHits}
+	s := CacheStats{
+		Hits: c.hits, Misses: c.misses, StoreHits: c.storeHits,
+		SemanticHits: c.semHits, SemanticStoreHits: c.semStoreHits,
+	}
 	if c.cache != nil {
 		s.Entries = c.cache.len()
 	}
@@ -758,10 +938,12 @@ func (c *Compiler) ResetCache() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.cache != nil {
-		c.cache = newLRU(c.cache.cap)
+		c.cache = newLRU(c.cache.cap, c.unindex)
+		c.semIdx = make(map[semKey][]*pipeline.Result)
 		c.perStrategy = make(map[string]*StrategyStats)
 	}
 	c.hits, c.misses, c.storeHits = 0, 0, 0
+	c.semHits, c.semStoreHits = 0, 0
 }
 
 // JobError records one failed job of a batch.

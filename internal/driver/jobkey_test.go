@@ -42,15 +42,15 @@ func TestJobKeyGolden(t *testing.T) {
 	}{
 		{
 			pipeline.Options{},
-			fmt.Sprintf("v2|g=%016x|m=4c2b2l64r|strat=paper|rep=0|lrep=0|lat0=0|macro=0|maxii=0|noreg=0|ver=0", g.Fingerprint()),
+			fmt.Sprintf("v3|c=%016x|m=4c2b2l64r|strat=paper|rep=0|lrep=0|lat0=0|macro=0|maxii=0|noreg=0|ver=0", g.CanonicalFingerprint()),
 		},
 		{
 			pipeline.Options{Replicate: true, LengthReplicate: true, MaxII: 17, VerifySchedules: true},
-			fmt.Sprintf("v2|g=%016x|m=4c2b2l64r|strat=paper|rep=1|lrep=1|lat0=0|macro=0|maxii=17|noreg=0|ver=1", g.Fingerprint()),
+			fmt.Sprintf("v3|c=%016x|m=4c2b2l64r|strat=paper|rep=1|lrep=1|lat0=0|macro=0|maxii=17|noreg=0|ver=1", g.CanonicalFingerprint()),
 		},
 		{
 			pipeline.Options{Strategy: "uas"},
-			fmt.Sprintf("v2|g=%016x|m=4c2b2l64r|strat=uas|rep=0|lrep=0|lat0=0|macro=0|maxii=0|noreg=0|ver=0", g.Fingerprint()),
+			fmt.Sprintf("v3|c=%016x|m=4c2b2l64r|strat=uas|rep=0|lrep=0|lat0=0|macro=0|maxii=0|noreg=0|ver=0", g.CanonicalFingerprint()),
 		},
 	}
 	for _, tc := range cases {
@@ -60,10 +60,76 @@ func TestJobKeyGolden(t *testing.T) {
 		}
 	}
 
-	// The fingerprint itself is part of the persisted identity: pin it.
-	const goldenFingerprint = "1a00a841905d54e9"
-	if fp := fmt.Sprintf("%016x", g.Fingerprint()); fp != goldenFingerprint {
-		t.Errorf("fingerprint of the golden loop = %s, want %s (a drift here silently invalidates every DiskCache entry)", fp, goldenFingerprint)
+	// The canonical fingerprint itself is part of the persisted identity:
+	// pin it.
+	const goldenCanonical = "40d7edb04f609e68"
+	if fp := fmt.Sprintf("%016x", g.CanonicalFingerprint()); fp != goldenCanonical {
+		t.Errorf("canonical fingerprint of the golden loop = %s, want %s (a drift here silently invalidates every DiskCache entry)", fp, goldenCanonical)
+	}
+
+	// A v2 key for the same job must MISS under v3, not alias: the v2
+	// encoding used the exact (name-sensitive) fingerprint under the g=
+	// field, and no v3 key may collide with it.
+	v2 := fmt.Sprintf("v2|g=%016x|m=4c2b2l64r|strat=paper|rep=0|lrep=0|lat0=0|macro=0|maxii=0|noreg=0|ver=0", g.Fingerprint())
+	if got := JobKey(Job{Graph: g, Machine: m, Opts: pipeline.Options{}}); got == v2 {
+		t.Errorf("v3 key aliases the old v2 key %s", v2)
+	}
+}
+
+// TestJobKeyCanonicalAliasing pins the point of v3: a renamed, reordered
+// presentation of the same loop shares one store identity, while a
+// structurally different loop does not.
+func TestJobKeyCanonicalAliasing(t *testing.T) {
+	g := jobKeyLoop(t)
+	m := machine.MustParse("4c2b2l64r")
+	clone := ddg.PermuteRandom(g, "golden-renamed", 42)
+	kg := JobKey(Job{Graph: g, Machine: m, Opts: pipeline.Options{}})
+	kc := JobKey(Job{Graph: clone, Machine: m, Opts: pipeline.Options{}})
+	if kg != kc {
+		t.Errorf("isomorphic clone got a different JobKey:\n  %s\n  %s", kg, kc)
+	}
+	if g.Fingerprint() == clone.Fingerprint() {
+		t.Fatal("test defeated: the clone kept the exact fingerprint")
+	}
+
+	b := ddg.NewBuilder("golden")
+	x := b.Node("x", ddg.OpLoad)
+	mm := b.Node("m", ddg.OpFMul)
+	s := b.Node("s", ddg.OpStore)
+	b.Edge(x, mm, 0)
+	b.Edge(mm, s, 1) // distance differs from jobKeyLoop
+	other := b.MustBuild()
+	if ko := JobKey(Job{Graph: other, Machine: m, Opts: pipeline.Options{}}); ko == kg {
+		t.Errorf("structurally different loop shares the JobKey %s", ko)
+	}
+}
+
+// TestMachineKeyHetero pins the explicit field-by-field encoding of
+// heterogeneous FU matrices: two configs sharing a name but differing in
+// one matrix entry must key apart, and the encoding itself is golden (it
+// addresses persistent store entries just like the rest of JobKey).
+func TestMachineKeyHetero(t *testing.T) {
+	base := machine.MustParse("2c1b1l32r")
+	het := base
+	het.Hetero = [][ddg.NumClasses]int{{2, 1, 1}, {1, 1, 2}}
+
+	if mk := machineKey(base); mk != "2c1b1l32r" {
+		t.Errorf("homogeneous machineKey = %q, want the bare name", mk)
+	}
+	const golden = "2c1b1l32r;het=2,1,1|1,1,2"
+	if mk := machineKey(het); mk != golden {
+		t.Errorf("hetero machineKey = %q, want %q", mk, golden)
+	}
+
+	het2 := base
+	het2.Hetero = [][ddg.NumClasses]int{{2, 1, 1}, {1, 2, 2}}
+	if machineKey(het) == machineKey(het2) {
+		t.Error("configs differing in one FU entry share a machine key")
+	}
+	// And the distinction must survive into JobKey.
+	g := jobKeyLoop(t)
+	if JobKey(Job{Graph: g, Machine: het}) == JobKey(Job{Graph: g, Machine: het2}) {
+		t.Error("JobKey does not separate heterogeneous FU matrices")
 	}
 }
 
@@ -90,7 +156,7 @@ func TestJobKeyDistinguishesStrategy(t *testing.T) {
 		t.Fatalf("default-strategy key %s differs from explicit paper key %s", def, keys["paper"])
 	}
 	for _, k := range keys {
-		if !strings.HasPrefix(k, "v2|") {
+		if !strings.HasPrefix(k, "v3|") {
 			t.Fatalf("key %s lacks the version prefix", k)
 		}
 	}

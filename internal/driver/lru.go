@@ -7,9 +7,13 @@ import (
 )
 
 // cacheValue is one memoized compilation outcome (result or error).
+// Successful results are also indexed in the Compiler's canonical tier;
+// sk/indexed remember the bucket so eviction can remove them from it.
 type cacheValue struct {
-	res *pipeline.Result
-	err error
+	res     *pipeline.Result
+	err     error
+	sk      semKey
+	indexed bool
 }
 
 type lruEntry struct {
@@ -18,17 +22,21 @@ type lruEntry struct {
 }
 
 // lruCache is a plain LRU over cacheKeys. It is not internally locked; the
-// Compiler serializes access.
+// Compiler serializes access. onEvict, when non-nil, observes every value
+// the cache lets go of — evicted past capacity or replaced by an overwrite
+// — under the same serialization, so the Compiler's canonical index stays
+// in lockstep with residency.
 type lruCache struct {
-	cap   int
-	ll    *list.List // front = most recently used
-	byKey map[cacheKey]*list.Element
+	cap     int
+	ll      *list.List // front = most recently used
+	byKey   map[cacheKey]*list.Element
+	onEvict func(cacheValue)
 }
 
-func newLRU(capacity int) *lruCache {
+func newLRU(capacity int, onEvict func(cacheValue)) *lruCache {
 	// The map grows on demand: capacity is an upper bound (often the large
 	// default), not the expected population, so no preallocation hint.
-	return &lruCache{cap: capacity, ll: list.New(), byKey: make(map[cacheKey]*list.Element)}
+	return &lruCache{cap: capacity, ll: list.New(), byKey: make(map[cacheKey]*list.Element), onEvict: onEvict}
 }
 
 func (c *lruCache) get(k cacheKey) (cacheValue, bool) {
@@ -43,14 +51,22 @@ func (c *lruCache) get(k cacheKey) (cacheValue, bool) {
 func (c *lruCache) add(k cacheKey, v cacheValue) {
 	if el, ok := c.byKey[k]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*lruEntry).val = v
+		e := el.Value.(*lruEntry)
+		if c.onEvict != nil {
+			c.onEvict(e.val)
+		}
+		e.val = v
 		return
 	}
 	c.byKey[k] = c.ll.PushFront(&lruEntry{key: k, val: v})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.byKey, oldest.Value.(*lruEntry).key)
+		e := oldest.Value.(*lruEntry)
+		delete(c.byKey, e.key)
+		if c.onEvict != nil {
+			c.onEvict(e.val)
+		}
 	}
 }
 

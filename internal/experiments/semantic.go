@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"context"
+	"time"
+
+	"clusched/internal/ddg"
+	"clusched/internal/driver"
+	"clusched/internal/machine"
+	"clusched/internal/workload"
+)
+
+// SemanticRow is the canonical-cache measurement of the performance
+// trajectory: the SPECfp95 suite compiled once, then a duplicated-shape
+// corpus — Dup renamed/reordered isomorphic clones of every loop — served
+// against the warm cache. Exact fingerprints all miss; the canonical tier
+// must recognize the shapes, remap the cached schedules and re-verify
+// them, so CloneLoopsPerSec measures the isomorphism-hit path end to end.
+type SemanticRow struct {
+	// Config and Mode identify the workload, as in ThroughputRow.
+	Config string `json:"config"`
+	Mode   string `json:"mode"`
+	// Loops is the suite size; Dup the clones per loop; Clones the clone
+	// corpus size (Loops × Dup).
+	Loops  int `json:"loops"`
+	Dup    int `json:"dup"`
+	Clones int `json:"clones"`
+	// SemanticHits counts clones served by the canonical tier;
+	// SemanticHitRate is that over Clones. Clones of loops whose original
+	// compilation failed cannot hit (only successful schedules are
+	// indexed) and recompile — FailedOriginals counts them.
+	SemanticHits    uint64  `json:"semantic_hits"`
+	SemanticHitRate float64 `json:"semantic_hit_rate"`
+	FailedOriginals int     `json:"failed_originals,omitempty"`
+	// BaseMs is the wall time of an all-miss suite compilation; CloneMs
+	// the wall time of a clone corpus against the warm cache; the
+	// LoopsPerSec pair are the corresponding throughputs. The clone path
+	// does no scheduling — canonical labeling, permutation transplant and
+	// re-verification only — so its throughput is the headline gain. Both
+	// are best-of-rounds (fresh engine / fresh clone presentations each
+	// round) to damp scheduler and GC noise, the same discipline go test
+	// -bench applies; the clone number is therefore the steady state of a
+	// warm cache, with the one-time canonical labeling of the cached
+	// originals amortized.
+	BaseMs           float64 `json:"base_ms"`
+	BaseLoopsPerSec  float64 `json:"base_loops_per_sec"`
+	CloneMs          float64 `json:"clone_ms"`
+	CloneLoopsPerSec float64 `json:"clone_loops_per_sec"`
+	// FreshAgreement is the fraction of semantically served clones whose
+	// II equals what a from-scratch compilation of that clone would have
+	// produced. It is reported as data, not asserted: the pipeline's
+	// heuristics break ties by node numbering, so a different presentation
+	// can legitimately land on a different II in either direction. The
+	// remap contract is bit-identity with the cached compilation through
+	// the isomorphism (proven by re-verification), not equality with one
+	// particular presentation's heuristic path.
+	FreshAgreement float64 `json:"fresh_agreement"`
+	// CanonicalUsPerLoop is the mean cost of full canonical labeling (what
+	// a canonical-tier probe with a non-empty same-shape bucket pays, once
+	// per graph); ShapeHashUsPerLoop the mean cost of the cheap gate every
+	// exact miss pays. MissOverheadPct is the gate relative to the mean
+	// compile time — the tax a never-before-seen loop pays for the tier's
+	// existence.
+	CanonicalUsPerLoop float64 `json:"canonical_us_per_loop"`
+	ShapeHashUsPerLoop float64 `json:"shapehash_us_per_loop"`
+	MissOverheadPct    float64 `json:"miss_overhead_pct"`
+}
+
+// semanticRounds is the best-of repetition count for the timed sections.
+const semanticRounds = 3
+
+// MeasureSemantic builds the duplicated-shape corpus and measures the
+// canonical cache tier end to end on one serial worker.
+func MeasureSemantic(dup int) SemanticRow {
+	if dup < 1 {
+		dup = 1
+	}
+	loops := workload.SPECfp95()
+	m := machine.MustParse("4c2b2l64r")
+	opts := Replication.options()
+	row := SemanticRow{
+		Config: m.Name,
+		Mode:   Replication.String(),
+		Loops:  len(loops),
+		Dup:    dup,
+		Clones: len(loops) * dup,
+	}
+
+	jobs := make([]driver.Job, len(loops))
+	for i, l := range loops {
+		jobs[i] = driver.Job{Graph: l.Graph, Machine: m, Opts: opts}
+	}
+	clones := make([]driver.Job, 0, len(loops)*dup)
+	for k := 0; k < dup; k++ {
+		for i, l := range loops {
+			g := ddg.PermuteRandom(l.Graph, l.Graph.Name+"#p", int64(i)*1000003+int64(k)*8191+7)
+			clones = append(clones, driver.Job{Graph: g, Machine: m, Opts: opts})
+		}
+	}
+
+	ctx := context.Background()
+	var eng *driver.Compiler
+	var base time.Duration
+	for r := 0; r < semanticRounds; r++ {
+		e := driver.New(driver.Config{Workers: 1})
+		failed := 0
+		start := time.Now()
+		for _, j := range jobs {
+			if _, err := e.Compile(ctx, j); err != nil {
+				failed++
+			}
+		}
+		wall := time.Since(start)
+		if r == 0 || wall < base {
+			base = wall
+		}
+		// Any round's warm cache holds the same schedules; keep the last.
+		eng, row.FailedOriginals = e, failed
+	}
+	warm := eng.CacheStats()
+
+	var cloneWall time.Duration
+	for r := 0; r < semanticRounds; r++ {
+		batch := clones
+		if r > 0 {
+			// Fresh presentations each round: a repeated clone would be an
+			// exact hit and measure the wrong tier.
+			batch = make([]driver.Job, len(clones))
+			for i, j := range clones {
+				g := ddg.PermuteRandom(j.Graph, j.Graph.Name, int64(r)*65537+int64(i)*127+13)
+				batch[i] = driver.Job{Graph: g, Machine: j.Machine, Opts: j.Opts}
+			}
+		}
+		start := time.Now()
+		for _, j := range batch {
+			eng.Compile(ctx, j) // failures mirror the originals'; measured work either way
+		}
+		wall := time.Since(start)
+		if r == 0 || wall < cloneWall {
+			cloneWall = wall
+		}
+		if r == 0 {
+			st := eng.CacheStats()
+			row.SemanticHits = st.SemanticHits - warm.SemanticHits
+			row.SemanticHitRate = float64(row.SemanticHits) / float64(len(clones))
+		}
+	}
+
+	row.BaseMs = float64(base.Nanoseconds()) / 1e6
+	row.BaseLoopsPerSec = float64(len(jobs)) / base.Seconds()
+	row.CloneMs = float64(cloneWall.Nanoseconds()) / 1e6
+	row.CloneLoopsPerSec = float64(len(clones)) / cloneWall.Seconds()
+
+	// Fresh-agreement: recompile each first-round clone from scratch
+	// (cache off) and compare IIs with the remapped result it was served.
+	fresh := driver.New(driver.Config{CacheSize: -1, Workers: 1})
+	agree, compared := 0, 0
+	for _, j := range clones[:len(loops)] {
+		served, err := eng.Compile(ctx, j) // warm: the cached remapped result
+		if err != nil || served == nil {
+			continue
+		}
+		scratch, err := fresh.Compile(ctx, j)
+		if err != nil || scratch == nil {
+			continue
+		}
+		compared++
+		if scratch.II == served.II {
+			agree++
+		}
+	}
+	if compared > 0 {
+		row.FreshAgreement = float64(agree) / float64(compared)
+	}
+
+	// Canonicalization and gate cost on fresh (unmemoized) presentations.
+	canonClones := make([]*ddg.Graph, len(loops))
+	for i, l := range loops {
+		canonClones[i] = ddg.PermuteRandom(l.Graph, l.Graph.Name+"#c", int64(i)*31337+11)
+	}
+	shapeStart := time.Now()
+	for _, g := range canonClones {
+		g.ShapeHash()
+	}
+	shapeWall := time.Since(shapeStart)
+	canonStart := time.Now()
+	for _, g := range canonClones {
+		g.CanonicalFingerprint()
+	}
+	canonWall := time.Since(canonStart)
+	row.ShapeHashUsPerLoop = float64(shapeWall.Nanoseconds()) / 1e3 / float64(len(loops))
+	row.CanonicalUsPerLoop = float64(canonWall.Nanoseconds()) / 1e3 / float64(len(loops))
+	if meanCompileUs := row.BaseMs * 1e3 / float64(len(jobs)); meanCompileUs > 0 {
+		row.MissOverheadPct = 100 * row.ShapeHashUsPerLoop / meanCompileUs
+	}
+	return row
+}

@@ -1,0 +1,107 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"clusched/internal/ddg"
+	"clusched/internal/sched"
+)
+
+// RemapResult transplants a cached compilation onto an isomorphic graph:
+// it composes the two canonical permutations into a node isomorphism,
+// carries the cached placement and issue times across it, and re-proves
+// the transplanted schedule with sched.Adopt — the same dependence,
+// resource and register checks the wire decode path runs, so a remapped
+// result is never trusted, only proven (a failed proof returns an error
+// and the caller falls back to a fresh compilation). The target graph must
+// have the same canonical fingerprint as cached.Loop.
+func RemapResult(cached *Result, g *ddg.Graph, opts Options) (*Result, error) {
+	src := cached.Loop
+	if cached.Schedule == nil || cached.Placement == nil {
+		return nil, fmt.Errorf("pipeline: remap: cached result has no schedule")
+	}
+	n := g.NumNodes()
+	if src.NumNodes() != n || src.NumEdges() != g.NumEdges() {
+		return nil, fmt.Errorf("pipeline: remap: graph size mismatch")
+	}
+	cSrc, cDst := src.CanonicalForm(), g.CanonicalForm()
+	if cSrc.Sum != cDst.Sum {
+		return nil, fmt.Errorf("pipeline: remap: canonical fingerprints differ")
+	}
+
+	// sigma maps cached node → target node through the shared canonical
+	// ordering: a node and its image occupy the same canonical position.
+	invDst := make([]int32, n)
+	for v, c := range cDst.Perm {
+		invDst[c] = int32(v)
+	}
+	sigma := make([]int32, n)
+	for v := 0; v < n; v++ {
+		sigma[v] = invDst[cSrc.Perm[v]]
+		if g.Nodes[sigma[v]].Op != src.Nodes[v].Op {
+			// Only reachable through a canonical-sum hash collision.
+			return nil, fmt.Errorf("pipeline: remap: opcode mismatch under permutation")
+		}
+	}
+
+	cp := cached.Placement
+	p := &sched.Placement{
+		G:        g,
+		K:        cp.K,
+		Home:     make([]int, n),
+		Replicas: make([]sched.ClusterSet, n),
+	}
+	for v := 0; v < n; v++ {
+		p.Home[sigma[v]] = cp.Home[v]
+		p.Replicas[sigma[v]] = cp.Replicas[v]
+	}
+
+	ig, err := sched.BuildIGraph(p, cached.Machine, opts.ZeroBusLatency)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: remap: %w", err)
+	}
+	cig := cached.Schedule.IG
+	if ig.NumInstances() != cig.NumInstances() {
+		return nil, fmt.Errorf("pipeline: remap: instance count mismatch")
+	}
+	// Pull each target instance's issue time from its cached counterpart:
+	// same original node (through sigma) in the same cluster, or the
+	// node's copy instance.
+	invSigma := make([]int32, n)
+	for v := 0; v < n; v++ {
+		invSigma[sigma[v]] = int32(v)
+	}
+	times := make([]int, ig.NumInstances())
+	for i, inst := range ig.Inst {
+		v := int(invSigma[inst.Orig])
+		var ci int32
+		if inst.IsCopy {
+			ci = cig.CopyIdx[v]
+		} else {
+			ci = cig.InstanceAt(v, inst.Cluster)
+		}
+		if ci < 0 {
+			return nil, fmt.Errorf("pipeline: remap: instance %d has no cached counterpart", i)
+		}
+		times[i] = cached.Schedule.Time[ci]
+	}
+
+	s, err := sched.Adopt(ig, cached.Schedule.II, times,
+		sched.Options{SkipRegisterCheck: opts.IgnoreRegisterPressure})
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: remapped schedule does not verify: %w", err)
+	}
+	if s.Length != cached.Length || s.SC != cached.SC {
+		return nil, fmt.Errorf("pipeline: remap: length/SC changed (%d/%d vs %d/%d)",
+			s.Length, s.SC, cached.Length, cached.SC)
+	}
+	if c := p.Comms(); c != cached.Comms {
+		return nil, fmt.Errorf("pipeline: remap: comm count changed (%d vs %d)", c, cached.Comms)
+	}
+
+	out := *cached
+	out.Loop = g
+	out.Schedule = s
+	out.Placement = p
+	return &out, nil
+}

@@ -64,11 +64,16 @@ func (c *DiskCache) path(key string) string {
 }
 
 // storedOutcome is the on-disk schema: the full job key guards against
-// hash collisions and makes files self-describing.
+// hash collisions and makes files self-describing. GraphFP records the
+// exact (name- and order-sensitive) fingerprint of the graph the outcome
+// was computed for: the JobKey is canonical under isomorphism, so for
+// error entries — which carry no loop of their own to remap — it decides
+// whether the entry may be served to a given presentation.
 type storedOutcome struct {
-	Key    string       `json:"key"`
-	Result *wire.Result `json:"result,omitempty"`
-	Error  string       `json:"error,omitempty"`
+	Key     string       `json:"key"`
+	GraphFP string       `json:"graph_fp,omitempty"`
+	Result  *wire.Result `json:"result,omitempty"`
+	Error   string       `json:"error,omitempty"`
 }
 
 // Load implements driver.Store.
@@ -84,6 +89,14 @@ func (c *DiskCache) Load(j driver.Job) (*pipeline.Result, error, bool) {
 		return nil, nil, false
 	}
 	if so.Error != "" {
+		// Error entries are served only for the exact graph they were
+		// computed on: the message may quote node names, and unlike a
+		// result there is no schedule to remap and re-prove. An isomorphic
+		// sibling reads this as a miss — and recompiles — WITHOUT
+		// discarding the entry, which is still valid for its own graph.
+		if so.GraphFP != fmt.Sprintf("%016x", j.Graph.Fingerprint()) {
+			return nil, nil, false
+		}
 		return nil, &wire.RemoteError{Msg: so.Error}, true
 	}
 	if so.Result == nil {
@@ -117,6 +130,7 @@ func (c *DiskCache) Save(j driver.Job, res *pipeline.Result, cerr error) {
 	switch {
 	case cerr != nil:
 		so.Error = cerr.Error()
+		so.GraphFP = fmt.Sprintf("%016x", j.Graph.Fingerprint())
 	case res != nil:
 		// The wire form embeds the job's options: the decoder needs them
 		// to rebuild the instance graph under the same rules.

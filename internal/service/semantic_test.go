@@ -1,0 +1,127 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"clusched/internal/ddg"
+	"clusched/internal/driver"
+)
+
+// cloneJobs derives a renamed, node/edge-reordered clone job from each
+// input job — same abstract loops, different presentation.
+func cloneJobs(t *testing.T, jobs []driver.Job) []driver.Job {
+	t.Helper()
+	clones := make([]driver.Job, len(jobs))
+	for i, j := range jobs {
+		g := ddg.PermuteRandom(j.Graph, j.Graph.Name+"#perm", int64(i)*6151+29)
+		if g.Fingerprint() == j.Graph.Fingerprint() {
+			t.Fatalf("%s: clone kept the exact fingerprint", j.Graph.Name)
+		}
+		clones[i] = driver.Job{Graph: g, Machine: j.Machine, Opts: j.Opts}
+	}
+	return clones
+}
+
+// TestDiskCacheSemanticRestart is the end-to-end shape of the canonical
+// store: compile a batch, restart the server on the same cache directory,
+// submit renamed+permuted clones — every clone is served from disk by
+// remapping, with zero recompilations, and the /stats plumbing reports it.
+func TestDiskCacheSemanticRestart(t *testing.T) {
+	dir := t.TempDir()
+	jobs := testJobs(t, "tomcatv", 6)
+
+	cache1, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := New(Config{Store: cache1})
+	id, err := s1.Submit(jobs, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitDone(t, s1, id); st.Err != nil {
+		t.Fatal(st.Err)
+	}
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cache1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cache2, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache2.Close()
+	s2 := New(Config{Store: cache2})
+	defer s2.Shutdown(context.Background())
+	id2, err := s2.Submit(cloneJobs(t, jobs), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, s2, id2)
+	if st.Err != nil {
+		t.Fatal(st.Err)
+	}
+	for i, o := range st.Outcomes {
+		if !o.CacheHit || o.Result == nil {
+			t.Fatalf("clone %d recompiled (or failed) after restart", i)
+		}
+	}
+	stats := s2.Stats()
+	if stats.Cache.Misses != 0 {
+		t.Fatalf("clones recompiled: %+v", stats.Cache)
+	}
+	if stats.Cache.SemanticStoreHits != uint64(len(jobs)) {
+		t.Fatalf("semantic store hits = %d, want %d (%+v)",
+			stats.Cache.SemanticStoreHits, len(jobs), stats.Cache)
+	}
+	if stats.Cache.HitRate != 1 {
+		t.Fatalf("hit rate %v, want 1", stats.Cache.HitRate)
+	}
+	if ss := stats.Strategies["paper"]; ss.SemanticStoreHits != uint64(len(jobs)) {
+		t.Fatalf("per-strategy semantic store hits missing: %+v", stats.Strategies)
+	}
+}
+
+// TestDiskCacheErrorEntryExactOnly: a stored compilation *error* has no
+// schedule to remap, so it must be served only for the exact graph it was
+// computed on. An isomorphic sibling reads a miss — and the entry must
+// survive, still valid for its own presentation.
+func TestDiskCacheErrorEntryExactOnly(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Close()
+
+	j := testJobs(t, "mgrid", 1)[0]
+	cache.Save(j, nil, errors.New("unschedulable: no II under MaxII"))
+	cache.Close() // flush the write-behind queue
+
+	cache2, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache2.Close()
+	if _, cerr, ok := cache2.Load(j); !ok || cerr == nil {
+		t.Fatalf("exact-graph error entry not served: ok=%v err=%v", ok, cerr)
+	}
+	clone := cloneJobs(t, []driver.Job{j})[0]
+	if driver.JobKey(clone) != driver.JobKey(j) {
+		t.Fatal("clone does not share the canonical JobKey; test defeated")
+	}
+	if _, _, ok := cache2.Load(clone); ok {
+		t.Fatal("error entry served for an isomorphic sibling")
+	}
+	if cache2.Len() != 1 {
+		t.Fatal("sibling miss discarded the error entry")
+	}
+	if _, cerr, ok := cache2.Load(j); !ok || cerr == nil {
+		t.Fatal("error entry no longer served for its own graph")
+	}
+}

@@ -652,11 +652,13 @@ func (s *Server) Stats() wire.ServiceStats {
 	}
 	cs := s.compiler.CacheStats()
 	st.Cache = wire.CacheStats{
-		Hits:      cs.Hits,
-		Misses:    cs.Misses,
-		StoreHits: cs.StoreHits,
-		Entries:   cs.Entries,
-		HitRate:   cs.HitRate(),
+		Hits:              cs.Hits,
+		Misses:            cs.Misses,
+		StoreHits:         cs.StoreHits,
+		SemanticHits:      cs.SemanticHits,
+		SemanticStoreHits: cs.SemanticStoreHits,
+		Entries:           cs.Entries,
+		HitRate:           cs.HitRate(),
 	}
 	// Merge the service-side submission counts with the engine's
 	// per-strategy cache accounting into one per-strategy view.
@@ -672,6 +674,8 @@ func (s *Server) Stats() wire.ServiceStats {
 			ss.CacheHits = d.Hits
 			ss.CacheMisses = d.Misses
 			ss.StoreHits = d.StoreHits
+			ss.SemanticHits = d.SemanticHits
+			ss.SemanticStoreHits = d.SemanticStoreHits
 			st.Strategies[name] = ss
 		}
 	}

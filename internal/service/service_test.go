@@ -18,13 +18,20 @@ import (
 func testJobs(t *testing.T, bench string, n int) []driver.Job {
 	t.Helper()
 	loops := workload.LoopsFor(bench)
-	if len(loops) < n {
-		n = len(loops)
-	}
 	m := machine.MustParse("4c1b2l64r")
-	jobs := make([]driver.Job, n)
-	for i := 0; i < n; i++ {
-		jobs[i] = driver.Job{Graph: loops[i].Graph, Machine: m, Opts: pipeline.Options{Replicate: true}}
+	var jobs []driver.Job
+	// Skip loops isomorphic to an already-picked one: several tests gate a
+	// job via its Store.Load call, and the compiler's canonical cache tier
+	// serves isomorphic duplicates without ever consulting the store.
+	seen := map[uint64]bool{}
+	for _, l := range loops {
+		if len(jobs) == n {
+			break
+		}
+		if cf := l.Graph.CanonicalFingerprint(); !seen[cf] {
+			seen[cf] = true
+			jobs = append(jobs, driver.Job{Graph: l.Graph, Machine: m, Opts: pipeline.Options{Replicate: true}})
+		}
 	}
 	return jobs
 }

@@ -53,11 +53,16 @@ type JobStatus struct {
 
 // CacheStats is the wire form of the engine's cache accounting.
 type CacheStats struct {
-	Hits      uint64  `json:"hits"`
-	Misses    uint64  `json:"misses"`
-	StoreHits uint64  `json:"store_hits"`
-	Entries   int     `json:"entries"`
-	HitRate   float64 `json:"hit_rate"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	StoreHits uint64 `json:"store_hits"`
+	// SemanticHits/SemanticStoreHits count lookups served by remapping a
+	// cached result for an isomorphic loop (in-memory tier / persistent
+	// store respectively).
+	SemanticHits      uint64  `json:"semantic_hits"`
+	SemanticStoreHits uint64  `json:"semantic_store_hits"`
+	Entries           int     `json:"entries"`
+	HitRate           float64 `json:"hit_rate"`
 }
 
 // StrategyInfo describes one registered scheduling strategy (GET
@@ -80,11 +85,14 @@ type StrategiesResponse struct {
 type StrategyStats struct {
 	// JobsSubmitted counts jobs accepted into the queue for this strategy.
 	JobsSubmitted uint64 `json:"jobs_submitted"`
-	// CacheHits/CacheMisses/StoreHits are the engine's per-strategy cache
-	// counters (see CacheStats for their semantics).
-	CacheHits   uint64 `json:"cache_hits"`
-	CacheMisses uint64 `json:"cache_misses"`
-	StoreHits   uint64 `json:"store_hits"`
+	// CacheHits/CacheMisses/StoreHits/SemanticHits/SemanticStoreHits are
+	// the engine's per-strategy cache counters (see CacheStats for their
+	// semantics).
+	CacheHits         uint64 `json:"cache_hits"`
+	CacheMisses       uint64 `json:"cache_misses"`
+	StoreHits         uint64 `json:"store_hits"`
+	SemanticHits      uint64 `json:"semantic_hits"`
+	SemanticStoreHits uint64 `json:"semantic_store_hits"`
 }
 
 // ServiceStats is the GET /stats answer.
