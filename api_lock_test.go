@@ -46,6 +46,7 @@ var publicAPI = []string{
 	"Client.SubmitBatch",
 	"Client.Trace",
 	"Client.WaitBatch",
+	"Cluster",
 	"Collect",
 	"Compile",
 	"CompileAll",
@@ -58,18 +59,21 @@ var publicAPI = []string{
 	"CompilerConfig",
 	"DefaultClientTimeout",
 	"ExpandPipeline",
+	"FleetStats",
 	"Graph",
 	"HeteroMachine",
 	"Loop",
 	"Machine",
 	"MustParseMachine",
 	"NewClient",
+	"NewCluster",
 	"NewCompiler",
 	"NewLocal",
 	"NewLoop",
 	"NewOptions",
 	"NewRemote",
 	"NewTrace",
+	"NodeStats",
 	"NumCauses",
 	"OpFAdd",
 	"OpFDiv",
@@ -99,10 +103,13 @@ var publicAPI = []string{
 	"UnifiedMachine",
 	"WithCacheSize",
 	"WithHTTPClient",
+	"WithHealthInterval",
+	"WithHedge",
 	"WithIgnoreRegisterPressure",
 	"WithLengthReplication",
 	"WithMacroReplication",
 	"WithMaxII",
+	"WithNodeInFlight",
 	"WithPollInterval",
 	"WithProgress",
 	"WithReplication",

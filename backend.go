@@ -53,9 +53,10 @@ type Progress = driver.Progress
 // settings is the merged configuration the functional options mutate; each
 // constructor reads the part it understands.
 type settings struct {
-	opts   Options
-	engine CompilerConfig
-	client clientConfig
+	opts    Options
+	engine  CompilerConfig
+	client  clientConfig
+	cluster clusterConfig
 }
 
 // clientConfig collects the remote-backend knobs.
@@ -64,6 +65,15 @@ type clientConfig struct {
 	timeout      time.Duration
 	hasTimeout   bool
 	pollInterval time.Duration
+}
+
+// clusterConfig collects the fleet-backend knobs (see NewCluster).
+type clusterConfig struct {
+	hedge          time.Duration
+	hasHedge       bool
+	nodeInFlight   int
+	healthInterval time.Duration
+	hasHealth      bool
 }
 
 // optionScope classifies where an Option applies, so a constructor given
@@ -75,6 +85,7 @@ const (
 	scopeJob optionScope = 1 << iota
 	scopeEngine
 	scopeClient
+	scopeCluster
 )
 
 // String names the scope's home constructor for the misuse panic.
@@ -85,7 +96,9 @@ func (sc optionScope) String() string {
 	case scopeEngine:
 		return "a local-engine option (use NewLocal)"
 	case scopeClient:
-		return "a remote-client option (use NewRemote)"
+		return "a remote-client option (use NewRemote or NewCluster)"
+	case scopeCluster:
+		return "a fleet option (use NewCluster)"
 	}
 	return "an unknown option"
 }
@@ -130,6 +143,10 @@ func engineOption(name string, f func(*settings)) Option {
 
 func clientOption(name string, f func(*settings)) Option {
 	return Option{name: name, scope: scopeClient, apply: f}
+}
+
+func clusterOption(name string, f func(*settings)) Option {
+	return Option{name: name, scope: scopeCluster, apply: f}
 }
 
 // WithStrategy selects the scheduling strategy by registry name (see
@@ -235,6 +252,30 @@ func WithTimeout(d time.Duration) Option {
 // loop (the backoff grows and jitters from there; see Client.WaitBatch).
 func WithPollInterval(d time.Duration) Option {
 	return clientOption("WithPollInterval", func(s *settings) { s.client.pollInterval = d })
+}
+
+// WithHedge controls a fleet backend's straggler hedging — the duplicate
+// dispatch fired when a node sits on a job past the hedge delay (first
+// answer wins, the loser is cancelled; results are content-addressed and
+// deterministic, so the duplicate can never change the answer). d > 0
+// fixes the delay; 0 (the default) adapts it to a high percentile of
+// observed dispatch latency; d < 0 disables hedging.
+func WithHedge(d time.Duration) Option {
+	return clusterOption("WithHedge", func(s *settings) { s.cluster.hedge = d; s.cluster.hasHedge = true })
+}
+
+// WithNodeInFlight bounds a fleet backend's concurrent dispatches per node
+// (the window work stealing balances against; ≤0 = the cluster default).
+// Size the servers' -runners and -max-inflight at or above it, or the
+// window just queues server-side.
+func WithNodeInFlight(n int) Option {
+	return clusterOption("WithNodeInFlight", func(s *settings) { s.cluster.nodeInFlight = n })
+}
+
+// WithHealthInterval paces a fleet backend's membership probes (jittered
+// ±20%; 0 = the cluster default, negative disables probing).
+func WithHealthInterval(d time.Duration) Option {
+	return clusterOption("WithHealthInterval", func(s *settings) { s.cluster.healthInterval = d; s.cluster.hasHealth = true })
 }
 
 // NewOptions builds compilation Options functionally — the v2 spelling of

@@ -81,7 +81,50 @@ func backendCases() []backendCase {
 			})
 			return NewRemote(ts.URL, WithPollInterval(5*time.Millisecond))
 		}},
+		{name: "cluster", make: func(t *testing.T, cfg CompilerConfig) Backend {
+			t.Helper()
+			_, cl := newConformanceFleet(t, cfg, 3)
+			return cl
+		}},
 	}
+}
+
+// conformanceNodeInFlight is the cluster case's per-node dispatch window.
+// It is deliberately small: the servers run with Runners = window + 2, so
+// a job stalled in a gated Store (plus its possible hedge duplicate) can
+// never starve a node of runners, and the cancel test's "some jobs must
+// still fail" invariant holds (3 nodes × 2 in flight < the job count).
+const conformanceNodeInFlight = 2
+
+// newConformanceFleet starts n in-process service instances sharing the
+// engine config (so store gates apply fleet-wide) and returns them with a
+// Cluster backend over all of them.
+func newConformanceFleet(t *testing.T, cfg CompilerConfig, n int) ([]*httptest.Server, *Cluster) {
+	t.Helper()
+	tss := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := range n {
+		s := service.New(service.Config{
+			Workers:   cfg.Workers,
+			CacheSize: cfg.CacheSize,
+			Store:     cfg.Store,
+			// Every unary dispatch is its own one-job ticket; keep runner
+			// headroom above the dispatch window so gated jobs and hedge
+			// duplicates cannot wedge a node.
+			Runners: conformanceNodeInFlight + 2,
+		})
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			s.Shutdown(context.Background())
+		})
+		tss[i], urls[i] = ts, ts.URL
+	}
+	cl := NewCluster(urls,
+		WithNodeInFlight(conformanceNodeInFlight),
+		WithHealthInterval(50*time.Millisecond))
+	t.Cleanup(cl.Close)
+	return tss, cl
 }
 
 // conformanceJobs is the shared suite×machines job set both backends must

@@ -226,6 +226,14 @@ func (c *Client) Stream(ctx context.Context, jobs []CompileJob) iter.Seq2[int, C
 // errNoStreamEndpoint marks a server without GET /batch/{id}/stream.
 var errNoStreamEndpoint = errors.New("clusched: service has no stream endpoint")
 
+// errStreamCut marks a transport failure after the stream was successfully
+// opened: the server knows the ticket and keeps compiling it, so the poll
+// path can resume the batch instead of failing the undelivered suffix.
+// Deliberate server answers (404 for an unknown ticket, protocol-violation
+// frames, the idle watchdog) are NOT cuts — resuming those would poll a
+// ticket the server disowned or a stream the client cannot trust.
+var errStreamCut = errors.New("clusched: stream cut mid-batch")
+
 // abandonTicket best-effort cancels a ticket whose consumer walked away,
 // so the server stops compiling work nobody will read. It runs on a
 // detached context: the caller's is typically already cancelled.
@@ -251,30 +259,13 @@ func (c *Client) streamTicket(ctx context.Context, id string, jobs []CompileJob,
 	case errors.Is(err, errNoStreamEndpoint):
 		// Older server: fall back to the poll loop and deliver the batch
 		// when it finishes.
-		st, werr := c.WaitBatch(ctx, id)
-		if werr != nil {
-			fail(werr)
-			return
-		}
-		if len(st.Outcomes) != len(jobs) {
-			werr := st.Err
-			if werr == nil {
-				werr = fmt.Errorf("clusched: service answered %d outcomes for %d jobs (ticket %s %s)",
-					len(st.Outcomes), len(jobs), id, st.State)
-			}
-			fail(werr)
-			return
-		}
-		for i, out := range st.Outcomes {
-			if delivered[i] {
-				continue
-			}
-			delivered[i] = true
-			out.Job = jobs[i]
-			if !yield(i, out) {
-				return
-			}
-		}
+		c.pollRemainder(ctx, id, jobs, delivered, yield, fail)
+	case errors.Is(err, errStreamCut) && ctx.Err() == nil:
+		// The transport cut the stream but the batch is still alive on the
+		// server (and the work the server already did is not lost). Resume
+		// over the poll path: the delivered ledger guarantees the suffix
+		// the stream never carried is yielded exactly once.
+		c.pollRemainder(ctx, id, jobs, delivered, yield, fail)
 	default:
 		if ctx.Err() != nil {
 			// The caller cancelled mid-stream; the server is still
@@ -282,6 +273,39 @@ func (c *Client) streamTicket(ctx context.Context, id string, jobs []CompileJob,
 			c.abandonTicket(id)
 		}
 		fail(err)
+	}
+}
+
+// pollRemainder waits out a live ticket over the poll endpoint and yields
+// every outcome the stream (if any) has not delivered yet. It is both the
+// fallback for servers without the stream endpoint and the resume path
+// when an NDJSON stream is cut mid-batch: the delivered ledger makes the
+// hand-off exactly-once either way.
+func (c *Client) pollRemainder(ctx context.Context, id string, jobs []CompileJob, delivered []bool,
+	yield func(int, CompileOutcome) bool, fail func(error) bool) {
+	st, werr := c.WaitBatch(ctx, id)
+	if werr != nil {
+		fail(werr)
+		return
+	}
+	if len(st.Outcomes) != len(jobs) {
+		werr := st.Err
+		if werr == nil {
+			werr = fmt.Errorf("clusched: service answered %d outcomes for %d jobs (ticket %s %s)",
+				len(st.Outcomes), len(jobs), id, st.State)
+		}
+		fail(werr)
+		return
+	}
+	for i, out := range st.Outcomes {
+		if delivered[i] {
+			continue
+		}
+		delivered[i] = true
+		out.Job = jobs[i]
+		if !yield(i, out) {
+			return
+		}
 	}
 }
 
@@ -348,10 +372,13 @@ func (c *Client) readStream(ctx context.Context, id string, jobs []CompileJob, d
 			if timedOut.Load() {
 				return fmt.Errorf("clusched: stream for ticket %s idle for %v, giving up", id, c.timeout)
 			}
+			// The server had accepted the stream (200, frames flowing), so
+			// this is the transport dying mid-batch, not the server refusing
+			// the ticket: mark it resumable over the poll path.
 			if errors.Is(err, io.EOF) {
-				return fmt.Errorf("clusched: stream for ticket %s ended before its done frame", id)
+				return fmt.Errorf("%w: ticket %s ended before its done frame", errStreamCut, id)
 			}
-			return err
+			return fmt.Errorf("%w: ticket %s: %v", errStreamCut, id, err)
 		}
 		if idle != nil {
 			idle.Reset(c.timeout)
@@ -460,6 +487,13 @@ func (c *Client) Trace(ctx context.Context, id string) ([]byte, error) {
 type BatchStatus struct {
 	ID    string
 	State string
+	// Deadline is the ticket's server-side lifetime bound (zero when the
+	// ticket has none); WaitBatch caps its total polling against it.
+	Deadline time.Time
+	// RetryAfter is the server's poll-again hint for an unfinished ticket
+	// (zero when the server offered none); WaitBatch prefers it over its
+	// own backoff ladder.
+	RetryAfter time.Duration
 	// Outcomes is index-aligned with the submitted jobs; Job fields are
 	// zero (the submitter already has them).
 	Outcomes []CompileOutcome
@@ -476,16 +510,28 @@ func (c *Client) Status(ctx context.Context, id string) (BatchStatus, error) {
 	return decodeStatus(ws)
 }
 
+// waitBatchGrace pads the ticket deadline before WaitBatch gives up: the
+// server needs a moment past the deadline to cancel the ticket and publish
+// the terminal status, and clocks are never perfectly aligned.
+const waitBatchGrace = 2 * time.Second
+
 // WaitBatch polls a ticket until it finishes (or ctx is done) and returns
-// the final status with decoded outcomes. It is the fallback to Stream:
-// the poll interval starts at PollInterval (default 50ms) and backs off
-// geometrically to a 2s cap, each wait jittered ±25% so synchronized
-// clients spread out instead of hammering the server in lockstep.
+// the final status with decoded outcomes. It is the fallback to Stream.
+// Pacing prefers the server's own Retry-After hint — the server knows its
+// backlog better than any client-side schedule — and only without one backs
+// off geometrically from PollInterval (default 50ms) to a 2s cap; every
+// wait is jittered ±25% so synchronized clients spread out instead of
+// hammering the server in lockstep. Total polling is bounded by the
+// ticket's own deadline (plus a small grace): once the server has reported
+// a deadline, WaitBatch will not poll a doomed ticket forever — it makes
+// one final probe past the deadline and then gives up with an error naming
+// the ticket's state.
 func (c *Client) WaitBatch(ctx context.Context, id string) (BatchStatus, error) {
 	interval := c.PollInterval
 	if interval <= 0 {
 		interval = pollBaseInterval
 	}
+	var capC <-chan time.Time // fires past the ticket deadline + grace
 	for {
 		st, err := c.Status(ctx, id)
 		if err != nil {
@@ -494,17 +540,46 @@ func (c *Client) WaitBatch(ctx context.Context, id string) (BatchStatus, error) 
 		if st.State == wire.StateDone || st.State == wire.StateCanceled {
 			return st, nil
 		}
-		// ±25% jitter around the current interval.
-		wait := time.Duration(float64(interval) * (0.75 + 0.5*rand.Float64()))
+		if capC == nil && !st.Deadline.IsZero() {
+			t := time.NewTimer(time.Until(st.Deadline.Add(waitBatchGrace)))
+			defer t.Stop()
+			capC = t.C
+		}
+		// The server's hint wins over the local ladder; clamp it into the
+		// ladder's range so a misbehaving hint can neither busy-poll nor
+		// park the client for minutes.
+		wait := interval
+		hinted := st.RetryAfter > 0
+		if hinted {
+			wait = min(max(st.RetryAfter, pollBaseInterval), pollMaxInterval)
+		}
+		// ±25% jitter around the chosen interval.
+		wait = time.Duration(float64(wait) * (0.75 + 0.5*rand.Float64()))
 		select {
 		case <-time.After(wait):
+		case <-capC:
+			// The ticket outlived its own deadline; one last probe (the
+			// server normally cancels it right at the deadline), then stop
+			// polling a ticket that can no longer finish normally.
+			st, err := c.Status(ctx, id)
+			if err == nil && (st.State == wire.StateDone || st.State == wire.StateCanceled) {
+				return st, nil
+			}
+			if err != nil {
+				return BatchStatus{}, err
+			}
+			return BatchStatus{}, fmt.Errorf(
+				"clusched: ticket %s still %s past its deadline (+%v grace); giving up the poll",
+				id, st.State, waitBatchGrace)
 		case <-ctx.Done():
 			return BatchStatus{}, ctx.Err()
 		}
-		if next := time.Duration(float64(interval) * pollGrowth); next < pollMaxInterval {
-			interval = next
-		} else {
-			interval = pollMaxInterval
+		if !hinted {
+			if next := time.Duration(float64(interval) * pollGrowth); next < pollMaxInterval {
+				interval = next
+			} else {
+				interval = pollMaxInterval
+			}
 		}
 	}
 }
@@ -516,6 +591,12 @@ func (c *Client) Cancel(ctx context.Context, id string) error {
 
 func decodeStatus(ws wire.JobStatus) (BatchStatus, error) {
 	st := BatchStatus{ID: ws.ID, State: ws.State}
+	if ws.DeadlineMS > 0 {
+		st.Deadline = time.UnixMilli(ws.DeadlineMS)
+	}
+	if ws.RetryAfterMS > 0 {
+		st.RetryAfter = time.Duration(ws.RetryAfterMS) * time.Millisecond
+	}
 	if ws.Error != "" {
 		st.Err = &wire.RemoteError{Msg: ws.Error}
 	}

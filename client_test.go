@@ -3,6 +3,7 @@ package clusched
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"clusched/internal/service"
+	"clusched/internal/wire"
 )
 
 // startService spins an in-process compilation service for client tests.
@@ -273,5 +275,70 @@ func TestStreamUnknownTicket404IsNotEndpointFallback(t *testing.T) {
 	}
 	if polled.Load() {
 		t.Fatal("client fell back to polling a ticket the server said it does not know")
+	}
+}
+
+// TestWaitBatchDeadlineCap: once the server reports a ticket deadline,
+// WaitBatch must not poll a doomed ticket forever — past deadline + grace
+// it makes one final probe and gives up with an error naming the state.
+func TestWaitBatchDeadlineCap(t *testing.T) {
+	var polls atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		polls.Add(1)
+		// Running, with a deadline that already expired past the grace
+		// window: the cap timer fires before the first sleep finishes.
+		fmt.Fprintf(w, `{"id":"doomed","state":"running","num_jobs":1,"deadline_ms":%d}`+"\n",
+			time.Now().Add(-10*time.Second).UnixMilli())
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	start := time.Now()
+	_, err := c.WaitBatch(ctx, "doomed")
+	if err == nil || !strings.Contains(err.Error(), "past its deadline") {
+		t.Fatalf("want the past-deadline error, got %v", err)
+	}
+	if got := polls.Load(); got > 3 {
+		t.Fatalf("WaitBatch kept polling a doomed ticket: %d probes", got)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("WaitBatch took %v to give up on an expired ticket", elapsed)
+	}
+}
+
+// TestWaitBatchHonorsRetryAfterHint: the server's retry_after_ms wins over
+// the client's own (here deliberately huge) poll interval, so a hinted
+// ticket resolves promptly even with a misconfigured client schedule.
+func TestWaitBatchHonorsRetryAfterHint(t *testing.T) {
+	var polls atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if polls.Add(1) == 1 {
+			fmt.Fprintln(w, `{"id":"tk","state":"running","num_jobs":0,"retry_after_ms":60}`)
+			return
+		}
+		fmt.Fprintln(w, `{"id":"tk","state":"done","num_jobs":0}`)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.PollInterval = time.Hour // the hint must override this
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	start := time.Now()
+	st, err := c.WaitBatch(ctx, "tk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != wire.StateDone {
+		t.Fatalf("want done, got %q", st.State)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hinted poll took %v; the Retry-After hint did not override PollInterval", elapsed)
 	}
 }

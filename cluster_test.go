@@ -1,0 +1,137 @@
+package clusched
+
+// Fleet-level failure tests on top of the backend conformance suite: the
+// cluster must survive losing a node mid-batch without losing or changing a
+// single outcome, and the single-server client must survive losing its
+// NDJSON stream mid-batch by resuming over the poll path — each undelivered
+// outcome exactly once.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"clusched/internal/service"
+)
+
+// TestClusterNodeKilledMidBatch is the ISSUE's headline acceptance: a
+// 3-node fleet loses one node while a batch is streaming — in-flight
+// requests cut, the port gone — and the batch still completes with every
+// outcome bit-identical to a serial local run.
+func TestClusterNodeKilledMidBatch(t *testing.T) {
+	jobs := conformanceJobs(t)
+	want := referenceOutcomes(t, jobs)
+	tss, cl := newConformanceFleet(t, CompilerConfig{}, 3)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var killOnce sync.Once
+	seen := make([]bool, len(jobs))
+	delivered := 0
+	for i, out := range cl.Stream(ctx, jobs) {
+		if seen[i] {
+			t.Fatalf("job %d yielded twice", i)
+		}
+		seen[i] = true
+		if out.Err != nil {
+			t.Fatalf("job %d (%s): %v", i, jobs[i].Graph.Name, out.Err)
+		}
+		if got := resultFingerprint(out.Result); got != want[i] {
+			t.Fatalf("job %d diverges after the node kill:\n  got:  %s\n  want: %s", i, got, want[i])
+		}
+		if delivered++; delivered == 3 {
+			// A third of nothing has finished yet; kill a node hard while
+			// the rest of the batch is in flight. CloseClientConnections
+			// severs established exchanges (mid-request transport errors),
+			// Close takes the listener away (refused reconnects).
+			killOnce.Do(func() {
+				victim := tss[1]
+				go func() {
+					victim.CloseClientConnections()
+					victim.Close()
+				}()
+			})
+		}
+	}
+	if delivered != len(jobs) {
+		t.Fatalf("stream delivered %d of %d outcomes", delivered, len(jobs))
+	}
+}
+
+// cutStream wraps the NDJSON stream's ResponseWriter and aborts the
+// connection after a fixed number of newline-terminated frames — a
+// deterministic mid-batch transport cut, as seen from the client.
+type cutStream struct {
+	http.ResponseWriter
+	frames int
+	limit  int
+}
+
+func (c *cutStream) Write(p []byte) (int, error) {
+	if c.frames >= c.limit {
+		panic(http.ErrAbortHandler)
+	}
+	for _, b := range p {
+		if b == '\n' {
+			c.frames++
+		}
+	}
+	return c.ResponseWriter.Write(p)
+}
+
+// Flush must pass through: the stream endpoint pushes frame by frame, and
+// the cut is only observable client-side if the allowed frames were sent.
+func (c *cutStream) Flush() {
+	if f, ok := c.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// TestStreamReconnectDeliversSuffixExactlyOnce kills the NDJSON stream
+// after the hello frame plus one outcome. The client must fall back to the
+// poll path, wait the batch out, and deliver the undelivered suffix exactly
+// once — bit-identical to the reference, the already-streamed prefix never
+// repeated.
+func TestStreamReconnectDeliversSuffixExactlyOnce(t *testing.T) {
+	jobs := conformanceJobs(t)
+	want := referenceOutcomes(t, jobs)
+
+	s := service.New(service.Config{})
+	h := s.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/stream") {
+			w = &cutStream{ResponseWriter: w, limit: 2} // hello + one outcome
+		}
+		h.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		ts.Close()
+		s.Shutdown(context.Background())
+	})
+	client := NewRemote(ts.URL, WithPollInterval(5*time.Millisecond))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	seen := make([]bool, len(jobs))
+	delivered := 0
+	for i, out := range client.Stream(ctx, jobs) {
+		if seen[i] {
+			t.Fatalf("job %d delivered twice across the stream/poll hand-off", i)
+		}
+		seen[i] = true
+		if out.Err != nil {
+			t.Fatalf("job %d (%s): %v", i, jobs[i].Graph.Name, out.Err)
+		}
+		if got := resultFingerprint(out.Result); got != want[i] {
+			t.Fatalf("job %d diverges after the reconnect:\n  got:  %s\n  want: %s", i, got, want[i])
+		}
+		delivered++
+	}
+	if delivered != len(jobs) {
+		t.Fatalf("delivered %d of %d outcomes across the cut", delivered, len(jobs))
+	}
+}

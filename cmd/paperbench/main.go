@@ -17,6 +17,8 @@
 //	paperbench -json bench.json # machine-readable per-figure numbers + engine stats
 //	paperbench -strategies paper,unified,uas,moddist   # head-to-head strategy comparison
 //	paperbench -remote http://localhost:8357 -fig 7    # evaluation as service traffic
+//	paperbench -cluster http://h1:8357,http://h2:8357  # evaluation sharded across a fleet
+//	paperbench -json bench.json -cluster-nodes 3       # fleet-scaling section in the JSON
 //
 // -remote swaps the in-process engine for the remote Backend (the same
 // clusched.Backend seam every tool programs against): every suite
@@ -92,7 +94,12 @@ type jsonReport struct {
 	// warm cache, with hit rate, remap throughput and canonicalization
 	// costs (see EXPERIMENTS.md).
 	Semantic experiments.SemanticRow `json:"semantic"`
-	Engine   driver.CacheStats       `json:"engine"`
+	// Cluster is the fleet-scaling section (populated by -cluster-nodes):
+	// the suite compiled through the cluster backend against 1..N
+	// in-process serve instances, with the shared-CPU caveat flagged on
+	// every row.
+	Cluster []experiments.ClusterRow `json:"cluster,omitempty"`
+	Engine  driver.CacheStats        `json:"engine"`
 }
 
 // collectJSON gathers the typed rows for the selected experiment ("" =
@@ -100,7 +107,7 @@ type jsonReport struct {
 // served from the engine cache, so this re-reads, it does not recompute.
 // specLanes rides into the timed run so the trajectory can record
 // speculative datapoints.
-func collectJSON(fig string, specLanes, dup int) jsonReport {
+func collectJSON(fig string, specLanes, dup, clusterNodes int) jsonReport {
 	var r jsonReport
 	all := fig == ""
 	if all || fig == "1" {
@@ -134,6 +141,9 @@ func collectJSON(fig string, specLanes, dup int) jsonReport {
 	// nor pollute the shared engine's memoized suites.
 	r.Timing = experiments.MeasureThroughput(specLanes)
 	r.Semantic = experiments.MeasureSemantic(dup)
+	if clusterNodes > 0 {
+		r.Cluster = experiments.MeasureClusterScaling(clusterNodes)
+	}
 	r.Engine = experiments.EngineStats()
 	return r
 }
@@ -166,6 +176,8 @@ func main() {
 	strategies := flag.String("strategies", "", "comma-separated scheduling strategies to compare head-to-head (e.g. paper,unified,uas,moddist)")
 	strategiesConfig := flag.String("strategies-config", "4c2b2l64r", "machine configuration for the -strategies comparison")
 	remote := flag.String("remote", "", "run every suite compilation on a clusched-serve instance at this base URL instead of in-process")
+	clusterHosts := flag.String("cluster", "", "comma-separated clusched-serve base URLs: run the evaluation through the sharded cluster backend (mutually exclusive with -remote)")
+	clusterNodes := flag.Int("cluster-nodes", 0, "also measure fleet scaling through 1..N in-process serve instances into the -json cluster section (0 = off)")
 	traceOut := flag.String("trace", "", "record the run as Chrome trace-event JSON to this file (local runs only)")
 	flag.CommandLine.Parse(preprocessArgs(os.Args[1:]))
 
@@ -175,6 +187,25 @@ func main() {
 	}
 
 	switch {
+	case *clusterHosts != "":
+		if *remote != "" {
+			fmt.Fprintln(os.Stderr, "paperbench: -cluster and -remote are mutually exclusive")
+			os.Exit(2)
+		}
+		if *traceOut != "" {
+			fmt.Fprintln(os.Stderr, "paperbench: -trace is ignored with -cluster (the servers record traces; see GET /jobs/{id}/trace)")
+		}
+		if *jobs != 0 {
+			fmt.Fprintln(os.Stderr, "paperbench: -j is ignored with -cluster (the servers' workers apply)")
+		}
+		if *progress {
+			fmt.Fprintln(os.Stderr, "paperbench: -progress is ignored with -cluster (compilation runs server-side)")
+		}
+		// Same Backend seam as -remote, but the batches fan out across the
+		// fleet with cache-affine routing.
+		cl := clusched.NewCluster(strings.Split(*clusterHosts, ","))
+		defer cl.Close()
+		experiments.UseBackend(cl)
 	case *remote != "":
 		if *traceOut != "" {
 			fmt.Fprintln(os.Stderr, "paperbench: -trace is ignored with -remote (submit with trace and fetch GET /jobs/{id}/trace instead)")
@@ -282,7 +313,7 @@ func main() {
 	}
 	jsonToStdout := *jsonOut == "-"
 	if *jsonOut != "" {
-		doc := collectJSON(*fig, *speculate, *dup)
+		doc := collectJSON(*fig, *speculate, *dup, *clusterNodes)
 		doc.Strategies = strategyRows
 		blob, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {

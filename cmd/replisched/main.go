@@ -7,6 +7,7 @@
 //	replisched -config 4c2b2l64r loop.ddg
 //	loopgen -bench tomcatv -n 1 | replisched -config 4c1b2l64r -kernel -
 //	replisched -remote http://localhost:8357 -config 4c2b2l64r loop.ddg
+//	replisched -cluster http://h1:8357,http://h2:8357 loop.ddg   # shard across a fleet
 //	replisched -strategy uas -config 4c2b2l64r loop.ddg   # rival scheduling strategy
 //	replisched -trace trace.json loop.ddg   # record a Chrome trace of the compilation
 //
@@ -30,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"clusched"
 	"clusched/internal/codegen"
@@ -49,6 +51,7 @@ func main() {
 	simIters := flag.Int("verify", 0, "execute the schedule for N iterations and verify against direct evaluation")
 	dot := flag.Bool("dot", false, "print the partitioned DDG in Graphviz format")
 	remote := flag.String("remote", "", "compile on a clusched-serve instance at this base URL instead of in-process")
+	clusterNodes := flag.String("cluster", "", "comma-separated clusched-serve base URLs: fan the batch across the fleet (mutually exclusive with -remote)")
 	traceOut := flag.String("trace", "", "record the compilation as Chrome trace-event JSON to this file (local runs only)")
 	flag.Parse()
 
@@ -94,6 +97,16 @@ func main() {
 	var trace *clusched.Trace
 	var backend clusched.Backend
 	switch {
+	case *clusterNodes != "":
+		if *remote != "" {
+			fatal(fmt.Errorf("-cluster and -remote are mutually exclusive"))
+		}
+		if *traceOut != "" {
+			fmt.Fprintln(os.Stderr, "replisched: -trace is ignored with -cluster (the servers record traces; see GET /jobs/{id}/trace)")
+		}
+		cl := clusched.NewCluster(strings.Split(*clusterNodes, ","))
+		defer cl.Close()
+		backend = cl
 	case *remote != "":
 		if *traceOut != "" {
 			fmt.Fprintln(os.Stderr, "replisched: -trace is ignored with -remote (the server records traces; see GET /jobs/{id}/trace)")

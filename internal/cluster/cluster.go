@@ -1,0 +1,741 @@
+// Package cluster fans compilation batches across a fleet of compilation
+// servers: the third Backend implementation, after the in-process engine
+// (internal/driver) and the single-server client. Each job is routed by
+// consistent hashing on the *canonical* fingerprint component of its
+// JobKey — the isomorphism-invariant digest, so renamed/reordered clones
+// of one loop always land on the same node and hit that node's semantic
+// cache tier instead of recompiling. Around that affinity core sit the
+// fleet mechanics: health-checked membership (periodic probes with jitter,
+// eject on dispatch failure, readmit on recovery), per-node in-flight
+// windows with work stealing when a node drains or falls behind, hedged
+// dispatch for stragglers (a second send after a latency-percentile delay;
+// first answer wins, the loser is cancelled — results are content-addressed
+// and deterministic, so a duplicated compilation is only wasted heat, never
+// a wrong answer), and transport-aware failover that distinguishes "the
+// node could not answer" (retry elsewhere) from "the job failed to compile"
+// (a legitimate, deterministic outcome that every node would reproduce).
+//
+// The public constructor is clusched.NewCluster; this package keeps the
+// mechanics testable against in-process fakes.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"log/slog"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clusched/internal/driver"
+	"clusched/internal/pipeline"
+	"clusched/internal/telemetry"
+	"clusched/internal/wire"
+)
+
+// Member names one node of the fleet. Name is the routing identity: ring
+// positions derive from it, so renaming a node reshuffles its shard.
+type Member struct {
+	Name string
+	Node Node
+}
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// Members is the fleet; at least one is required.
+	Members []Member
+	// NodeInFlight bounds concurrent dispatches per member (the per-node
+	// window work stealing balances against); ≤0 means DefaultNodeInFlight.
+	NodeInFlight int
+	// Hedge controls straggler hedging: 0 (default) adapts the hedge delay
+	// to a high percentile of observed dispatch latency, >0 fixes the
+	// delay, <0 disables hedging.
+	Hedge time.Duration
+	// HealthInterval paces the membership probes (jittered ±20%); 0 means
+	// DefaultHealthInterval, <0 disables probing (members are then only
+	// ejected by dispatch failures and readmitted by the next probe-free
+	// recovery path: a successful failover send).
+	HealthInterval time.Duration
+	// Registry receives the cluster's per-node instruments; nil creates a
+	// private registry (exposed via Registry()).
+	Registry *telemetry.Registry
+	// Logger receives membership transitions and hedge/steal diagnostics;
+	// nil discards them.
+	Logger *slog.Logger
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultNodeInFlight   = 4
+	DefaultHealthInterval = 2 * time.Second
+)
+
+// Hedging tuning: the adaptive delay is hedgeFactor × the p95 of recent
+// successful dispatch latencies, floored so microsecond-fast fleets do not
+// hedge every job, and it needs hedgeMinSamples observations before the
+// first hedge can fire.
+const (
+	hedgeFactor     = 4
+	hedgeFloor      = 10 * time.Millisecond
+	hedgeMinSamples = 16
+	latWindow       = 64
+)
+
+// routeLoadFactor is the bounded-load constant: at batch routing time no
+// member is assigned more than routeLoadFactor × the even share before the
+// walk spills to the next node on the ring.
+const routeLoadFactor = 1.25
+
+// member is the live state behind a Member.
+type member struct {
+	name string
+	node Node
+
+	up       atomic.Bool
+	inflight atomic.Int64
+
+	jobs        atomic.Uint64
+	steals      atomic.Uint64
+	hedgesFired atomic.Uint64
+	hedgesWon   atomic.Uint64
+	ejections   atomic.Uint64
+	lastErr     atomic.Value // string
+}
+
+func (m *member) healthy() bool { return m.up.Load() }
+
+// Cluster is the fleet backend. It satisfies the public Backend contract
+// structurally (Compile + Stream in driver types); clusched.NewCluster
+// pins that at compile time.
+type Cluster struct {
+	members      []*member
+	ring         *ring
+	nodeInFlight int
+	hedge        time.Duration
+	logger       *slog.Logger
+
+	registry *telemetry.Registry
+	metrics  clusterMetrics
+
+	latMu  sync.Mutex
+	lat    [latWindow]time.Duration
+	latN   int // total samples observed
+	closed chan struct{}
+	once   sync.Once
+}
+
+type clusterMetrics struct {
+	jobs        *telemetry.CounterVec
+	steals      *telemetry.CounterVec
+	hedgesFired *telemetry.CounterVec
+	hedgesWon   *telemetry.CounterVec
+	ejections   *telemetry.CounterVec
+	failovers   *telemetry.CounterVec
+}
+
+// New builds a Cluster over the members and starts its membership loop.
+// Callers must Close it when done.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("cluster: no members")
+	}
+	names := make(map[string]bool, len(cfg.Members))
+	c := &Cluster{
+		nodeInFlight: cfg.NodeInFlight,
+		hedge:        cfg.Hedge,
+		logger:       cfg.Logger,
+		registry:     cfg.Registry,
+		closed:       make(chan struct{}),
+	}
+	if c.nodeInFlight <= 0 {
+		c.nodeInFlight = DefaultNodeInFlight
+	}
+	if c.logger == nil {
+		c.logger = slog.New(slog.DiscardHandler)
+	}
+	if c.registry == nil {
+		c.registry = telemetry.NewRegistry()
+	}
+	for _, mm := range cfg.Members {
+		if mm.Name == "" || mm.Node == nil {
+			return nil, fmt.Errorf("cluster: member needs a name and a node")
+		}
+		if names[mm.Name] {
+			return nil, fmt.Errorf("cluster: duplicate member %q", mm.Name)
+		}
+		names[mm.Name] = true
+		m := &member{name: mm.Name, node: mm.Node}
+		m.up.Store(true)
+		c.members = append(c.members, m)
+	}
+	c.ring = newRing(c.members)
+	reg := c.registry
+	c.metrics = clusterMetrics{
+		jobs: reg.NewCounterVec("clusched_cluster_jobs_total",
+			"Jobs dispatched and answered, by node.", "node"),
+		steals: reg.NewCounterVec("clusched_cluster_steals_total",
+			"Jobs stolen from another node's queue, by the thief node.", "node"),
+		hedgesFired: reg.NewCounterVec("clusched_cluster_hedges_fired_total",
+			"Hedged duplicate dispatches fired against a slow primary, by primary node.", "node"),
+		hedgesWon: reg.NewCounterVec("clusched_cluster_hedges_won_total",
+			"Hedges whose duplicate answered first, by primary node.", "node"),
+		ejections: reg.NewCounterVec("clusched_cluster_ejections_total",
+			"Membership ejections after dispatch failures or failed probes, by node.", "node"),
+		failovers: reg.NewCounterVec("clusched_cluster_failovers_total",
+			"Jobs rerouted to another member after a transport failure, by failed node.", "node"),
+	}
+	reg.NewGaugeFunc("clusched_cluster_members",
+		"Configured fleet size.",
+		func() float64 { return float64(len(c.members)) })
+	reg.NewGaugeFunc("clusched_cluster_members_healthy",
+		"Members currently considered healthy.",
+		func() float64 {
+			n := 0
+			for _, m := range c.members {
+				if m.healthy() {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	interval := cfg.HealthInterval
+	if interval == 0 {
+		interval = DefaultHealthInterval
+	}
+	if interval > 0 {
+		go c.healthLoop(interval)
+	}
+	return c, nil
+}
+
+// Registry exposes the cluster's metric registry (per-node dispatch, steal,
+// hedge and ejection counters, plus membership gauges).
+func (c *Cluster) Registry() *telemetry.Registry { return c.registry }
+
+// Close stops the membership loop. In-flight Streams finish on their own.
+func (c *Cluster) Close() { c.once.Do(func() { close(c.closed) }) }
+
+// healthLoop probes every member on a jittered cadence: ±20% around the
+// interval, so a fleet of clients probing the same servers spreads out
+// instead of thundering in lockstep.
+func (c *Cluster) healthLoop(interval time.Duration) {
+	for {
+		wait := time.Duration(float64(interval) * (0.8 + 0.4*rand.Float64()))
+		select {
+		case <-c.closed:
+			return
+		case <-time.After(wait):
+		}
+		probeTimeout := min(interval, 2*time.Second)
+		var wg sync.WaitGroup
+		for _, m := range c.members {
+			wg.Add(1)
+			go func(m *member) {
+				defer wg.Done()
+				c.probe(m, probeTimeout)
+			}(m)
+		}
+		wg.Wait()
+	}
+}
+
+// probe checks one member and flips its membership accordingly. Members
+// whose node cannot be probed are optimistically readmitted: their next
+// dispatch failure ejects them again, and without a probe there is no
+// other road back in.
+func (c *Cluster) probe(m *member, timeout time.Duration) {
+	hc, ok := m.node.(HealthChecker)
+	if !ok {
+		m.up.Store(true)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := hc.Health(ctx)
+	was := m.up.Swap(err == nil)
+	switch {
+	case was && err != nil:
+		m.ejections.Add(1)
+		m.lastErr.Store(err.Error())
+		c.metrics.ejections.With(m.name).Inc()
+		c.logger.Warn("cluster: member ejected by probe", "node", m.name, "error", err)
+	case !was && err == nil:
+		c.logger.Info("cluster: member readmitted", "node", m.name)
+	}
+}
+
+// eject benches a member after a dispatch failure (the probe loop readmits
+// it once it answers again).
+func (c *Cluster) eject(m *member, err error) {
+	if m.up.Swap(false) {
+		m.ejections.Add(1)
+		m.lastErr.Store(err.Error())
+		c.metrics.ejections.With(m.name).Inc()
+		c.logger.Warn("cluster: member ejected by dispatch failure", "node", m.name, "error", err)
+	}
+}
+
+// routeKey is the consistent-hash key of a job: the canonical fingerprint —
+// the same component JobKey v3 is keyed on — finalized through splitmix64.
+// Isomorphic clones share a canonical fingerprint, so they share a node,
+// which is exactly what keeps the per-node semantic cache tiers hot.
+func routeKey(j driver.Job) uint64 {
+	return splitmix64(j.Graph.CanonicalFingerprint())
+}
+
+// routeOne picks the home member for a single job: the ring successor,
+// skipping unhealthy or saturated members (bounded by the in-flight window).
+func (c *Cluster) routeOne(j driver.Job) *member {
+	return c.ring.lookup(routeKey(j), func(m *member) bool {
+		return m.healthy() && m.inflight.Load() < int64(c.nodeInFlight)
+	})
+}
+
+// Compile dispatches one job to its home node — the unary half of the
+// Backend contract.
+func (c *Cluster) Compile(ctx context.Context, j driver.Job) (*pipeline.Result, error) {
+	out := c.dispatch(ctx, c.routeOne(j), j)
+	return out.Result, out.Err
+}
+
+// route assigns every job of a batch to a member queue: ring successor by
+// canonical fingerprint, bounded-load spill when a shard would exceed
+// routeLoadFactor × the even share, unhealthy members skipped entirely.
+func (c *Cluster) route(jobs []driver.Job) map[*member][]int {
+	assign := make(map[*member][]int, len(c.members))
+	healthy := 0
+	for _, m := range c.members {
+		if m.healthy() {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		healthy = len(c.members)
+	}
+	bound := int(routeLoadFactor*float64(len(jobs))/float64(healthy)) + 1
+	for i, j := range jobs {
+		m := c.ring.lookup(routeKey(j), func(m *member) bool {
+			return m.healthy() && len(assign[m]) < bound
+		})
+		assign[m] = append(assign[m], i)
+	}
+	return assign
+}
+
+// Stream implements the Backend batch contract over the fleet. Each member
+// runs a window of NodeInFlight dispatch workers over its routed queue;
+// a worker whose queue drains steals from the tail of the longest backlog
+// that exceeds the in-flight window (the job its home node would have
+// reached last — the cheapest affinity to sacrifice; shorter queues are
+// left to their home node, which already has them in flight). Every job yields exactly once, tagged with its index;
+// cancelling ctx mid-stream stamps the remaining jobs with the
+// cancellation; stopping the iteration early abandons the remaining work.
+func (c *Cluster) Stream(ctx context.Context, jobs []driver.Job) iter.Seq2[int, driver.Outcome] {
+	return func(yield func(int, driver.Outcome) bool) {
+		if len(jobs) == 0 {
+			return
+		}
+		sctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+
+		assign := c.route(jobs)
+		b := &batchState{queues: assign, order: c.members, stealFloor: c.nodeInFlight}
+
+		type indexed struct {
+			i   int
+			out driver.Outcome
+		}
+		// Unbuffered on purpose, exactly like the local engine: a worker
+		// hands its outcome to the consumer before taking more work, so
+		// the first yield happens while the rest of the batch is still
+		// compiling — the streaming guarantee the conformance suite pins.
+		results := make(chan indexed)
+		var wg sync.WaitGroup
+		for _, m := range c.members {
+			for w := 0; w < c.nodeInFlight; w++ {
+				wg.Add(1)
+				go func(m *member) {
+					defer wg.Done()
+					for {
+						i, ok := b.next(m)
+						if !ok {
+							return
+						}
+						out := c.dispatch(sctx, m, jobs[i])
+						results <- indexed{i, out}
+					}
+				}(m)
+			}
+		}
+		go func() {
+			wg.Wait()
+			close(results)
+		}()
+
+		// The drain runs on every early exit from the range below — yield
+		// returning false, a consumer panic, or runtime.Goexit — so workers
+		// blocked on the unbuffered send always wind down (the deferred
+		// cancel aborts their in-flight dispatches first).
+		drained := false
+		defer func() {
+			cancel()
+			if !drained {
+				go func() {
+					for range results {
+					}
+				}()
+			}
+		}()
+		for r := range results {
+			if !yield(r.i, r.out) {
+				return
+			}
+		}
+		drained = true
+	}
+}
+
+// batchState is the mutable routing state of one Stream call: per-member
+// queues plus the steal scan.
+type batchState struct {
+	mu     sync.Mutex
+	queues map[*member][]int
+	order  []*member
+	// stealFloor is the backlog a victim must exceed before an idle member
+	// may steal from it: a queue no longer than the in-flight window is
+	// already fully dispatchable by its home node, so stealing it would
+	// trade cache affinity for nothing. Only genuine backlogs — a slow or
+	// dead node falling behind its shard — are rebalanced.
+	stealFloor int
+}
+
+// next pops the member's own queue, or steals from the tail of the longest
+// other backlog past the steal floor. It returns false when no stealable
+// work remains anywhere — failover happens inside dispatch, so queues never
+// refill, and sub-floor remainders drain at their home node.
+func (b *batchState) next(m *member) (int, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if q := b.queues[m]; len(q) > 0 {
+		i := q[0]
+		b.queues[m] = q[1:]
+		return i, true
+	}
+	var victim *member
+	best := b.stealFloor
+	for _, o := range b.order {
+		if o != m && len(b.queues[o]) > best {
+			victim, best = o, len(b.queues[o])
+		}
+	}
+	if victim == nil {
+		return 0, false
+	}
+	q := b.queues[victim]
+	i := q[len(q)-1]
+	b.queues[victim] = q[:len(q)-1]
+	m.steals.Add(1)
+	return i, true
+}
+
+// dispatch serves one job to a final outcome: try the home member (hedged),
+// and on a retryable transport failure eject it and fail over — each member
+// is tried at most once, and a compilation error inside a successful
+// exchange is final (it is deterministic; every node would reproduce it).
+func (c *Cluster) dispatch(ctx context.Context, home *member, j driver.Job) driver.Outcome {
+	if err := ctx.Err(); err != nil {
+		return driver.Outcome{Job: j, Err: err}
+	}
+	m := home
+	tried := make(map[*member]bool, 2)
+	if m == nil || !m.healthy() {
+		if alt := c.pick(tried, m); alt != nil {
+			m = alt
+		}
+	}
+	if m == nil { // no members at all cannot happen (New requires ≥1); belt and braces
+		return driver.Outcome{Job: j, Err: fmt.Errorf("cluster: no member to dispatch to")}
+	}
+	var firstErr error
+	for {
+		tried[m] = true
+		out, err := c.tryNode(ctx, m, j)
+		if err == nil {
+			return out
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return driver.Outcome{Job: j, Err: cerr}
+		}
+		if !retryable(err) {
+			return driver.Outcome{Job: j, Err: err}
+		}
+		c.eject(m, err)
+		c.metrics.failovers.With(m.name).Inc()
+		if firstErr == nil {
+			firstErr = err
+		}
+		next := c.pick(tried, nil)
+		if next == nil {
+			return driver.Outcome{Job: j, Err: fmt.Errorf("cluster: job failed on every reachable member: %w", firstErr)}
+		}
+		c.logger.Debug("cluster: failover", "from", m.name, "to", next.name)
+		m = next
+	}
+}
+
+// pick selects a failover or reroute target: the least-loaded healthy
+// untried member, falling back to any untried member (a just-ejected node
+// may still be the only one left).
+func (c *Cluster) pick(tried map[*member]bool, exclude *member) *member {
+	var best *member
+	healthyBest := false
+	for _, m := range c.members {
+		if tried[m] || m == exclude {
+			continue
+		}
+		h := m.healthy()
+		switch {
+		case best == nil,
+			h && !healthyBest,
+			h == healthyBest && m.inflight.Load() < best.inflight.Load():
+			best, healthyBest = m, h
+		}
+	}
+	return best
+}
+
+// tryNode sends the job to one member, hedging a duplicate onto a peer if
+// the primary exceeds the hedge delay. The first answer wins and the loser
+// is cancelled; results are content-addressed and deterministic, so the
+// duplicate can only waste work, never change the answer. A hedge win is
+// counted against the slow primary.
+func (c *Cluster) tryNode(ctx context.Context, m *member, j driver.Job) (driver.Outcome, error) {
+	delay, hedging := c.hedgeDelay()
+	var alt *member
+	if hedging {
+		alt = c.hedgePeer(m)
+	}
+	if alt == nil {
+		return c.send(ctx, m, j)
+	}
+
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type reply struct {
+		out   driver.Outcome
+		err   error
+		hedge bool
+	}
+	ch := make(chan reply, 2) // buffered: the loser must never leak
+	go func() {
+		out, err := c.send(hctx, m, j)
+		ch <- reply{out, err, false}
+	}()
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	timerC := timer.C
+	inflight := 1
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			inflight--
+			if r.err == nil {
+				if r.hedge {
+					m.hedgesWon.Add(1)
+					c.metrics.hedgesWon.With(m.name).Inc()
+				}
+				cancel()
+				return r.out, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if inflight == 0 {
+				return driver.Outcome{}, firstErr
+			}
+		case <-timerC:
+			timerC = nil
+			m.hedgesFired.Add(1)
+			c.metrics.hedgesFired.With(m.name).Inc()
+			c.logger.Debug("cluster: hedge fired", "primary", m.name, "hedge", alt.name, "delay", delay)
+			inflight++
+			go func() {
+				out, err := c.send(hctx, alt, j)
+				ch <- reply{out, err, true}
+			}()
+		}
+	}
+}
+
+// hedgePeer picks where a hedge goes: the least-loaded healthy member other
+// than the primary.
+func (c *Cluster) hedgePeer(primary *member) *member {
+	var best *member
+	for _, m := range c.members {
+		if m == primary || !m.healthy() {
+			continue
+		}
+		if best == nil || m.inflight.Load() < best.inflight.Load() {
+			best = m
+		}
+	}
+	return best
+}
+
+// send is one accounted exchange with a member.
+func (c *Cluster) send(ctx context.Context, m *member, j driver.Job) (driver.Outcome, error) {
+	m.inflight.Add(1)
+	defer m.inflight.Add(-1)
+	t0 := time.Now()
+	out, err := m.node.Do(ctx, j)
+	if err == nil {
+		m.jobs.Add(1)
+		c.metrics.jobs.With(m.name).Inc()
+		c.observeLatency(time.Since(t0))
+		if !m.up.Load() {
+			// A successful exchange is as good as a probe: readmit.
+			m.up.Store(true)
+			c.logger.Info("cluster: member readmitted by successful dispatch", "node", m.name)
+		}
+	}
+	return out, err
+}
+
+// observeLatency feeds the hedge-delay estimator's sliding window.
+func (c *Cluster) observeLatency(d time.Duration) {
+	c.latMu.Lock()
+	c.lat[c.latN%latWindow] = d
+	c.latN++
+	c.latMu.Unlock()
+}
+
+// hedgeDelay resolves the current hedge delay: fixed when configured,
+// otherwise hedgeFactor × the p95 of the recent latency window (floored),
+// and no hedging at all until enough samples exist — hedging against an
+// unknown latency distribution would just double the traffic.
+func (c *Cluster) hedgeDelay() (time.Duration, bool) {
+	if c.hedge < 0 {
+		return 0, false
+	}
+	if c.hedge > 0 {
+		return c.hedge, true
+	}
+	c.latMu.Lock()
+	n := c.latN
+	if n < hedgeMinSamples {
+		c.latMu.Unlock()
+		return 0, false
+	}
+	if n > latWindow {
+		n = latWindow
+	}
+	window := make([]time.Duration, n)
+	copy(window, c.lat[:n])
+	c.latMu.Unlock()
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	p95 := window[(len(window)*95)/100]
+	d := p95 * hedgeFactor
+	if d < hedgeFloor {
+		d = hedgeFloor
+	}
+	return d, true
+}
+
+// NodeStats is one member's slice of the fleet rollup.
+type NodeStats struct {
+	Name    string `json:"name"`
+	Healthy bool   `json:"healthy"`
+	// InFlight is the cluster's own dispatch window usage right now.
+	InFlight int64 `json:"in_flight"`
+	// Jobs counts exchanges this cluster completed against the node;
+	// Steals the jobs this node took over from another's queue.
+	Jobs   uint64 `json:"jobs"`
+	Steals uint64 `json:"steals"`
+	// HedgesFired/HedgesWon count hedges fired against this node as the
+	// slow primary, and how many of those duplicates answered first.
+	HedgesFired uint64 `json:"hedges_fired"`
+	HedgesWon   uint64 `json:"hedges_won"`
+	Ejections   uint64 `json:"ejections"`
+	LastError   string `json:"last_error,omitempty"`
+	// Service is the node's own /stats answer (queue depth, cache and
+	// semantic-hit counters, per-strategy traffic); nil when the node
+	// does not expose stats or did not answer (see ServiceError).
+	Service      *wire.ServiceStats `json:"service,omitempty"`
+	ServiceError string             `json:"service_error,omitempty"`
+}
+
+// FleetStats is the fleet-wide rollup: per-node detail plus sums of the
+// numbers a capacity dashboard wants first.
+type FleetStats struct {
+	Nodes   []NodeStats `json:"nodes"`
+	Healthy int         `json:"healthy"`
+	// Jobs/Steals/HedgesFired/HedgesWon sum the cluster-side counters.
+	Jobs        uint64 `json:"jobs"`
+	Steals      uint64 `json:"steals"`
+	HedgesFired uint64 `json:"hedges_fired"`
+	HedgesWon   uint64 `json:"hedges_won"`
+	// Queued and JobsCompiled sum the nodes' own service stats; the
+	// semantic counters sum each shard's canonical-tier hits — the number
+	// the affinity argument stands on.
+	Queued            int    `json:"queued"`
+	JobsCompiled      uint64 `json:"jobs_compiled"`
+	SemanticHits      uint64 `json:"semantic_hits"`
+	SemanticStoreHits uint64 `json:"semantic_store_hits"`
+}
+
+// FleetStats gathers the rollup, fanning /stats reads across the fleet
+// concurrently (each bounded by ctx).
+func (c *Cluster) FleetStats(ctx context.Context) FleetStats {
+	fs := FleetStats{Nodes: make([]NodeStats, len(c.members))}
+	var wg sync.WaitGroup
+	for i, m := range c.members {
+		ns := NodeStats{
+			Name:        m.name,
+			Healthy:     m.healthy(),
+			InFlight:    m.inflight.Load(),
+			Jobs:        m.jobs.Load(),
+			Steals:      m.steals.Load(),
+			HedgesFired: m.hedgesFired.Load(),
+			HedgesWon:   m.hedgesWon.Load(),
+			Ejections:   m.ejections.Load(),
+		}
+		if e, ok := m.lastErr.Load().(string); ok {
+			ns.LastError = e
+		}
+		fs.Nodes[i] = ns
+		if src, ok := m.node.(StatsSource); ok {
+			wg.Add(1)
+			go func(i int, src StatsSource) {
+				defer wg.Done()
+				st, err := src.Stats(ctx)
+				if err != nil {
+					fs.Nodes[i].ServiceError = err.Error()
+					return
+				}
+				fs.Nodes[i].Service = &st
+			}(i, src)
+		}
+	}
+	wg.Wait()
+	for i := range fs.Nodes {
+		ns := &fs.Nodes[i]
+		if ns.Healthy {
+			fs.Healthy++
+		}
+		fs.Jobs += ns.Jobs
+		fs.Steals += ns.Steals
+		fs.HedgesFired += ns.HedgesFired
+		fs.HedgesWon += ns.HedgesWon
+		if ns.Service != nil {
+			fs.Queued += ns.Service.Queued
+			fs.JobsCompiled += ns.Service.JobsCompiled
+			fs.SemanticHits += ns.Service.Cache.SemanticHits
+			fs.SemanticStoreHits += ns.Service.Cache.SemanticStoreHits
+		}
+	}
+	return fs
+}

@@ -1,0 +1,391 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"clusched/internal/ddg"
+	"clusched/internal/driver"
+	"clusched/internal/machine"
+	"clusched/internal/pipeline"
+	"clusched/internal/workload"
+)
+
+// fakeNode is an in-process Node with scriptable failure modes: a transport
+// error, a permanent StatusError, or blocking until the dispatch context is
+// cancelled (a wedged server, from the cluster's point of view).
+type fakeNode struct {
+	mu    sync.Mutex
+	calls int
+	fail  error
+	block bool
+}
+
+func (f *fakeNode) set(fail error, block bool) {
+	f.mu.Lock()
+	f.fail, f.block = fail, block
+	f.mu.Unlock()
+}
+
+func (f *fakeNode) callCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+func (f *fakeNode) Do(ctx context.Context, j driver.Job) (driver.Outcome, error) {
+	f.mu.Lock()
+	f.calls++
+	fail, block := f.fail, f.block
+	f.mu.Unlock()
+	if block {
+		<-ctx.Done()
+		return driver.Outcome{}, ctx.Err()
+	}
+	if fail != nil {
+		return driver.Outcome{}, fail
+	}
+	return driver.Outcome{Job: j, Result: &pipeline.Result{II: 1}}, nil
+}
+
+// fakeHealthNode adds a scriptable probe answer.
+type fakeHealthNode struct {
+	fakeNode
+	hmu     sync.Mutex
+	healthy bool
+}
+
+func (f *fakeHealthNode) setHealthy(ok bool) {
+	f.hmu.Lock()
+	f.healthy = ok
+	f.hmu.Unlock()
+}
+
+func (f *fakeHealthNode) Health(context.Context) error {
+	f.hmu.Lock()
+	defer f.hmu.Unlock()
+	if !f.healthy {
+		return errors.New("probe: node down")
+	}
+	return nil
+}
+
+// newFakeFleet builds a probe-less, hedge-less cluster over n fakes.
+func newFakeFleet(t *testing.T, n int) (*Cluster, []*fakeNode) {
+	t.Helper()
+	fakes := make([]*fakeNode, n)
+	members := make([]Member, n)
+	for i := range n {
+		fakes[i] = &fakeNode{}
+		members[i] = Member{Name: fleetName(i), Node: fakes[i]}
+	}
+	c, err := New(Config{Members: members, Hedge: -1, HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c, fakes
+}
+
+func fleetName(i int) string { return "node-" + string(rune('a'+i)) }
+
+func testJobs(t *testing.T, n int) []driver.Job {
+	t.Helper()
+	loops := workload.LoopsFor("tomcatv")
+	if len(loops) < n {
+		t.Fatalf("tomcatv has only %d loops, need %d", len(loops), n)
+	}
+	m := machine.MustParse("4c2b2l64r")
+	jobs := make([]driver.Job, n)
+	for i := range n {
+		jobs[i] = driver.Job{Graph: loops[i].Graph, Machine: m}
+	}
+	return jobs
+}
+
+// TestRouteAffinity pins the two halves of the affinity argument: the route
+// of a job is a pure function of the member names (stable across cluster
+// instances, hence across client processes and restarts), and isomorphic
+// clones — same canonical fingerprint, different node names and order —
+// land on the same member as their original.
+func TestRouteAffinity(t *testing.T) {
+	c1, _ := newFakeFleet(t, 5)
+	c2, _ := newFakeFleet(t, 5) // same names, distinct instance
+	for i, j := range testJobs(t, 8) {
+		h1, h2 := c1.routeOne(j), c2.routeOne(j)
+		if h1.name != h2.name {
+			t.Fatalf("job %d routes to %s on one cluster, %s on its twin", i, h1.name, h2.name)
+		}
+		cj := j
+		cj.Graph = ddg.PermuteRandom(j.Graph, j.Graph.Name+"-perm", int64(i)+1)
+		if cj.Graph.CanonicalFingerprint() != j.Graph.CanonicalFingerprint() {
+			t.Fatalf("job %d: permuted clone changed the canonical fingerprint", i)
+		}
+		if hc := c1.routeOne(cj); hc.name != h1.name {
+			t.Fatalf("job %d: clone routes to %s, original to %s", i, hc.name, h1.name)
+		}
+	}
+}
+
+// TestRouteBoundedLoad: batch routing must respect the bounded-load factor —
+// no member gets more than 1.25× the even share (+1), however skewed the
+// fingerprints hash.
+func TestRouteBoundedLoad(t *testing.T) {
+	c, _ := newFakeFleet(t, 3)
+	jobs := testJobs(t, 12)
+	// Skew: every job is the same loop, so every job hashes to one member.
+	for i := range jobs {
+		jobs[i].Graph = jobs[0].Graph
+	}
+	assign := c.route(jobs)
+	bound := int(routeLoadFactor*float64(len(jobs))/3) + 1
+	total := 0
+	for m, q := range assign {
+		if len(q) > bound {
+			t.Fatalf("member %s got %d jobs, bound is %d", m.name, len(q), bound)
+		}
+		total += len(q)
+	}
+	if total != len(jobs) {
+		t.Fatalf("routed %d of %d jobs", total, len(jobs))
+	}
+}
+
+// TestDispatchFailover: a transport failure on the home node must eject it
+// and complete the job on another member — transparently, no outcome error.
+func TestDispatchFailover(t *testing.T) {
+	c, fakes := newFakeFleet(t, 2)
+	j := testJobs(t, 1)[0]
+	home := c.routeOne(j)
+	homeFake := fakes[memberIndex(t, c, home)]
+	homeFake.set(errors.New("connection refused"), false)
+
+	out := c.dispatch(context.Background(), home, j)
+	if out.Err != nil {
+		t.Fatalf("dispatch failed despite a healthy peer: %v", out.Err)
+	}
+	if out.Result == nil {
+		t.Fatal("dispatch returned no result")
+	}
+	if home.healthy() {
+		t.Fatal("home member still healthy after a transport failure")
+	}
+	// Recovery without probes: the home answers again while the peer goes
+	// dark, so failover falls back to the ejected home — whose successful
+	// exchange readmits it.
+	homeFake.set(nil, false)
+	fakes[1-memberIndex(t, c, home)].set(errors.New("connection refused"), false)
+	if out := c.dispatch(context.Background(), home, j); out.Err != nil {
+		t.Fatalf("dispatch after recovery: %v", out.Err)
+	}
+	if !home.healthy() {
+		t.Fatal("home member not readmitted by a successful dispatch")
+	}
+}
+
+// TestPermanentErrorIsFinal: a 4xx StatusError is a deterministic answer —
+// every node would reproduce it — so it must surface as the outcome error
+// without burning a failover attempt or ejecting the node.
+func TestPermanentErrorIsFinal(t *testing.T) {
+	c, fakes := newFakeFleet(t, 2)
+	j := testJobs(t, 1)[0]
+	home := c.routeOne(j)
+	hi := memberIndex(t, c, home)
+	fakes[hi].set(&StatusError{Code: 422, Msg: "unschedulable"}, false)
+
+	out := c.dispatch(context.Background(), home, j)
+	if out.Err == nil {
+		t.Fatal("permanent error did not surface")
+	}
+	if home.healthy() == false {
+		t.Fatal("permanent error ejected the member")
+	}
+	if got := fakes[1-hi].callCount(); got != 0 {
+		t.Fatalf("permanent error was retried on the peer (%d calls)", got)
+	}
+}
+
+// TestDispatchExhaustion: when every member fails transport, the outcome
+// carries the first transport error, wrapped.
+func TestDispatchExhaustion(t *testing.T) {
+	c, fakes := newFakeFleet(t, 3)
+	for _, f := range fakes {
+		f.set(errors.New("network is down"), false)
+	}
+	j := testJobs(t, 1)[0]
+	out := c.dispatch(context.Background(), c.routeOne(j), j)
+	if out.Err == nil {
+		t.Fatal("dispatch succeeded with every node failing")
+	}
+	for _, f := range fakes {
+		if f.callCount() == 0 {
+			t.Fatal("a member was never tried before giving up")
+		}
+	}
+}
+
+// TestRetryableClassification pins the transport-vs-permanent split that
+// failover keys on.
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{errors.New("dial tcp: connection refused"), true},
+		{&StatusError{Code: 500, Msg: "boom"}, true},
+		{&StatusError{Code: 503, Msg: "draining"}, true},
+		{&StatusError{Code: 429, Msg: "queue full"}, true},
+		{&StatusError{Code: 408, Msg: "timeout"}, true},
+		{&StatusError{Code: 400, Msg: "bad request"}, false},
+		{&StatusError{Code: 404, Msg: "no such strategy"}, false},
+		{&StatusError{Code: 422, Msg: "unschedulable"}, false},
+	}
+	for _, tc := range cases {
+		if got := retryable(tc.err); got != tc.want {
+			t.Errorf("retryable(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestHedgeDuplicatesSlowPrimary: with a fixed hedge delay and a wedged
+// primary, the duplicate must answer and be attributed as a hedge win
+// against the primary.
+func TestHedgeDuplicatesSlowPrimary(t *testing.T) {
+	fakes := []*fakeNode{{}, {}}
+	members := []Member{
+		{Name: fleetName(0), Node: fakes[0]},
+		{Name: fleetName(1), Node: fakes[1]},
+	}
+	c, err := New(Config{Members: members, Hedge: 2 * time.Millisecond, HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	j := testJobs(t, 1)[0]
+	home := c.routeOne(j)
+	fakes[memberIndex(t, c, home)].set(nil, true) // wedge the primary
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	out := c.dispatch(ctx, home, j)
+	if out.Err != nil {
+		t.Fatalf("hedged dispatch failed: %v", out.Err)
+	}
+	if home.hedgesFired.Load() == 0 {
+		t.Fatal("no hedge fired against the wedged primary")
+	}
+	if home.hedgesWon.Load() == 0 {
+		t.Fatal("the duplicate's answer was not counted as a hedge win")
+	}
+}
+
+// TestStealTakesTailOfLongestQueue pins the stealing policy: an idle member
+// steals from the *tail* of the longest backlog (the job its home would
+// reach last — the cheapest affinity to trade), stealing is attributed to
+// the thief, and backlogs at or under the steal floor are never touched —
+// their home node already has them in flight, so stealing them would only
+// sacrifice cache affinity.
+func TestStealTakesTailOfLongestQueue(t *testing.T) {
+	a, bm, cm := &member{name: "a"}, &member{name: "b"}, &member{name: "c"}
+	b := &batchState{
+		queues:     map[*member][]int{a: {0, 1, 2, 3}, bm: {4}, cm: nil},
+		order:      []*member{a, bm, cm},
+		stealFloor: 2,
+	}
+	if i, ok := b.next(cm); !ok || i != 3 {
+		t.Fatalf("idle member stole job %d (ok=%v), want the tail job 3 of the longest queue", i, ok)
+	}
+	if cm.steals.Load() != 1 {
+		t.Fatal("steal not attributed to the thief")
+	}
+	if i, ok := b.next(cm); !ok || i != 2 {
+		t.Fatalf("second steal took job %d (ok=%v), want tail job 2", i, ok)
+	}
+	// Both remaining queues are at or under the floor: no more stealing,
+	// the idle member goes home.
+	if i, ok := b.next(cm); ok {
+		t.Fatalf("stole job %d from a sub-floor backlog", i)
+	}
+	if i, ok := b.next(a); !ok || i != 0 {
+		t.Fatalf("owner popped job %d (ok=%v), want its own head job 0", i, ok)
+	}
+	if i, ok := b.next(bm); !ok || i != 4 {
+		t.Fatalf("owner popped job %d (ok=%v), want its own job 4", i, ok)
+	}
+	// Drain the remainder; next must then report no work without blocking.
+	b.next(a)
+	if _, ok := b.next(a); ok {
+		t.Fatal("next reported work on a drained batch")
+	}
+}
+
+// TestStreamYieldsEveryJobExactlyOnce runs the fleet Stream over fakes: all
+// jobs complete, tagged with their indices, no duplicates.
+func TestStreamYieldsEveryJobExactlyOnce(t *testing.T) {
+	c, _ := newFakeFleet(t, 3)
+	jobs := testJobs(t, 10)
+	seen := make([]bool, len(jobs))
+	for i, out := range c.Stream(context.Background(), jobs) {
+		if seen[i] {
+			t.Fatalf("job %d yielded twice", i)
+		}
+		seen[i] = true
+		if out.Err != nil {
+			t.Fatalf("job %d: %v", i, out.Err)
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("job %d never yielded", i)
+		}
+	}
+}
+
+// TestProbeEjectsAndReadmits drives the health loop against a scriptable
+// probe: a failing member leaves the ring, a recovering one returns.
+func TestProbeEjectsAndReadmits(t *testing.T) {
+	sick := &fakeHealthNode{healthy: true}
+	c, err := New(Config{
+		Members: []Member{
+			{Name: fleetName(0), Node: sick},
+			{Name: fleetName(1), Node: &fakeNode{}},
+		},
+		Hedge:          -1,
+		HealthInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	sick.setHealthy(false)
+	waitFor(t, "ejection by probe", func() bool { return !c.members[0].healthy() })
+	sick.setHealthy(true)
+	waitFor(t, "readmission by probe", func() bool { return c.members[0].healthy() })
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func memberIndex(t *testing.T, c *Cluster, m *member) int {
+	t.Helper()
+	for i, mm := range c.members {
+		if mm == m {
+			return i
+		}
+	}
+	t.Fatal("member not in cluster")
+	return -1
+}

@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"clusched/internal/driver"
+	"clusched/internal/wire"
+)
+
+// Node is one compilation server as the cluster sees it: a unary dispatch
+// target. The interface is deliberately minimal — routing, failover,
+// hedging and stealing are the cluster's business, not the node's — and is
+// satisfied by HTTPNode (a clusched-serve instance) as well as by any
+// in-process fake a test cares to write.
+type Node interface {
+	// Do compiles one job. The error return is the *transport* verdict:
+	// non-nil means the node could not answer (connection refused, cut
+	// stream, 5xx) and the job may be retried elsewhere. A compilation
+	// failure is a legitimate, deterministic answer and travels inside
+	// the Outcome instead — retrying it on another node would only
+	// recompute the same failure.
+	Do(ctx context.Context, j driver.Job) (driver.Outcome, error)
+}
+
+// HealthChecker is implemented by nodes that can be probed; the cluster's
+// membership loop uses it to eject and readmit members.
+type HealthChecker interface {
+	Health(ctx context.Context) error
+}
+
+// StatsSource is implemented by nodes that expose service statistics; the
+// fleet-wide rollup (Cluster.FleetStats) reads it.
+type StatsSource interface {
+	Stats(ctx context.Context) (wire.ServiceStats, error)
+}
+
+// StatusError is a non-2xx service answer, classified by code so dispatch
+// can tell "this node is struggling" (retry elsewhere: 429, 5xx) from
+// "this request is wrong" (permanent: the other 4xx — another node would
+// reject it identically).
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("cluster: node answered %d: %s", e.Code, e.Msg)
+	}
+	return fmt.Sprintf("cluster: node answered %d", e.Code)
+}
+
+// retryable reports whether a transport error is worth retrying on another
+// member. Network-level failures (refused, reset, EOF, timeouts) always
+// are; typed service answers only when they describe the node's state
+// rather than the request's validity.
+func retryable(err error) bool {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code == http.StatusTooManyRequests ||
+			se.Code == http.StatusRequestTimeout ||
+			se.Code >= 500
+	}
+	return true
+}
+
+// HTTPNode speaks to one clusched-serve instance over its unary endpoints.
+// The cluster dispatches each routed job as its own POST /compile?wait=1
+// exchange — per-job requests, not per-batch tickets, so in-flight caps,
+// stealing and hedging operate at job granularity.
+type HTTPNode struct {
+	// Base is the server root, e.g. "http://10.0.0.7:8357".
+	Base string
+	// HC is the HTTP client (shared across nodes is fine); nil uses a
+	// default client.
+	HC *http.Client
+	// Timeout bounds each exchange (a compile exchange spans the whole
+	// compilation, so this is a straggler bound, not a latency bound);
+	// 0 means no per-exchange bound beyond the caller's context.
+	Timeout time.Duration
+}
+
+// NewHTTPNode returns an HTTPNode for the server at base.
+func NewHTTPNode(base string, hc *http.Client, timeout time.Duration) *HTTPNode {
+	return &HTTPNode{Base: strings.TrimRight(base, "/"), HC: hc, Timeout: timeout}
+}
+
+func (n *HTTPNode) client() *http.Client {
+	if n.HC != nil {
+		return n.HC
+	}
+	return http.DefaultClient
+}
+
+// roundTrip is one bounded JSON exchange; non-2xx answers come back as
+// *StatusError carrying the service's error message.
+func (n *HTTPNode) roundTrip(ctx context.Context, method, path string, body, out any) error {
+	if n.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, n.Timeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, n.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := n.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		se := &StatusError{Code: resp.StatusCode}
+		var er wire.ErrorResponse
+		if derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&er); derr == nil {
+			se.Msg = er.Error
+		}
+		return se
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Do implements Node: POST /compile?wait=1, blocking until the server
+// finishes the job. The wire decode re-verifies the schedule, so the
+// outcome is as trustworthy as a local compilation.
+func (n *HTTPNode) Do(ctx context.Context, j driver.Job) (driver.Outcome, error) {
+	wj, err := wire.EncodeJob(j)
+	if err != nil {
+		// An unencodable job is the request's fault, never the node's.
+		return driver.Outcome{}, &StatusError{Code: http.StatusBadRequest, Msg: err.Error()}
+	}
+	var st wire.JobStatus
+	if err := n.roundTrip(ctx, http.MethodPost, "/compile?wait=1", wj, &st); err != nil {
+		return driver.Outcome{}, err
+	}
+	if len(st.Outcomes) != 1 {
+		return driver.Outcome{}, fmt.Errorf("cluster: node answered %d outcomes for one job (state %s, %s)",
+			len(st.Outcomes), st.State, st.Error)
+	}
+	out, err := st.Outcomes[0].Decode()
+	if err != nil {
+		return driver.Outcome{}, err
+	}
+	out.Job = j
+	return out, nil
+}
+
+// Health implements HealthChecker (GET /healthz).
+func (n *HTTPNode) Health(ctx context.Context) error {
+	return n.roundTrip(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Stats implements StatsSource (GET /stats).
+func (n *HTTPNode) Stats(ctx context.Context) (wire.ServiceStats, error) {
+	var st wire.ServiceStats
+	err := n.roundTrip(ctx, http.MethodGet, "/stats", nil, &st)
+	return st, err
+}

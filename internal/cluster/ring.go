@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring over the fleet's members. Each member owns
+// vnodesPerMember points, positioned by hashing the member's *name* — never
+// its slice index — so the fingerprint→node mapping is a pure function of
+// the membership set: every client of the same fleet routes a loop to the
+// same node, across processes and restarts. That stability is the whole
+// point: it is what keeps each node's DiskCache and in-memory semantic
+// index hot for its shard of the canonical-fingerprint space.
+type ring struct {
+	points []ringPoint // sorted by position
+}
+
+type ringPoint struct {
+	pos uint64
+	m   *member
+}
+
+// vnodesPerMember spreads each member around the ring so shard sizes
+// concentrate near the mean (the classic variance argument: with v virtual
+// nodes the largest shard is ~1 + O(sqrt(log n / v)) of the average).
+const vnodesPerMember = 64
+
+func newRing(members []*member) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(members)*vnodesPerMember)}
+	for _, m := range members {
+		for v := 0; v < vnodesPerMember; v++ {
+			h := fnv.New64a()
+			h.Write([]byte(m.name))
+			h.Write([]byte("#"))
+			h.Write([]byte(strconv.Itoa(v)))
+			r.points = append(r.points, ringPoint{pos: h.Sum64(), m: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].pos < r.points[j].pos })
+	return r
+}
+
+// splitmix64 finalizes a routing key. The canonical fingerprint is already
+// a good digest, but its low bits are not guaranteed uniform against the
+// FNV-positioned ring; one round of splitmix64 mixing makes the successor
+// search see uniformly distributed keys.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// lookup returns the first member at or after key whose accept check
+// passes — the "bounded load" walk: the home node first, then its ring
+// successors, so an overloaded or unhealthy home spills to the next shard
+// over instead of scattering. When no member passes (every node overloaded
+// or down), the raw successor — the key's home — is returned, so routing
+// always answers and the caller's dispatch-time failover deals with it.
+func (r *ring) lookup(key uint64, accept func(*member) bool) *member {
+	if len(r.points) == 0 {
+		return nil
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= key })
+	if start == len(r.points) {
+		start = 0
+	}
+	home := r.points[start].m
+	if accept == nil {
+		return home
+	}
+	seen := 0
+	for i := 0; seen < maxMembersOnRing && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if accept(p.m) {
+			return p.m
+		}
+		seen++
+	}
+	return home
+}
+
+// maxMembersOnRing bounds the bounded-load walk; fleets are small (a few
+// to a few dozen nodes), so walking every point once is already generous.
+const maxMembersOnRing = 4096

@@ -104,6 +104,14 @@ type Config struct {
 	// on LRU misses and populated after fresh compilations. It is ignored
 	// when caching is disabled (CacheSize < 0).
 	Store Store
+	// MaxInFlight, when > 0, caps concurrent *real* compilations across
+	// every batch and unary call this Compiler serves — distinct from
+	// Workers, which bounds one batch's pool: a server running several
+	// batch runners multiplies Workers, and this is the engine-wide
+	// ceiling under it. Cache hits, store hits and flight joins are never
+	// throttled; a compilation waiting for a slot aborts with ctx.Err()
+	// if its context dies first. ≤0 means unbounded.
+	MaxInFlight int
 	// Speculation, when > 1, races up to that many candidate initiation
 	// intervals concurrently inside each compilation (the pipeline's
 	// speculative multi-II search), bounded by a global budget of
@@ -202,6 +210,14 @@ type Compiler struct {
 	specLoad   atomic.Int64
 	laneArenas atomic.Int64
 
+	// maxInFlight is the engine-wide real-compilation cap (0 unbounded);
+	// sem is its semaphore and inFlight the live gauge behind
+	// InFlightCompiles — counted even without a cap, so the stats and
+	// metrics surface always has the backpressure signal.
+	maxInFlight int
+	sem         chan struct{}
+	inFlight    atomic.Int64
+
 	mu      sync.Mutex
 	cache   *lruCache            // nil when caching is disabled
 	pending map[cacheKey]*flight // in-flight compilations, for deduplication
@@ -267,6 +283,12 @@ func (c *Compiler) registerMetrics(reg *telemetry.Registry) {
 	reg.NewCounterFunc("clusched_spec_lanes_wasted_total",
 		"Speculative lanes whose work was cancelled or discarded.",
 		func() float64 { return float64(c.laneStats.Wasted.Load()) })
+	reg.NewGaugeFunc("clusched_inflight_compiles",
+		"Real (non-cached) compilations running right now.",
+		func() float64 { return float64(c.inFlight.Load()) })
+	reg.NewGaugeFunc("clusched_max_inflight",
+		"Engine-wide cap on concurrent real compilations (0 = unbounded).",
+		func() float64 { return float64(c.maxInFlight) })
 }
 
 // New builds a Compiler from the config.
@@ -277,6 +299,10 @@ func New(cfg Config) *Compiler {
 	}
 	c := &Compiler{workers: w, progress: cfg.Progress, trace: cfg.Trace}
 	c.arenas.New = func() any { return pipeline.NewArena() }
+	if cfg.MaxInFlight > 0 {
+		c.maxInFlight = cfg.MaxInFlight
+		c.sem = make(chan struct{}, cfg.MaxInFlight)
+	}
 	if cfg.Registry != nil {
 		c.registerMetrics(cfg.Registry)
 	}
@@ -705,6 +731,19 @@ func (c *Compiler) compileTimed(ctx context.Context, j Job, tr *telemetry.Trace,
 // arenas are always back in the pool here. With speculation off this path
 // is identical to before — no atomics, no extra allocations.
 func (c *Compiler) compile(ctx context.Context, j Job, tr *telemetry.Trace, track string) (*pipeline.Result, error) {
+	if c.sem != nil {
+		// The engine-wide in-flight cap. Waiting here is an ordinary
+		// cancellation point: an aborted wait is ctx.Err(), which the
+		// cache layer already refuses to cache or share.
+		select {
+		case c.sem <- struct{}{}:
+			defer func() { <-c.sem }()
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	c.inFlight.Add(1)
+	defer c.inFlight.Add(-1)
 	arena := c.arenas.Get().(*pipeline.Arena)
 	var res *pipeline.Result
 	var err error
@@ -923,6 +962,14 @@ func (c *Compiler) CacheStats() CacheStats {
 	}
 	return s
 }
+
+// InFlightCompiles reports how many real (non-cached) compilations are
+// running right now — the backpressure signal behind the service's
+// inflight_compiles stat and the cluster balancer.
+func (c *Compiler) InFlightCompiles() int { return int(c.inFlight.Load()) }
+
+// MaxInFlight reports the engine-wide real-compilation cap (0 unbounded).
+func (c *Compiler) MaxInFlight() int { return c.maxInFlight }
 
 // LaneStats reports the speculative-lane tallies accumulated across all
 // jobs: extra lanes raced, lanes whose accepted II became a result, and

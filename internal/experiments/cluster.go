@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"context"
+	"net/http/httptest"
+	"runtime"
+	"time"
+
+	"clusched/internal/cluster"
+	"clusched/internal/driver"
+	"clusched/internal/machine"
+	"clusched/internal/service"
+	"clusched/internal/workload"
+)
+
+// ClusterRow is one datapoint of the fleet-scaling measurement: the full
+// SPECfp95 suite compiled from scratch (caching disabled) through the
+// cluster backend against N in-process clusched-serve instances.
+type ClusterRow struct {
+	// Nodes is the fleet size of this row.
+	Nodes int `json:"nodes"`
+	// Loops is the suite size.
+	Loops int `json:"loops"`
+	// WorkersPerNode is the engine pool each node ran with. The process's
+	// CPUs are split across the fleet so the total worker count stays
+	// constant: the measurement isolates the fleet plumbing (routing,
+	// transport, stealing), not extra hardware.
+	WorkersPerNode int `json:"workers_per_node"`
+	// WallMs is the batch wall time; LoopsPerSec the throughput.
+	WallMs      float64 `json:"wall_ms"`
+	LoopsPerSec float64 `json:"loops_per_sec"`
+	// Efficiency is LoopsPerSec over N× the single-node rate. On shared
+	// CPUs it cannot exceed ~1.0 and mostly measures overhead; on real
+	// fleets (one machine per node) it would measure scaling.
+	Efficiency float64 `json:"efficiency"`
+	// SharedCPU is always true for this in-process measurement: every
+	// "node" competes for the same cores, so the row is an overhead
+	// honesty check, not a claim of linear speedup.
+	SharedCPU bool `json:"shared_cpu"`
+	// Failed counts loops that did not compile (should be zero).
+	Failed int `json:"failed,omitempty"`
+}
+
+// MeasureClusterScaling runs the suite through clusters of 1..maxNodes
+// in-process service instances and reports throughput per fleet size.
+// All nodes share this process's CPUs, so the numbers bound the fleet
+// overhead rather than demonstrate speedup — SharedCPU flags that, the
+// same way ThroughputRow.ParallelSkipped flags a single-CPU "parallel"
+// run.
+func MeasureClusterScaling(maxNodes int) []ClusterRow {
+	if maxNodes < 1 {
+		maxNodes = 1
+	}
+	loops := workload.SPECfp95()
+	m := machine.MustParse("4c2b2l64r")
+	jobs := make([]driver.Job, len(loops))
+	for i, l := range loops {
+		jobs[i] = driver.Job{Graph: l.Graph, Machine: m, Opts: Replication.options()}
+	}
+
+	rows := make([]ClusterRow, 0, maxNodes)
+	for n := 1; n <= maxNodes; n++ {
+		row := measureFleet(jobs, n)
+		row.Loops = len(loops)
+		if len(rows) > 0 {
+			base := rows[0].LoopsPerSec
+			row.Efficiency = row.LoopsPerSec / (float64(n) * base)
+		} else {
+			row.Efficiency = 1
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// measureFleet times one suite run through an n-node in-process fleet.
+func measureFleet(jobs []driver.Job, n int) ClusterRow {
+	workers := runtime.GOMAXPROCS(0) / n
+	if workers < 1 {
+		workers = 1
+	}
+	// Per-node dispatch window: match the node's worker pool so the fleet
+	// can keep every engine busy without flooding any queue.
+	inFlight := workers
+
+	members := make([]cluster.Member, n)
+	servers := make([]*service.Server, n)
+	tss := make([]*httptest.Server, n)
+	for i := range n {
+		srv := service.New(service.Config{
+			Workers:   workers,
+			CacheSize: -1, // every loop does real work
+			// Each unary dispatch is its own one-job ticket, so the node
+			// needs at least the cluster's per-node window in runners
+			// (plus slack for hedged duplicates).
+			Runners:    inFlight + 2,
+			QueueDepth: 4 * len(jobs),
+		})
+		ts := httptest.NewServer(srv.Handler())
+		servers[i], tss[i] = srv, ts
+		members[i] = cluster.Member{
+			Name: ts.URL,
+			Node: cluster.NewHTTPNode(ts.URL, ts.Client(), time.Minute),
+		}
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for i := range n {
+			tss[i].Close()
+			servers[i].Shutdown(ctx)
+		}
+	}()
+
+	cl, err := cluster.New(cluster.Config{
+		Members:        members,
+		NodeInFlight:   inFlight,
+		Hedge:          -1, // hedging on shared CPUs only duplicates work
+		HealthInterval: -1,
+	})
+	if err != nil {
+		panic(err) // static misconfiguration of the harness, not a data point
+	}
+	defer cl.Close()
+
+	row := ClusterRow{Nodes: n, WorkersPerNode: workers, SharedCPU: true}
+	start := time.Now()
+	for _, out := range cl.Stream(context.Background(), jobs) {
+		if out.Err != nil {
+			row.Failed++
+		}
+	}
+	wall := time.Since(start)
+	row.WallMs = float64(wall.Nanoseconds()) / 1e6
+	row.LoopsPerSec = float64(len(jobs)) / wall.Seconds()
+	return row
+}

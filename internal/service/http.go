@@ -224,6 +224,9 @@ func statusWire(st Status) wire.JobStatus {
 	if !st.Finished.IsZero() {
 		ws.FinishedMS = st.Finished.UnixMilli()
 	}
+	if !st.Deadline.IsZero() {
+		ws.DeadlineMS = st.Deadline.UnixMilli()
+	}
 	if st.Err != nil {
 		ws.Error = st.Err.Error()
 	}
@@ -315,7 +318,27 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown ticket %q", r.PathValue("id"))
 		return
 	}
-	writeJSON(w, http.StatusOK, statusWire(st))
+	ws := statusWire(st)
+	if st.State == StateQueued || st.State == StateRunning {
+		// Tell pollers when to come back: the server knows its backlog
+		// better than any client-side ladder. The same hint rides the
+		// Retry-After header (whole seconds, rounded up) for proxies and
+		// generic HTTP tooling.
+		hint := s.pollHint(st)
+		ws.RetryAfterMS = hint.Milliseconds()
+		w.Header().Set("Retry-After", strconv.Itoa(int((hint+time.Second-1)/time.Second)))
+	}
+	writeJSON(w, http.StatusOK, ws)
+}
+
+// pollHint estimates when an unfinished ticket is worth polling again:
+// queued tickets by the backlog-proportional admission estimate, running
+// tickets on a short leash.
+func (s *Server) pollHint(st Status) time.Duration {
+	if st.State == StateQueued {
+		return s.retryAfter()
+	}
+	return 100 * time.Millisecond
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {

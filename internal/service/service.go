@@ -48,6 +48,13 @@ type Config struct {
 	// QueueDepth bounds the number of queued (not yet running) tickets;
 	// ≤0 means 64. Submits beyond it are rejected with ErrQueueFull.
 	QueueDepth int
+	// MaxInFlight caps concurrent real compilations engine-wide — the
+	// per-node in-flight compile cap behind clusched-serve's
+	// -max-inflight, distinct from queue admission: Runners × Workers can
+	// oversubscribe a box, and this is the hard ceiling under them.
+	// Exposed in /stats (inflight_compiles, max_inflight) and /metrics so
+	// a fleet balancer has a real backpressure signal. ≤0 = unbounded.
+	MaxInFlight int
 	// DefaultTimeout bounds a ticket's lifetime from submission when the
 	// submitter does not set one; 0 means no deadline.
 	DefaultTimeout time.Duration
@@ -124,6 +131,9 @@ type Status struct {
 	// Created, Started and Finished are the lifecycle timestamps (zero
 	// until reached).
 	Created, Started, Finished time.Time
+	// Deadline is the ticket's absolute lifetime bound (zero when the
+	// ticket has none); pollers can cap their waiting against it.
+	Deadline time.Time
 	// Outcomes is set once the ticket finished (Done, or Canceled after
 	// it started running — completed outcomes survive cancellation),
 	// index-aligned with the submitted jobs.
@@ -142,11 +152,12 @@ type Event struct {
 
 // ticket is the server-side record behind a Status.
 type ticket struct {
-	id      string
-	jobs    []driver.Job
-	ctx     context.Context
-	cancel  context.CancelCauseFunc
-	created time.Time
+	id       string
+	jobs     []driver.Job
+	ctx      context.Context
+	cancel   context.CancelCauseFunc
+	created  time.Time
+	deadline time.Time // zero when the ticket has no lifetime bound
 	// trace is the ticket's execution trace (nil for untraced tickets);
 	// its epoch is the submission instant, so the queued span starts at 0.
 	trace *telemetry.Trace
@@ -185,6 +196,7 @@ func (t *ticket) snapshot() Status {
 		Created:  t.created,
 		Started:  t.started,
 		Finished: t.finished,
+		Deadline: t.deadline,
 		Outcomes: t.outcomes,
 		Err:      t.err,
 	}
@@ -283,6 +295,7 @@ func New(cfg Config) *Server {
 			CacheSize:   cfg.CacheSize,
 			Store:       cfg.Store,
 			Speculation: cfg.Speculation,
+			MaxInFlight: cfg.MaxInFlight,
 			Registry:    reg,
 		}),
 		queue:    make(chan *ticket, cfg.QueueDepth),
@@ -373,6 +386,7 @@ func (s *Server) Submit(jobs []driver.Job, opts SubmitOptions) (string, error) {
 		// The deadline spans queueing and execution: a ticket that waits
 		// out its whole budget in the queue is cancelled, not run late.
 		ctx, cancelT = context.WithTimeout(ctx, timeout)
+		t.deadline = t.created.Add(timeout)
 	}
 	t.ctx, t.cancel = context.WithCancelCause(ctx)
 
@@ -640,6 +654,9 @@ func (s *Server) Stats() wire.ServiceStats {
 		Rejected:     m.tickets.With("rejected").Value(),
 		JobsCompiled: m.jobsDone.Value(),
 		Draining:     s.Draining(),
+
+		InFlightCompiles: s.compiler.InFlightCompiles(),
+		MaxInFlight:      s.compiler.MaxInFlight(),
 	}
 	submittedByStrategy := m.jobsSubmitted.Snapshot()
 	if s.cfg.Speculation > 1 {

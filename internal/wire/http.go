@@ -43,6 +43,14 @@ type JobStatus struct {
 	CreatedMS  int64 `json:"created_ms,omitempty"`
 	StartedMS  int64 `json:"started_ms,omitempty"`
 	FinishedMS int64 `json:"finished_ms,omitempty"`
+	// DeadlineMS is the ticket's absolute deadline in Unix milliseconds
+	// (0 = no deadline): pollers can bound their total waiting against it
+	// instead of polling a doomed ticket forever.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// RetryAfterMS hints when a poller should check an unfinished ticket
+	// again, from the server's own view of its backlog (0 = no hint; the
+	// same hint rides the Retry-After response header, in whole seconds).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 	// Outcomes is present once the job is done (or canceled with partial
 	// completions), index-aligned with the submitted jobs.
 	Outcomes []Outcome `json:"outcomes,omitempty"`
@@ -112,6 +120,12 @@ type ServiceStats struct {
 	JobsCompiled uint64  `json:"jobs_compiled"`
 	JobsPerSec   float64 `json:"jobs_per_sec"`
 	UptimeSec    float64 `json:"uptime_sec"`
+	// InFlightCompiles is how many real (non-cached) compilations the
+	// engine is running right now; MaxInFlight the engine-wide cap behind
+	// -max-inflight (0 = unbounded). Together they are the backpressure
+	// signal a fleet balancer reads.
+	InFlightCompiles int `json:"inflight_compiles"`
+	MaxInFlight      int `json:"max_inflight,omitempty"`
 	// Cache is the shared engine's cache accounting (in-memory + disk).
 	Cache CacheStats `json:"cache"`
 	// Strategies breaks the traffic down by scheduling strategy, keyed on
