@@ -1,0 +1,135 @@
+// Command corpusbench races every registered scheduling strategy over a
+// distribution-generated loop corpus and validates each accepted schedule
+// on the cycle-accurate simulator: store-trace equality against the
+// reference execution, the completion-time model, and measured
+// steady-state cycles/iteration equal to the claimed II. The whole batch
+// runs through the driver at full concurrency, so the worker pool,
+// speculative II search and semantic cache are exercised under
+// validation.
+//
+// The exit status is the contract: 0 only when every accepted schedule is
+// confirmed; any divergence prints a replayable record (corpus seed +
+// index + strategy + options) and exits 1. CI runs a bounded corpus on a
+// fixed seed; the committed BENCH_6.json records a 10k-loop run.
+//
+// Usage:
+//
+//	corpusbench -n 10000 -seed 1 -json BENCH_6.json
+//	corpusbench -n 1000 -strategies paper,unified -clone-every 8
+//	corpusbench -n 500 -size 8:24 -scc cyclic=1 -lat fdiv=1,fadd=1 -pressure 0.9
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"clusched/internal/corpus"
+	"clusched/internal/experiments"
+	"clusched/internal/machine"
+)
+
+func main() {
+	n := flag.Int("n", 10000, "corpus size (loops per strategy)")
+	seed := flag.Int64("seed", 1, "corpus master seed")
+	config := flag.String("config", "4c2b2l64r", "machine configuration")
+	strategies := flag.String("strategies", "", "comma-separated strategy list (default: the full registry)")
+	sizeFlag := flag.String("size", "", "ops per loop as lo:hi")
+	sccFlag := flag.String("scc", "", "shape mix, e.g. chain=1,tree=1,cyclic=2")
+	latFlag := flag.String("lat", "", "op latency mix, e.g. fadd=3,fmul=2,iadd=4")
+	memFlag := flag.Float64("mem", -1, "memory ordering edges per memory op")
+	pressureFlag := flag.Float64("pressure", -1, "register pressure in [0,1]")
+	iters := flag.Int("iters", 0, "simulated iterations per validation (0 = default)")
+	workers := flag.Int("j", 0, "driver workers (0 = GOMAXPROCS)")
+	speculate := flag.Int("speculate", 2, "speculative II lanes per compilation (<=1 disables)")
+	cloneEvery := flag.Int("clone-every", 16, "follow every k-th loop with an isomorphic clone to exercise the semantic cache (0 disables)")
+	jsonPath := flag.String("json", "", "also write the corpus section as JSON to this file")
+	progress := flag.Bool("progress", false, "print progress to stderr")
+	flag.Parse()
+
+	spec := corpus.DefaultSpec()
+	spec.N = *n
+	spec.Seed = *seed
+	var err error
+	if *sizeFlag != "" {
+		if spec.Size, err = corpus.ParseSizeRange(*sizeFlag); err != nil {
+			fatal(err)
+		}
+	}
+	if *sccFlag != "" {
+		if spec.Shapes, err = corpus.ParseShapeMix(*sccFlag); err != nil {
+			fatal(err)
+		}
+	}
+	if *latFlag != "" {
+		if spec.Ops, err = corpus.ParseOpMix(*latFlag); err != nil {
+			fatal(err)
+		}
+	}
+	if *memFlag >= 0 {
+		spec.MemEdges = *memFlag
+	}
+	if *pressureFlag >= 0 {
+		spec.Pressure = *pressureFlag
+	}
+
+	cfg := experiments.CorpusConfig{
+		Spec:        spec,
+		Machine:     machine.MustParse(*config),
+		Iters:       *iters,
+		Workers:     *workers,
+		Speculation: *speculate,
+		CloneEvery:  *cloneEvery,
+	}
+	if *strategies != "" {
+		for _, s := range strings.Split(*strategies, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				cfg.Strategies = append(cfg.Strategies, s)
+			}
+		}
+	}
+	if *progress {
+		cfg.Progress = func(done, total int) {
+			if done%1000 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\rvalidated %d/%d", done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+
+	sec, err := experiments.MeasureCorpus(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(experiments.CorpusReport(sec))
+
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(struct {
+			Corpus *experiments.CorpusSection `json:"corpus"`
+		}{sec}, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	divergent := 0
+	for _, r := range sec.Rows {
+		divergent += r.Divergent
+	}
+	if divergent > 0 {
+		fmt.Fprintf(os.Stderr, "corpusbench: %d divergent schedules — each record above replays via its (seed, index, strategy, opts)\n", divergent)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "corpusbench: %v\n", err)
+	os.Exit(2)
+}

@@ -1,5 +1,7 @@
-// Command loopgen dumps loops of the synthetic SPECfp95 workload in the
-// text DDG format, for inspection or for feeding into replisched.
+// Command loopgen dumps loops of the synthetic SPECfp95 workload — or of a
+// parameterized corpus distribution — in the text DDG format, for
+// inspection or for feeding into replisched. It is a thin CLI over
+// internal/corpus, which owns all loop generation.
 //
 // Usage:
 //
@@ -10,11 +12,21 @@
 //	loopgen -bench swim -permute # renamed/reordered isomorphic clones
 //	loopgen -bench swim -dup 3   # each loop plus 3 distinct clones
 //
+//	loopgen -corpus -n 100 -seed 7 -size 8:48 \
+//	    -scc chain=1,tree=1,cyclic=2 -lat fadd=3,fmul=2,iadd=4 \
+//	    -mem 0.2 -pressure 0.6     # 100 distribution-generated loops
+//
 // -permute and -dup build the duplicated-shape corpus for exercising the
 // engine's canonical (isomorphism-invariant) cache tier: every clone is
 // the same abstract loop under fresh node names, a shuffled node order and
 // a shuffled edge order, so exact fingerprints differ while canonical
 // fingerprints match.
+//
+// -corpus streams loops from a corpus.Spec: -size bounds ops per loop,
+// -scc weights the structural families, -lat weights the ALU op kinds
+// inside the SCC families, -mem sets memory ordering edges per memory op,
+// -pressure in [0,1] scales register pressure. The same flags with the
+// same -seed always regenerate the same loops, in any order and count.
 package main
 
 import (
@@ -22,6 +34,7 @@ import (
 	"fmt"
 	"os"
 
+	"clusched/internal/corpus"
 	"clusched/internal/ddg"
 	"clusched/internal/metrics"
 	"clusched/internal/workload"
@@ -33,8 +46,30 @@ func main() {
 	stats := flag.Bool("stats", false, "print structural statistics instead of DDGs")
 	permute := flag.Bool("permute", false, "emit a renamed/reordered isomorphic clone of each loop instead of the original")
 	dup := flag.Int("dup", 0, "emit each loop followed by this many distinct isomorphic clones")
-	seed := flag.Int64("seed", 1, "base seed for the clone permutations")
+	seed := flag.Int64("seed", 1, "base seed for the clone permutations (or the corpus master seed)")
+	corpusMode := flag.Bool("corpus", false, "generate from a corpus distribution instead of the benchmark suite")
+	sizeFlag := flag.String("size", "", "corpus: ops per loop as lo:hi")
+	sccFlag := flag.String("scc", "", "corpus: shape mix, e.g. chain=1,tree=1,cyclic=2")
+	latFlag := flag.String("lat", "", "corpus: op latency mix, e.g. fadd=3,fmul=2,iadd=4")
+	memFlag := flag.Float64("mem", -1, "corpus: memory ordering edges per memory op")
+	pressureFlag := flag.Float64("pressure", -1, "corpus: register pressure in [0,1]")
 	flag.Parse()
+
+	if *corpusMode {
+		spec, err := corpusSpec(*n, *seed, *sizeFlag, *sccFlag, *latFlag, *memFlag, *pressureFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loopgen: %v\n", err)
+			os.Exit(2)
+		}
+		for i, g := range spec.Loops() {
+			fmt.Printf("# %s: index=%d loop_seed=%d\n", g.Name, i, spec.LoopSeed(i))
+			if err := ddg.WriteText(os.Stdout, g); err != nil {
+				fmt.Fprintf(os.Stderr, "loopgen: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
 
 	if *stats || *bench == "" {
 		t := metrics.NewTable("benchmark", "loops", "avg ops", "avg edges", "int %", "fp %", "mem %", "avg iters", "avg visits")
@@ -93,4 +128,37 @@ func main() {
 			emit(clone, l.Visits, l.AvgIters)
 		}
 	}
+}
+
+// corpusSpec assembles a corpus.Spec from the -corpus flag group; unset
+// flags keep corpus.DefaultSpec's distributions.
+func corpusSpec(n int, seed int64, size, scc, lat string, mem, pressure float64) (corpus.Spec, error) {
+	spec := corpus.DefaultSpec()
+	if n > 0 {
+		spec.N = n
+	}
+	spec.Seed = seed
+	var err error
+	if size != "" {
+		if spec.Size, err = corpus.ParseSizeRange(size); err != nil {
+			return spec, err
+		}
+	}
+	if scc != "" {
+		if spec.Shapes, err = corpus.ParseShapeMix(scc); err != nil {
+			return spec, err
+		}
+	}
+	if lat != "" {
+		if spec.Ops, err = corpus.ParseOpMix(lat); err != nil {
+			return spec, err
+		}
+	}
+	if mem >= 0 {
+		spec.MemEdges = mem
+	}
+	if pressure >= 0 {
+		spec.Pressure = pressure
+	}
+	return spec, nil
 }

@@ -19,6 +19,13 @@
 //	paperbench -remote http://localhost:8357 -fig 7    # evaluation as service traffic
 //	paperbench -cluster http://h1:8357,http://h2:8357  # evaluation sharded across a fleet
 //	paperbench -json bench.json -cluster-nodes 3       # fleet-scaling section in the JSON
+//	paperbench -fig table1 -corpus 10000 -json BENCH_6.json  # corpus-validation shootout
+//
+// -corpus N races every registered strategy over an N-loop generated
+// corpus (internal/corpus defaults, master seed -corpus-seed) and
+// validates each accepted schedule on the cycle-accurate simulator; the
+// claimed-vs-simulated table lands in the report and, with -json, in a
+// "corpus" section. cmd/corpusbench exposes the full distribution knobs.
 //
 // -remote swaps the in-process engine for the remote Backend (the same
 // clusched.Backend seam every tool programs against): every suite
@@ -66,6 +73,7 @@ import (
 	"time"
 
 	"clusched"
+	"clusched/internal/corpus"
 	"clusched/internal/driver"
 	"clusched/internal/experiments"
 	"clusched/internal/machine"
@@ -99,7 +107,13 @@ type jsonReport struct {
 	// in-process serve instances, with the shared-CPU caveat flagged on
 	// every row.
 	Cluster []experiments.ClusterRow `json:"cluster,omitempty"`
-	Engine  driver.CacheStats        `json:"engine"`
+	// Corpus is the corpus-validation shootout (populated by -corpus N):
+	// every strategy over an N-loop generated corpus, each accepted
+	// schedule executed on the cycle-accurate simulator and checked
+	// against the reference — the claimed-vs-simulated table of
+	// BENCH_6.json (see EXPERIMENTS.md).
+	Corpus *experiments.CorpusSection `json:"corpus,omitempty"`
+	Engine driver.CacheStats          `json:"engine"`
 }
 
 // collectJSON gathers the typed rows for the selected experiment ("" =
@@ -174,6 +188,8 @@ func main() {
 	speculate := flag.Int("speculate", 0, "race up to k candidate IIs per compilation (speculative multi-II search; 0/1 = off)")
 	dup := flag.Int("dup", 1, "isomorphic clones per loop in the -json semantic-cache measurement")
 	strategies := flag.String("strategies", "", "comma-separated scheduling strategies to compare head-to-head (e.g. paper,unified,uas,moddist)")
+	corpusN := flag.Int("corpus", 0, "validate every strategy over an N-loop generated corpus on the cycle-accurate simulator (0 = off; see corpusbench for the full flag set)")
+	corpusSeed := flag.Int64("corpus-seed", 1, "master seed of the -corpus run")
 	strategiesConfig := flag.String("strategies-config", "4c2b2l64r", "machine configuration for the -strategies comparison")
 	remote := flag.String("remote", "", "run every suite compilation on a clusched-serve instance at this base URL instead of in-process")
 	clusterHosts := flag.String("cluster", "", "comma-separated clusched-serve base URLs: run the evaluation through the sharded cluster backend (mutually exclusive with -remote)")
@@ -304,6 +320,43 @@ func main() {
 		report += table
 	}
 
+	// Corpus-validation shootout: compile a generated corpus under every
+	// strategy at full batch concurrency and confirm each accepted schedule
+	// on the simulator. Runs on its own engines (like the timed sections),
+	// so the shared engine's memoized suites are untouched.
+	var corpusSec *experiments.CorpusSection
+	if *corpusN > 0 {
+		spec := corpus.DefaultSpec()
+		spec.N = *corpusN
+		spec.Seed = *corpusSeed
+		cfg := experiments.CorpusConfig{
+			Spec:        spec,
+			Workers:     *jobs,
+			Speculation: *speculate,
+			CloneEvery:  16,
+		}
+		if *progress {
+			cfg.Progress = func(done, total int) {
+				if done%1000 == 0 || done == total {
+					fmt.Fprintf(os.Stderr, "\rvalidating %d/%d corpus jobs", done, total)
+					if done == total {
+						fmt.Fprintln(os.Stderr)
+					}
+				}
+			}
+		}
+		var err error
+		corpusSec, err = experiments.MeasureCorpus(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: -corpus: %v\n", err)
+			os.Exit(2)
+		}
+		if report != "" {
+			report += "\n"
+		}
+		report += experiments.CorpusReport(corpusSec)
+	}
+
 	if *progress && *remote == "" {
 		// The remote backend reports zero CacheStats (its cache lives
 		// server-side; see GET /stats), so this line is local-only.
@@ -315,6 +368,7 @@ func main() {
 	if *jsonOut != "" {
 		doc := collectJSON(*fig, *speculate, *dup, *clusterNodes)
 		doc.Strategies = strategyRows
+		doc.Corpus = corpusSec
 		blob, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)

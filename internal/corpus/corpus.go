@@ -1,0 +1,214 @@
+// Package corpus generates parameterized loop corpora and validates
+// compiled schedules against the cycle-accurate simulator. It owns all
+// synthetic DDG generation: the benchmark-profile shapes that back
+// internal/workload's SPECfp95 suite (shapes.go) and the distribution-
+// driven SCC families used for corpus-scale validation (gen.go).
+//
+// A Spec describes a corpus as distributions — loop size, structural
+// family, operation latency mix, memory-edge density, register pressure —
+// plus a seed. Loops are derived independently from (Seed, index), so the
+// corpus streams without being materialized and any single loop can be
+// regenerated for replay.
+package corpus
+
+import (
+	"fmt"
+	"iter"
+	"math/rand"
+
+	"clusched/internal/ddg"
+)
+
+// IntRange is an inclusive [Lo, Hi] bound on a sampled integer.
+type IntRange struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+func (r IntRange) sample(rng *rand.Rand) int {
+	if r.Hi <= r.Lo {
+		return r.Lo
+	}
+	return r.Lo + rng.Intn(r.Hi-r.Lo+1)
+}
+
+// OpMix weights the ALU operation kinds the SCC families draw from. The
+// weights are relative (they need not sum to 1); a zero mix falls back to
+// DefaultSpec's. Loads and stores are structural — every family anchors
+// its strands in memory — so the mix covers only the value computation.
+type OpMix struct {
+	IAdd float64 `json:"iadd"`
+	IMul float64 `json:"imul"`
+	IDiv float64 `json:"idiv"`
+	FAdd float64 `json:"fadd"`
+	FMul float64 `json:"fmul"`
+	FDiv float64 `json:"fdiv"`
+}
+
+func (m OpMix) total() float64 {
+	return m.IAdd + m.IMul + m.IDiv + m.FAdd + m.FMul + m.FDiv
+}
+
+// pick samples one op kind from the mix.
+func (m OpMix) pick(rng *rand.Rand) ddg.OpKind {
+	r := rng.Float64() * m.total()
+	for _, c := range []struct {
+		w    float64
+		kind ddg.OpKind
+	}{
+		{m.IAdd, ddg.OpIAdd}, {m.IMul, ddg.OpIMul}, {m.IDiv, ddg.OpIDiv},
+		{m.FAdd, ddg.OpFAdd}, {m.FMul, ddg.OpFMul}, {m.FDiv, ddg.OpFDiv},
+	} {
+		if r < c.w {
+			return c.kind
+		}
+		r -= c.w
+	}
+	return ddg.OpFAdd
+}
+
+// ShapeMix weights the structural families, indexed by Shape. Zero-weight
+// families are never generated; an all-zero mix falls back to DefaultSpec's.
+type ShapeMix [NumShapes]float64
+
+func (m ShapeMix) total() float64 {
+	t := 0.0
+	for _, w := range m {
+		t += w
+	}
+	return t
+}
+
+func (m ShapeMix) pick(rng *rand.Rand) Shape {
+	r := rng.Float64() * m.total()
+	for s, w := range m {
+		if r < w {
+			return Shape(s)
+		}
+		r -= w
+	}
+	return ShapeChain
+}
+
+// Spec parameterizes a corpus. The zero value of any field falls back to
+// the corresponding DefaultSpec field, so partial specs (e.g. from flags)
+// are usable directly.
+type Spec struct {
+	// N is the corpus size; Seed the master seed. Loop i is derived from
+	// (Seed, i) alone, independent of N and of every other loop.
+	N    int   `json:"n"`
+	Seed int64 `json:"seed"`
+	// Size bounds the approximate operation count per loop (uniform).
+	Size IntRange `json:"size"`
+	// Shapes weights the structural families (see Shape); Ops the latency
+	// mix of the ALU operations inside the SCC families. The benchmark-
+	// profile families (broadcast/parallel/reduction/wide) keep their own
+	// op distributions — they model specific SPECfp95 programs — so Ops
+	// applies to chain/tree/cyclic only.
+	Shapes ShapeMix `json:"shapes"`
+	Ops    OpMix    `json:"ops"`
+	// MemEdges is the expected number of extra memory ordering edges per
+	// memory operation (density of may-alias disambiguation failures).
+	MemEdges float64 `json:"mem_edges"`
+	// Pressure in [0,1] scales register pressure: the number of
+	// simultaneously live strands and the distance between a value's
+	// definition and its last use.
+	Pressure float64 `json:"pressure"`
+}
+
+// DefaultSpec is the corpus the validation shootout runs when no knobs
+// are set: all seven families, mid-size loops, the pipeline's natural
+// latency spread, light memory disambiguation noise, moderate pressure.
+func DefaultSpec() Spec {
+	return Spec{
+		N:        10000,
+		Seed:     1,
+		Size:     IntRange{Lo: 8, Hi: 48},
+		Shapes:   ShapeMix{1, 1, 1, 1, 2, 2, 2},
+		Ops:      OpMix{IAdd: 4, IMul: 1.5, IDiv: 0.25, FAdd: 4, FMul: 2.5, FDiv: 0.5},
+		MemEdges: 0.15,
+		Pressure: 0.4,
+	}
+}
+
+// normalized fills zero-valued fields from DefaultSpec.
+func (s Spec) normalized() Spec {
+	def := DefaultSpec()
+	if s.N <= 0 {
+		s.N = def.N
+	}
+	if s.Size.Lo <= 0 && s.Size.Hi <= 0 {
+		s.Size = def.Size
+	}
+	if s.Size.Lo < 4 {
+		s.Size.Lo = 4
+	}
+	if s.Size.Hi < s.Size.Lo {
+		s.Size.Hi = s.Size.Lo
+	}
+	if s.Shapes.total() <= 0 {
+		s.Shapes = def.Shapes
+	}
+	if s.Ops.total() <= 0 {
+		s.Ops = def.Ops
+	}
+	if s.MemEdges < 0 {
+		s.MemEdges = 0
+	}
+	if s.Pressure < 0 {
+		s.Pressure = 0
+	}
+	if s.Pressure > 1 {
+		s.Pressure = 1
+	}
+	return s
+}
+
+// splitmix64 is the standard SplitMix64 finalizer; it decorrelates the
+// per-loop seeds so corpus loops are independent of each other and of N.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// LoopSeed is the derived seed for loop i: regenerating loop i of a spec
+// needs only (Seed, i), never the rest of the corpus.
+func (s Spec) LoopSeed(i int) int64 {
+	return int64(splitmix64(splitmix64(uint64(s.Seed)) ^ uint64(i)))
+}
+
+// Loop generates loop i of the corpus. Deterministic: the same (Seed, i)
+// always yields the same graph, for any N and in any generation order.
+func (s Spec) Loop(i int) *ddg.Graph {
+	s = s.normalized()
+	rng := rand.New(rand.NewSource(s.LoopSeed(i)))
+	shape := s.Shapes.pick(rng)
+	size := s.Size.sample(rng)
+	name := fmt.Sprintf("c%d_%06d_%s", s.Seed, i, shape)
+	var g *ddg.Graph
+	switch shape {
+	case ShapeChain:
+		g = genChain(name, rng, size, s)
+	case ShapeTree:
+		g = genTree(name, rng, size, s)
+	case ShapeCyclic:
+		g = genCyclic(name, rng, size, s)
+	default:
+		g = Generate(shape, name, rng, size, DefaultParams())
+	}
+	return g
+}
+
+// Loops streams the corpus in index order without materializing it.
+func (s Spec) Loops() iter.Seq2[int, *ddg.Graph] {
+	n := s.normalized().N
+	return func(yield func(int, *ddg.Graph) bool) {
+		for i := 0; i < n; i++ {
+			if !yield(i, s.Loop(i)) {
+				return
+			}
+		}
+	}
+}

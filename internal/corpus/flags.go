@@ -1,0 +1,113 @@
+package corpus
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Flag-syntax parsers shared by cmd/loopgen and cmd/corpusbench, so the
+// corpus distributions have one CLI vocabulary.
+
+// ParseSizeRange parses "lo:hi" (or a single "n") into an IntRange.
+func ParseSizeRange(s string) (IntRange, error) {
+	lo, hi, ok := strings.Cut(s, ":")
+	l, err := strconv.Atoi(strings.TrimSpace(lo))
+	if err != nil {
+		return IntRange{}, fmt.Errorf("corpus: bad size range %q: %v", s, err)
+	}
+	h := l
+	if ok {
+		h, err = strconv.Atoi(strings.TrimSpace(hi))
+		if err != nil {
+			return IntRange{}, fmt.Errorf("corpus: bad size range %q: %v", s, err)
+		}
+	}
+	if l < 1 || h < l {
+		return IntRange{}, fmt.Errorf("corpus: bad size range %q: want 1 <= lo <= hi", s)
+	}
+	return IntRange{Lo: l, Hi: h}, nil
+}
+
+// shapeByName maps flag names to families.
+var shapeByName = map[string]Shape{
+	"broadcast": ShapeBroadcast,
+	"parallel":  ShapeParallel,
+	"reduction": ShapeReduction,
+	"wide":      ShapeWide,
+	"chain":     ShapeChain,
+	"tree":      ShapeTree,
+	"cyclic":    ShapeCyclic,
+}
+
+// ParseShape resolves one family name.
+func ParseShape(name string) (Shape, error) {
+	s, ok := shapeByName[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return 0, fmt.Errorf("corpus: unknown shape %q (broadcast, parallel, reduction, wide, chain, tree, cyclic)", name)
+	}
+	return s, nil
+}
+
+// ParseShapeMix parses "chain=2,tree=1,cyclic=1" into a ShapeMix.
+// Families not named get weight 0; a bare name means weight 1.
+func ParseShapeMix(s string) (ShapeMix, error) {
+	var m ShapeMix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wstr, hasW := strings.Cut(part, "=")
+		shape, err := ParseShape(name)
+		if err != nil {
+			return m, err
+		}
+		w := 1.0
+		if hasW {
+			w, err = strconv.ParseFloat(strings.TrimSpace(wstr), 64)
+			if err != nil || w < 0 {
+				return m, fmt.Errorf("corpus: bad shape weight %q", part)
+			}
+		}
+		m[shape] = w
+	}
+	if m.total() <= 0 {
+		return m, fmt.Errorf("corpus: shape mix %q has no positive weight", s)
+	}
+	return m, nil
+}
+
+// ParseOpMix parses "fadd=3,fmul=2,iadd=4" into an OpMix. Kinds not named
+// get weight 0; a bare name means weight 1.
+func ParseOpMix(s string) (OpMix, error) {
+	var m OpMix
+	fields := map[string]*float64{
+		"iadd": &m.IAdd, "imul": &m.IMul, "idiv": &m.IDiv,
+		"fadd": &m.FAdd, "fmul": &m.FMul, "fdiv": &m.FDiv,
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wstr, hasW := strings.Cut(part, "=")
+		p, ok := fields[strings.ToLower(strings.TrimSpace(name))]
+		if !ok {
+			return m, fmt.Errorf("corpus: unknown op %q (iadd, imul, idiv, fadd, fmul, fdiv)", name)
+		}
+		w := 1.0
+		if hasW {
+			var err error
+			w, err = strconv.ParseFloat(strings.TrimSpace(wstr), 64)
+			if err != nil || w < 0 {
+				return m, fmt.Errorf("corpus: bad op weight %q", part)
+			}
+		}
+		*p = w
+	}
+	if m.total() <= 0 {
+		return m, fmt.Errorf("corpus: op mix %q has no positive weight", s)
+	}
+	return m, nil
+}

@@ -71,6 +71,54 @@ func (t *Trace) canonicalize() {
 	})
 }
 
+// ScheduleError reports a structurally malformed schedule: an instance or
+// edge referencing a node absent from the graph, an issue-time table of the
+// wrong length, or a non-positive II. It is a typed error (not a panic) so
+// corpus-scale harnesses can record the defect and keep running.
+type ScheduleError struct {
+	// Inst is the offending instance index, or -1 when the defect is not
+	// tied to one instance.
+	Inst int
+	// Detail describes the defect.
+	Detail string
+}
+
+func (e *ScheduleError) Error() string {
+	if e.Inst >= 0 {
+		return fmt.Sprintf("vliwsim: malformed schedule: instance %d: %s", e.Inst, e.Detail)
+	}
+	return fmt.Sprintf("vliwsim: malformed schedule: %s", e.Detail)
+}
+
+// validate checks the structural invariants Execute indexes by. It returns
+// a *ScheduleError describing the first violation, or nil.
+func validate(s *sched.Schedule) error {
+	if s == nil || s.IG == nil || s.IG.G == nil {
+		return &ScheduleError{Inst: -1, Detail: "nil schedule, instance graph, or source graph"}
+	}
+	if s.II <= 0 {
+		return &ScheduleError{Inst: -1, Detail: fmt.Sprintf("non-positive II %d", s.II)}
+	}
+	ig := s.IG
+	n := ig.NumInstances()
+	if len(s.Time) != n {
+		return &ScheduleError{Inst: -1, Detail: fmt.Sprintf("issue-time table has %d entries for %d instances", len(s.Time), n)}
+	}
+	nodes := ig.G.NumNodes()
+	for i := 0; i < n; i++ {
+		if o := ig.Inst[i].Orig; o < 0 || o >= nodes {
+			return &ScheduleError{Inst: i, Detail: fmt.Sprintf("references node %d of a %d-node graph", o, nodes)}
+		}
+	}
+	for i := range ig.Edges {
+		e := &ig.Edges[i]
+		if e.Src < 0 || int(e.Src) >= n || e.Dst < 0 || int(e.Dst) >= n {
+			return &ScheduleError{Inst: -1, Detail: fmt.Sprintf("edge %d endpoints (%d,%d) out of range for %d instances", i, e.Src, e.Dst, n)}
+		}
+	}
+	return nil
+}
+
 const (
 	fnvOffset = 14695981039346656037
 	fnvPrime  = 1099511628211
@@ -149,8 +197,12 @@ func Reference(g *ddg.Graph, iters int) *Trace {
 // cycle-accurate event order and returns its trace plus the cycle on which
 // the last operation completes. The schedule must verify (sched.Verify);
 // Execute re-checks the property it depends on — that every operand is
-// produced before it is read.
+// produced before it is read — and returns a typed *ScheduleError instead
+// of panicking when the schedule is structurally malformed.
 func Execute(s *sched.Schedule, iters int) (*Trace, int, error) {
+	if err := validate(s); err != nil {
+		return nil, 0, err
+	}
 	ig := s.IG
 	g := ig.G
 	n := ig.NumInstances()
@@ -260,20 +312,74 @@ func StoreValue(operands []uint64) uint64 {
 	return h
 }
 
+// Report is the result of measuring a schedule against the reference
+// evaluation of its source loop.
+type Report struct {
+	// Iters is the simulated iteration count.
+	Iters int `json:"iters"`
+	// LastDone is the cycle on which the last operation completed;
+	// ModelLastDone is the paper's prediction, (Iters−1)·II + Length.
+	LastDone      int `json:"last_done"`
+	ModelLastDone int `json:"model_last_done"`
+	// CyclesPerIter is the measured steady-state initiation interval: the
+	// per-iteration growth of the completion cycle with the pipeline full.
+	// A sound modulo schedule sustains exactly II.
+	CyclesPerIter float64 `json:"cycles_per_iter"`
+	// TraceDiff describes the first difference between the schedule's
+	// store trace and the reference trace, or "" when they agree.
+	TraceDiff string `json:"trace_diff,omitempty"`
+}
+
+// steadySpan is the extra-iteration window Measure uses to observe the
+// per-iteration completion increment in steady state.
+const steadySpan = 4
+
+// Measure executes the schedule, compares its trace against the reference,
+// and measures steady-state cycles/iteration empirically (by running a
+// longer execution and differencing completion cycles), so harnesses need
+// not recompute it from the model they are trying to validate. Structural
+// defects and dependence violations surface as errors; semantic and
+// throughput divergences are reported in the Report for the caller to
+// judge.
+func Measure(s *sched.Schedule, iters int) (*Report, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	got, lastDone, err := Execute(s, iters)
+	if err != nil {
+		return nil, err
+	}
+	_, lastLonger, err := Execute(s, iters+steadySpan)
+	if err != nil {
+		return nil, err
+	}
+	ref := Reference(s.IG.G, iters)
+	return &Report{
+		Iters:         iters,
+		LastDone:      lastDone,
+		ModelLastDone: (iters-1)*s.II + s.Length,
+		CyclesPerIter: float64(lastLonger-lastDone) / steadySpan,
+		TraceDiff:     got.Diff(ref),
+	}, nil
+}
+
 // Check executes the schedule and compares it against the reference
 // evaluation of the source loop; it also validates the paper's execution-
-// time model: the last completion cycle is (iters−1)·II + Length.
+// time model: the last completion cycle is (iters−1)·II + Length, and the
+// steady-state throughput is exactly II cycles/iteration.
 func Check(s *sched.Schedule, iters int) error {
-	ref := Reference(s.IG.G, iters)
-	got, lastDone, err := Execute(s, iters)
+	rep, err := Measure(s, iters)
 	if err != nil {
 		return err
 	}
-	if d := got.Diff(ref); d != "" {
-		return fmt.Errorf("vliwsim: trace mismatch: %s", d)
+	if rep.TraceDiff != "" {
+		return fmt.Errorf("vliwsim: trace mismatch: %s", rep.TraceDiff)
 	}
-	if want := (iters-1)*s.II + s.Length; lastDone != want {
-		return fmt.Errorf("vliwsim: completion cycle %d, model predicts %d ((N-1)·II + length)", lastDone, want)
+	if rep.LastDone != rep.ModelLastDone {
+		return fmt.Errorf("vliwsim: completion cycle %d, model predicts %d ((N-1)·II + length)", rep.LastDone, rep.ModelLastDone)
+	}
+	if rep.CyclesPerIter != float64(s.II) {
+		return fmt.Errorf("vliwsim: measured %.2f cycles/iteration, claimed II %d", rep.CyclesPerIter, s.II)
 	}
 	return nil
 }

@@ -1,4 +1,4 @@
-package vliwsim
+package vliwsim_test
 
 import (
 	"math/rand"
@@ -10,6 +10,7 @@ import (
 	"clusched/internal/partition"
 	"clusched/internal/replic"
 	"clusched/internal/sched"
+	"clusched/internal/vliwsim"
 	"clusched/internal/workload"
 )
 
@@ -35,8 +36,8 @@ func saxpy(t *testing.T) *ddg.Graph {
 
 func TestReferenceDeterministic(t *testing.T) {
 	g := saxpy(t)
-	a := Reference(g, 5)
-	b := Reference(g, 5)
+	a := vliwsim.Reference(g, 5)
+	b := vliwsim.Reference(g, 5)
 	if !a.Equal(b) {
 		t.Fatal("reference evaluation not deterministic")
 	}
@@ -57,7 +58,7 @@ func TestExecuteMatchesReferenceUnified(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := Check(r.Schedule, 8); err != nil {
+	if err := vliwsim.Check(r.Schedule, 8); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -70,7 +71,7 @@ func TestExecuteMatchesReferenceClustered(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := Check(r.Schedule, 8); err != nil {
+		if err := vliwsim.Check(r.Schedule, 8); err != nil {
 			t.Fatalf("opts %+v: %v", opts, err)
 		}
 	}
@@ -103,7 +104,7 @@ func TestReplicationPreservesSemanticsOnFig3Style(t *testing.T) {
 	if r.ReplicationSteps == 0 {
 		t.Log("warning: replication did not fire on this loop")
 	}
-	if err := Check(r.Schedule, 10); err != nil {
+	if err := vliwsim.Check(r.Schedule, 10); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -129,11 +130,11 @@ func TestExecuteDetectsCorruptedSchedule(t *testing.T) {
 	corrupt := *s
 	corrupt.Time = append([]int(nil), s.Time...)
 	corrupt.Time[victim] = 0
-	if _, _, err := Execute(&corrupt, 4); err == nil {
+	if _, _, err := vliwsim.Execute(&corrupt, 4); err == nil {
 		// The corruption may have landed on an instance with only
 		// loop-carried inputs at iteration 0; verify via trace mismatch.
-		got, _, _ := Execute(&corrupt, 4)
-		if got != nil && got.Equal(Reference(g, 4)) {
+		got, _, _ := vliwsim.Execute(&corrupt, 4)
+		if got != nil && got.Equal(vliwsim.Reference(g, 4)) {
 			t.Skip("corruption happened to be harmless")
 		}
 	}
@@ -170,7 +171,7 @@ func TestRandomLoopsSimulateCorrectly(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		if err := Check(r.Schedule, 6); err != nil {
+		if err := vliwsim.Check(r.Schedule, 6); err != nil {
 			t.Fatalf("trial %d on %s: %v", trial, m, err)
 		}
 	}
@@ -197,7 +198,7 @@ func TestWorkloadLoopsSimulateCorrectly(t *testing.T) {
 					if err != nil {
 						t.Fatalf("%s on %s: %v", g.Name, m, err)
 					}
-					if err := Check(r.Schedule, 5); err != nil {
+					if err := vliwsim.Check(r.Schedule, 5); err != nil {
 						t.Fatalf("%s on %s (repl=%v): %v", g.Name, m, opts.Replicate, err)
 					}
 					count++
@@ -222,7 +223,7 @@ func TestLengthReplicationPreservesSemantics(t *testing.T) {
 		if err != nil {
 			continue
 		}
-		if err := Check(s, 7); err != nil {
+		if err := vliwsim.Check(s, 7); err != nil {
 			t.Fatal(err)
 		}
 		return
